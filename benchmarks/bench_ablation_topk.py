@@ -1,0 +1,76 @@
+"""Ablation — top-1 vs top-2 gating under ExFlow.
+
+Table I shows top-2 gating doubles the Alltoall volume term; this ablation
+measures how the extra secondary-expert traffic changes the absolute
+communication cost and whether affinity placement still pays off (it
+should: secondary choices share the primary's affinity structure).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import GatingKind, InferenceConfig, compare_modes, paper_model, wilkes3
+from repro.analysis.report import format_table
+
+from conftest import publish
+
+
+def _run(gating: GatingKind):
+    model = dataclasses.replace(paper_model("gpt-m-350m-e32"), gating=gating)
+    cluster = wilkes3(4)
+    infer = InferenceConfig(requests_per_gpu=8, prompt_len=64, generate_len=8)
+    return compare_modes(model, cluster, infer, seed=0)
+
+
+def test_ablation_topk(benchmark, results_dir):
+    benchmark.pedantic(lambda: _run(GatingKind.TOP1), rounds=1, iterations=1)
+
+    rows = []
+    results = {}
+    for gating in (GatingKind.TOP1, GatingKind.TOP2):
+        comparison = _run(gating)
+        ds, ex = comparison["deepspeed"], comparison["exflow"]
+        rows.append(
+            [
+                gating.value,
+                ds.result.ledger.bytes_of("alltoall") / 2**20,
+                ex.result.ledger.bytes_of("alltoall") / 2**20,
+                ex.speedup,
+                comparison["exflow-noaff"].speedup,
+            ]
+        )
+        results[gating] = comparison
+
+    table = format_table(
+        [
+            "gating",
+            "DeepSpeed alltoall MiB",
+            "ExFlow alltoall MiB",
+            "ExFlow speedup",
+            "coherence-only speedup",
+        ],
+        rows,
+        title="Ablation — gating arity (MoE-32, 4 nodes x 4 GPUs)",
+    )
+    publish(results_dir, "ablation_topk", table)
+
+    # top-2 moves substantially more Alltoall bytes than top-1 in the baseline
+    assert results[GatingKind.TOP2]["deepspeed"].result.ledger.bytes_of(
+        "alltoall"
+    ) > 1.5 * results[GatingKind.TOP1]["deepspeed"].result.ledger.bytes_of("alltoall")
+    # context coherence keeps paying off under top-2; the affinity increment
+    # shrinks because secondary-expert hops are not placement-optimised (the
+    # paper's own models are top-1, Table II) — allow it to be a wash
+    assert results[GatingKind.TOP2]["exflow"].speedup > 1.1
+    assert (
+        results[GatingKind.TOP2]["exflow"].speedup
+        >= results[GatingKind.TOP2]["exflow-noaff"].speedup - 0.05
+    )
+    # top-1's affinity increment is the clear one
+    assert (
+        results[GatingKind.TOP1]["exflow"].speedup
+        > results[GatingKind.TOP1]["exflow-noaff"].speedup
+    )

@@ -1,0 +1,59 @@
+"""Fig 2 — inter-layer expert affinity heatmaps (12-layer MoE-32).
+
+Profiles synthetic-Pile tokens through a real numpy MoE decoder with the
+paper's layer/expert shape and renders the four consecutive-layer
+conditional-probability matrices.  The quantitative claim checked: every
+heatmap row concentrates most of its mass on a few columns — far above the
+memoryless baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ModelConfig, MoETransformer, collect_trace, make_corpus
+from repro.analysis.heatmap import ascii_heatmap
+from repro.core.affinity import affinity_concentration, affinity_matrix
+
+from conftest import publish
+
+LAYER_PAIRS = [(0, 1), (3, 4), (7, 8), (10, 11)]
+
+
+def _profile_trace():
+    config = ModelConfig(
+        name="gpt-350m-moe32-proxy",
+        num_layers=12,
+        num_experts=32,
+        d_model=64,
+        vocab_size=512,
+        num_heads=4,
+    )
+    model = MoETransformer(config, np.random.default_rng(0))
+    corpus = make_corpus("pile", vocab_size=512, num_topics=32)
+    return collect_trace(model, corpus, 3000, doc_len=32, rng=np.random.default_rng(1))
+
+
+def test_fig02_affinity_heatmaps(benchmark, results_dir):
+    trace = benchmark.pedantic(_profile_trace, rounds=1, iterations=1)
+
+    blocks = []
+    concentrations = []
+    chance = 2 / trace.num_experts
+    for prev, nxt in LAYER_PAIRS:
+        conc = affinity_concentration(trace, prev, top=2)
+        concentrations.append(conc)
+        blocks.append(
+            ascii_heatmap(
+                affinity_matrix(trace, prev),
+                title=(
+                    f"Fig 2 panel: layers {prev} -> {nxt} "
+                    f"(top-2 row mass {conc:.2f}, chance {chance:.2f})"
+                ),
+            )
+        )
+    publish(results_dir, "fig02_affinity_heatmaps", "\n".join(blocks))
+
+    # paper's claim: "for each row ... only a few columns are red"
+    for conc in concentrations:
+        assert conc > 3 * chance

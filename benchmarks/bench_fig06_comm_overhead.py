@@ -1,0 +1,103 @@
+"""Fig 6 — scaled communication latency: baseline vs context coherence.
+
+For each paper model variant and expert-parallel size, measures the
+baseline's total Alltoall time against the context-coherent design's
+single-Alltoall time plus the AllGather it introduces.  Values are scaled
+to the baseline (=1.0), matching the paper's normalisation.
+
+Shape checks: the coherent Alltoall is well under half the baseline (the
+removed combine Alltoall plus incidental local hits), and the AllGather
+term shrinks relative to the total as models get deeper (32L/40L variants).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import (
+    ExecutionMode,
+    InferenceConfig,
+    make_decode_workload,
+    paper_model,
+    simulate_inference,
+    vanilla_placement,
+    wilkes3,
+)
+from repro.analysis.report import format_table
+
+from conftest import publish
+
+# (label, model key, gpus) following the paper's two panels
+CASES = [
+    ("8E / 8 GPUs", "gpt-m-350m-e8", 8),
+    ("16E / 8 GPUs", "gpt-m-350m-e16", 8),
+    ("16E / 16 GPUs", "gpt-m-350m-e16", 16),
+    ("32E / 16 GPUs", "gpt-m-350m-e32", 16),
+    ("32E / 32 GPUs", "gpt-m-350m-e32", 32),
+    ("64E / 32 GPUs", "gpt-m-350m-e64", 32),
+    ("64E / 64 GPUs", "gpt-m-350m-e64", 64),
+    ("32E-32L / 32 GPUs", "gpt-m-470m-e32", 32),
+    ("32E-40L / 32 GPUs", "gpt-m-590m-e32", 32),
+]
+
+
+def _run_case(key: str, gpus: int):
+    model = paper_model(key)
+    cluster = wilkes3(max(1, gpus // 4), gpus_per_node=min(4, gpus))
+    infer = InferenceConfig(requests_per_gpu=8, prompt_len=64, generate_len=8)
+    placement = vanilla_placement(model.num_moe_layers, model.num_experts, gpus)
+    workload = make_decode_workload(model, cluster, infer)
+
+    base = simulate_inference(
+        model, cluster, dataclasses.replace(infer, mode=ExecutionMode.VANILLA),
+        placement, workload,
+    )
+    coh = simulate_inference(
+        model, cluster, dataclasses.replace(infer, mode=ExecutionMode.CONTEXT_COHERENT),
+        placement, workload,
+    )
+    return base, coh
+
+
+def test_fig06_comm_overhead(benchmark, results_dir):
+    benchmark.pedantic(lambda: _run_case("gpt-m-350m-e8", 8), rounds=1, iterations=1)
+
+    rows = []
+    checks = []
+    for label, key, gpus in CASES:
+        base, coh = _run_case(key, gpus)
+        scale = base.breakdown.alltoall_s
+        rows.append(
+            [
+                label,
+                1.0,
+                coh.breakdown.alltoall_s / scale,
+                coh.breakdown.allgather_s / scale,
+                (coh.breakdown.comm_s) / scale,
+            ]
+        )
+        checks.append((coh.breakdown.alltoall_s / scale, coh.breakdown.comm_s / scale))
+
+    table = format_table(
+        [
+            "configuration",
+            "baseline alltoall",
+            "coherent alltoall",
+            "coherent allgather",
+            "coherent total",
+        ],
+        rows,
+        title="Fig 6 — communication latency scaled to the baseline Alltoall",
+    )
+    publish(results_dir, "fig06_comm_overhead", table)
+
+    for a2a_ratio, total_ratio in checks:
+        assert a2a_ratio < 0.55  # >50 % Alltoall reduction (paper Section V-B)
+        assert total_ratio < 1.0  # total comm still below baseline
+
+    # AllGather amortisation with depth: 24L vs 40L at the same width/GPUs
+    ag_24 = rows[4][3]  # 32E (24L) / 32 GPUs
+    ag_40 = rows[8][3]  # 32E-40L / 32 GPUs
+    assert ag_40 < ag_24

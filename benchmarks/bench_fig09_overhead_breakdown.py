@@ -1,0 +1,80 @@
+"""Fig 9 — Alltoall's share of runtime under vanilla expert parallelism.
+
+Runs the baseline engine on 1/2/4/8 nodes and decomposes runtime into the
+four operations the paper measures (gating, Alltoall, attention, expert
+FFN).  Paper values: 15.3 % / 62.5 % / 70.2 % / 76.0 % Alltoall share —
+the cost model is calibrated to land in this band, and the shape check
+requires the steep single-node -> multi-node jump and monotone growth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import (
+    ExecutionMode,
+    InferenceConfig,
+    make_decode_workload,
+    paper_model,
+    simulate_inference,
+    vanilla_placement,
+    wilkes3,
+)
+from repro.analysis.report import format_table
+
+from conftest import publish
+
+NODE_COUNTS = (1, 2, 4, 8)
+PAPER_SHARES = {1: 0.153, 2: 0.625, 4: 0.702, 8: 0.760}
+
+
+def _run(nodes: int):
+    model = paper_model("gpt-m-350m-e32")
+    cluster = wilkes3(nodes)
+    infer = InferenceConfig(
+        requests_per_gpu=8, prompt_len=64, generate_len=8, mode=ExecutionMode.VANILLA
+    )
+    placement = vanilla_placement(
+        model.num_moe_layers, model.num_experts, cluster.num_gpus
+    )
+    workload = make_decode_workload(model, cluster, infer)
+    return simulate_inference(model, cluster, infer, placement, workload)
+
+
+def test_fig09_overhead_breakdown(benchmark, results_dir):
+    benchmark.pedantic(lambda: _run(2), rounds=1, iterations=1)
+
+    rows = []
+    shares = {}
+    for nodes in NODE_COUNTS:
+        res = _run(nodes)
+        b = res.breakdown
+        total = b.total_s
+        rows.append(
+            [
+                nodes,
+                b.gating_s / total,
+                b.alltoall_s / total,
+                b.attention_s / total,
+                b.expert_ffn_s / total,
+                PAPER_SHARES[nodes],
+            ]
+        )
+        shares[nodes] = b.alltoall_s / total
+
+    table = format_table(
+        ["nodes", "gating", "alltoall", "attention", "expert FFN", "paper alltoall"],
+        rows,
+        title="Fig 9 — vanilla runtime decomposition (GPT 350M MoE-32)",
+    )
+    publish(results_dir, "fig09_overhead_breakdown", table)
+
+    # monotone growth and the steep 1 -> 2 node jump
+    vals = [shares[n] for n in NODE_COUNTS]
+    assert all(a < b for a, b in zip(vals, vals[1:]))
+    assert shares[2] > 2.5 * shares[1]
+    # calibrated band: within 15 percentage points of the paper at each size
+    for n in NODE_COUNTS:
+        assert abs(shares[n] - PAPER_SHARES[n]) < 0.15

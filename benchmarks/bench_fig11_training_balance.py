@@ -1,0 +1,54 @@
+"""Fig 11 — expert routing proportions at the last MoE layer during early
+training (iterations 0-200 at proxy scale, one panel per expert count).
+
+Shape checks (paper Section V-F): training starts with "a few experts
+getting most of tokens" (pronounced skew within the first iterations) and
+the GShard balance loss then produces a far more uniform distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import format_series
+from repro.training.evolution import track_affinity_evolution
+
+from conftest import publish
+
+EXPERT_COUNTS = (8, 16, 32, 64)
+
+
+def _run(experts: int):
+    return track_affinity_evolution(
+        num_experts=experts,
+        num_layers=4,
+        total_iterations=200,
+        checkpoints=11,
+        probe_tokens=1024,
+        seed=experts,
+    )
+
+
+def test_fig11_training_balance(benchmark, results_dir):
+    benchmark.pedantic(lambda: _run(8), rounds=1, iterations=1)
+
+    timelines = {e: _run(e) for e in EXPERT_COUNTS}
+    any_tl = timelines[8]
+    table = format_series(
+        any_tl.iterations.tolist(),
+        {f"{e}E max share": tl.last_layer_share.max(axis=1).tolist() for e, tl in timelines.items()},
+        x_label="iteration",
+        title="Fig 11 — hottest expert's token share at the last MoE layer",
+    )
+    imb = format_series(
+        any_tl.iterations.tolist(),
+        {f"{e}E imbalance": tl.imbalance.tolist() for e, tl in timelines.items()},
+        x_label="iteration",
+    )
+    publish(results_dir, "fig11_training_balance", table + "\n\n" + imb)
+
+    for e, tl in timelines.items():
+        peak_early = tl.imbalance[: len(tl.imbalance) // 2].max()
+        late = tl.imbalance[-3:].min()
+        assert peak_early > 1.8, f"{e} experts: no early skew (peak {peak_early:.2f})"
+        assert late < peak_early, f"{e} experts: balance never recovered"

@@ -1,0 +1,109 @@
+"""Fig 13 — how many profiled tokens are needed to capture affinity.
+
+Sweeps the profiling-set size (50 - 5000 tokens) for each expert count,
+fits a placement from each subset, and measures the relative Alltoall
+speedup on a large held-out workload (paper's y-axis: "Relative Speedup in
+Alltoall").
+
+Shape checks: speedup saturates by a few thousand tokens (paper: 1000 for
+MoE-8, 3000 for MoE-64), and larger expert counts need more tokens to reach
+their plateau.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import (
+    ClusterConfig,
+    ExecutionMode,
+    InferenceConfig,
+    MarkovRoutingModel,
+    paper_model,
+    simulate_inference,
+    vanilla_placement,
+)
+from repro.analysis.report import format_series
+from repro.core.placement.registry import solve_placement
+from repro.engine.workload import make_decode_workload
+
+from conftest import publish
+
+TOKEN_BUDGETS = (50, 500, 1000, 2000, 3000, 5000)
+EXPERT_COUNTS = (8, 16, 32, 64)
+
+
+def _alltoall_speedup(
+    experts: int, profile_tokens: int, routing, workload, model, cluster, infer, repeats: int = 3
+):
+    """Alltoall speedup of affinity placement, averaged over profile draws.
+
+    Averaging removes the sampling noise of small profiling sets so the
+    saturation trend is visible (the paper's curves are similarly smooth)."""
+    base_placement = vanilla_placement(model.num_moe_layers, model.num_experts, cluster.num_gpus)
+    coherent = dataclasses.replace(infer, mode=ExecutionMode.CONTEXT_COHERENT)
+    exflow = dataclasses.replace(infer, mode=ExecutionMode.EXFLOW)
+    base = simulate_inference(model, cluster, coherent, base_placement, workload)
+
+    speedups = []
+    for r in range(repeats):
+        profile = routing.sample(
+            profile_tokens, np.random.default_rng(7000 + profile_tokens * (r + 1))
+        )
+        placement = solve_placement("staged", profile, cluster)
+        opt = simulate_inference(model, cluster, exflow, placement, workload)
+        speedups.append(base.breakdown.alltoall_s / opt.breakdown.alltoall_s)
+    return float(np.mean(speedups))
+
+
+def _cluster_for(experts: int) -> ClusterConfig:
+    """Enough GPUs to spread the experts, capped at 4 nodes x 4 GPUs."""
+    gpus = min(experts, 16)
+    return ClusterConfig(num_nodes=max(1, gpus // 4), gpus_per_node=min(4, gpus))
+
+
+def _sweep(experts: int, budgets) -> list[float]:
+    infer = InferenceConfig(requests_per_gpu=4, prompt_len=64, generate_len=4)
+    cluster = _cluster_for(experts)
+    model = dataclasses.replace(paper_model("gpt-m-350m-e8"), num_experts=experts)
+    routing = MarkovRoutingModel.with_affinity(
+        experts, model.num_moe_layers, 0.85, rng=np.random.default_rng(experts)
+    )
+    workload = make_decode_workload(
+        model, cluster, infer, routing=routing, rng=np.random.default_rng(1)
+    )
+    return [
+        _alltoall_speedup(experts, n, routing, workload, model, cluster, infer)
+        for n in budgets
+    ]
+
+
+def test_fig13_token_sampling(benchmark, results_dir):
+    series = {
+        f"{experts} experts": _sweep(experts, TOKEN_BUDGETS)
+        for experts in EXPERT_COUNTS
+    }
+    benchmark.pedantic(lambda: _sweep(8, (1000,)), rounds=1, iterations=1)
+
+    table = format_series(
+        list(TOKEN_BUDGETS),
+        series,
+        x_label="profiled tokens",
+        title="Fig 13 — relative Alltoall speedup vs profiling-set size",
+    )
+    publish(results_dir, "fig13_token_sampling", table)
+
+    gaps = {}
+    for label, vals in series.items():
+        plateau = vals[-1]
+        assert plateau > 1.1, f"{label}: placement never helped"
+        # saturation: the 3000-token point is within 5 % of the 5000-token one
+        assert abs(vals[4] - plateau) / plateau < 0.05, f"{label}: not saturated at 3k"
+        gaps[label] = plateau - vals[0]
+
+    # the paper's scaling law: models with more experts need more tokens, so
+    # the 50-token shortfall grows with the expert count
+    assert gaps["64 experts"] > gaps["8 experts"] + 0.05
+    assert gaps["64 experts"] > 0.1  # MoE-64 visibly under-fitted at 50 tokens

@@ -1,0 +1,75 @@
+"""Table III — affinity consistency on out-of-distribution datasets.
+
+Profiles expert affinity on the synthetic "pile" corpus through a real
+numpy MoE model, fits the staged placement, then measures intra-GPU and
+intra-node locality on "c4", "dolma" and "yelp" token streams.  Numbers are
+row-normalised to the pile column, exactly like the paper's table, whose
+values all sit between 0.98 and 1.01.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ClusterConfig, ModelConfig, MoETransformer, collect_trace, make_corpus
+from repro.analysis.report import format_table
+from repro.core.placement.base import placement_locality
+from repro.core.placement.registry import solve_placement
+
+from conftest import publish
+
+DATASETS = ("pile", "c4", "dolma", "yelp")
+
+
+def _setup():
+    config = ModelConfig(
+        name="gpt-350m-moe32-proxy",
+        num_layers=12,
+        num_experts=32,
+        d_model=64,
+        vocab_size=512,
+        num_heads=4,
+    )
+    model = MoETransformer(config, np.random.default_rng(0))
+    cluster = ClusterConfig(num_nodes=2, gpus_per_node=4)
+    pile = make_corpus("pile", vocab_size=512, num_topics=32)
+    profile = collect_trace(model, pile, 3000, rng=np.random.default_rng(1))
+    placement = solve_placement("staged", profile, cluster)
+    return model, cluster, placement
+
+
+def test_tab03_ood_consistency(benchmark, results_dir):
+    model, cluster, placement = benchmark.pedantic(_setup, rounds=1, iterations=1)
+
+    gpu_stay = {}
+    node_stay = {}
+    for i, name in enumerate(DATASETS):
+        corpus = make_corpus(name, vocab_size=512, num_topics=32)
+        trace = collect_trace(model, corpus, 2000, rng=np.random.default_rng(10 + i))
+        stats = placement_locality(placement, trace, cluster)
+        gpu_stay[name] = stats.gpu_stay_fraction
+        node_stay[name] = stats.node_stay_fraction
+
+    rows = [
+        ["Intra-GPU", *(gpu_stay[d] / gpu_stay["pile"] for d in DATASETS)],
+        ["Intra-Node", *(node_stay[d] / node_stay["pile"] for d in DATASETS)],
+    ]
+    table = format_table(
+        ["locality", *DATASETS],
+        rows,
+        title="Table III — locality under the pile-profiled placement, "
+        "row-normalised to pile (paper: 0.98-1.01 everywhere)",
+    )
+    raw = format_table(
+        ["locality", *DATASETS],
+        [
+            ["Intra-GPU (raw)", *(gpu_stay[d] for d in DATASETS)],
+            ["Intra-Node (raw)", *(node_stay[d] for d in DATASETS)],
+        ],
+    )
+    publish(results_dir, "tab03_ood_consistency", table + "\n\n" + raw)
+
+    # affinity is an intrinsic model property: OOD ratios stay near 1.0
+    for d in ("c4", "dolma", "yelp"):
+        assert gpu_stay[d] / gpu_stay["pile"] > 0.85
+        assert node_stay[d] / node_stay["pile"] > 0.85

@@ -1,0 +1,29 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one paper table/figure: it computes the
+rows/series, prints them (run with ``-s`` to see them live), and persists
+them under ``benchmarks/results/`` so EXPERIMENTS.md can be assembled from
+the exact artefacts.  The ``benchmark`` fixture times a representative
+kernel of each experiment so ``pytest benchmarks/ --benchmark-only`` doubles
+as a performance regression suite for the library itself.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: Path, name: str, text: str) -> None:
+    """Print a result block and persist it for EXPERIMENTS.md."""
+    print(f"\n{text}\n")
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,122 @@
+"""repro — reproduction of ExFlow (IPDPS 2024).
+
+"Exploiting Inter-Layer Expert Affinity for Accelerating Mixture-of-Experts
+Model Inference" (Yao et al.), rebuilt as a self-contained simulation stack:
+
+* :mod:`repro.config` — model / cluster / workload configuration.
+* :mod:`repro.cluster` — topology + collective cost models (the hardware).
+* :mod:`repro.model` — numpy GPT MoE decoder (the checkpoint substrate).
+* :mod:`repro.trace` — routing traces, synthetic corpora, Markov generators.
+* :mod:`repro.core` — the paper's contribution: affinity estimation,
+  ILP-based expert placement, context coherence, the ExFlow facade.
+* :mod:`repro.engine` — distributed inference simulation + comparisons.
+* :mod:`repro.training` — affinity/balance dynamics during training.
+* :mod:`repro.analysis` — heatmaps, Table I formulas, report formatting.
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        ExFlowOptimizer, InferenceConfig, paper_model, wilkes3,
+        MarkovRoutingModel, make_decode_workload,
+    )
+
+    model = paper_model("gpt-m-350m-e32")
+    cluster = wilkes3(num_nodes=4)
+    routing = MarkovRoutingModel.with_affinity(32, model.num_moe_layers, 0.85)
+    trace = routing.sample(3000, np.random.default_rng(0))
+
+    opt = ExFlowOptimizer(model, cluster)
+    plan = opt.fit(trace)
+    print(plan.expected_locality)
+"""
+
+from repro.config import (
+    ClusterConfig,
+    ExecutionMode,
+    GatingKind,
+    InferenceConfig,
+    LinkSpec,
+    ModelConfig,
+    PAPER_MODELS,
+    paper_model,
+    scaled_proxy,
+    wilkes3,
+)
+from repro.cluster import Topology, Tier, TrafficLedger
+from repro.core import (
+    ExFlowOptimizer,
+    ExFlowPlan,
+    Placement,
+    SOLVERS,
+    affinity_matrix,
+    multi_hop_affinity,
+    scaled_affinity,
+    solve_placement,
+    staged_placement,
+    vanilla_placement,
+)
+from repro.engine import (
+    CostModel,
+    DecodeWorkload,
+    RunResult,
+    compare_modes,
+    make_decode_workload,
+    simulate_inference,
+)
+from repro.model import MoETransformer, generate
+from repro.trace import (
+    MarkovRoutingModel,
+    RoutingTrace,
+    TopicCorpus,
+    collect_trace,
+    make_corpus,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # config
+    "ClusterConfig",
+    "ExecutionMode",
+    "GatingKind",
+    "InferenceConfig",
+    "LinkSpec",
+    "ModelConfig",
+    "PAPER_MODELS",
+    "paper_model",
+    "scaled_proxy",
+    "wilkes3",
+    # cluster
+    "Topology",
+    "Tier",
+    "TrafficLedger",
+    # core
+    "ExFlowOptimizer",
+    "ExFlowPlan",
+    "Placement",
+    "SOLVERS",
+    "affinity_matrix",
+    "multi_hop_affinity",
+    "scaled_affinity",
+    "solve_placement",
+    "staged_placement",
+    "vanilla_placement",
+    # engine
+    "CostModel",
+    "DecodeWorkload",
+    "RunResult",
+    "compare_modes",
+    "make_decode_workload",
+    "simulate_inference",
+    # model
+    "MoETransformer",
+    "generate",
+    # trace
+    "MarkovRoutingModel",
+    "RoutingTrace",
+    "TopicCorpus",
+    "collect_trace",
+    "make_corpus",
+]

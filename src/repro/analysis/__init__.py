@@ -1,0 +1,28 @@
+"""Analysis and reporting helpers.
+
+Terminal-friendly renderings of the paper's artefacts: ASCII heatmaps
+(Fig 2 / Figs 14-16), the Table I communication-volume formulas, and
+benchmark report formatting.
+"""
+
+from repro.analysis.heatmap import ascii_heatmap, heatmap_csv
+from repro.analysis.tables import (
+    CommVolume,
+    comm_volume_table,
+    deepspeed_volume,
+    exflow_volume,
+    topo_aware_volume,
+)
+from repro.analysis.report import format_table, format_series
+
+__all__ = [
+    "ascii_heatmap",
+    "heatmap_csv",
+    "CommVolume",
+    "comm_volume_table",
+    "deepspeed_volume",
+    "exflow_volume",
+    "topo_aware_volume",
+    "format_table",
+    "format_series",
+]

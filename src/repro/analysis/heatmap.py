@@ -1,0 +1,82 @@
+"""ASCII / CSV heatmap rendering for affinity matrices.
+
+The paper's Fig 2 and Figs 14-16 are colour heatmaps of conditional
+probability matrices; in a terminal-only environment we render them with a
+density character ramp plus CSV export for external plotting.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+__all__ = ["ascii_heatmap", "heatmap_csv"]
+
+# light -> dark ramp; index proportional to normalised intensity
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    matrix: np.ndarray,
+    title: str = "",
+    row_label: str = "",
+    col_label: str = "",
+    max_size: int = 64,
+) -> str:
+    """Render a non-negative matrix as an ASCII heatmap string.
+
+    Intensity is normalised per-matrix (like the paper's per-panel colour
+    scale).  Matrices wider than ``max_size`` are mean-pooled down so the
+    output stays terminal-sized.
+    """
+    m = np.asarray(matrix, dtype=np.float64)
+    if m.ndim != 2:
+        raise ValueError("heatmap needs a 2-D matrix")
+    if (m < 0).any():
+        raise ValueError("heatmap values must be non-negative")
+
+    # mean-pool oversized matrices
+    def pool(a: np.ndarray, axis: int) -> np.ndarray:
+        size = a.shape[axis]
+        if size <= max_size:
+            return a
+        factor = int(np.ceil(size / max_size))
+        pad = (-size) % factor
+        if pad:
+            widths = [(0, 0), (0, 0)]
+            widths[axis] = (0, pad)
+            a = np.pad(a, widths, mode="edge")
+        new_shape = list(a.shape)
+        new_shape[axis] = a.shape[axis] // factor
+        new_shape.insert(axis + 1, factor)
+        return a.reshape(new_shape).mean(axis=axis + 1)
+
+    m = pool(pool(m, 0), 1)
+
+    peak = m.max()
+    scaled = m / peak if peak > 0 else m
+    idx = np.minimum((scaled * (len(_RAMP) - 1)).round().astype(int), len(_RAMP) - 1)
+
+    out = io.StringIO()
+    if title:
+        out.write(f"{title}\n")
+    if col_label:
+        out.write(f"    cols: {col_label}\n")
+    for r in range(idx.shape[0]):
+        prefix = f"{r:>3} " if not row_label else f"{r:>3} "
+        out.write(prefix + "".join(_RAMP[i] for i in idx[r]) + "\n")
+    if row_label:
+        out.write(f"    rows: {row_label}\n")
+    out.write(f"    peak value: {peak:.4f}\n")
+    return out.getvalue()
+
+
+def heatmap_csv(matrix: np.ndarray) -> str:
+    """CSV dump of a matrix (one row per line, 6-digit precision)."""
+    m = np.asarray(matrix, dtype=np.float64)
+    if m.ndim != 2:
+        raise ValueError("heatmap needs a 2-D matrix")
+    buf = io.StringIO()
+    np.savetxt(buf, m, delimiter=",", fmt="%.6f")
+    return buf.getvalue()

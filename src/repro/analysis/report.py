@@ -1,0 +1,63 @@
+"""Terminal table / series formatting for benchmark output.
+
+Every benchmark prints the rows or series of its paper figure through these
+helpers so output stays uniform and diffable (EXPERIMENTS.md is generated
+from the same strings).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _render_cell(value, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Fixed-width table with a separator line under the header."""
+    rendered = [[_render_cell(v, precision) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("row width differs from header width")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(r) for r in rendered)
+    return "\n".join(parts)
+
+
+def format_series(
+    x: Sequence,
+    series: dict[str, Sequence[float]],
+    x_label: str = "x",
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Multi-series table: one x column plus one column per named series."""
+    headers = [x_label, *series.keys()]
+    lengths = {len(v) for v in series.values()}
+    if lengths and lengths != {len(x)}:
+        raise ValueError("all series must match the x length")
+    rows = [
+        [xv, *(vals[i] for vals in series.values())] for i, xv in enumerate(x)
+    ]
+    return format_table(headers, rows, title=title, precision=precision)

@@ -1,0 +1,108 @@
+"""Table I: analytic forward-communication volumes per framework.
+
+The paper compares per-inference communication volume formulas (in token
+units — one unit = one token's activation) across frameworks:
+
+=================  =========================  ===========================
+Framework          Top-1 gating               Top-2 gating
+=================  =========================  ===========================
+FasterMoE          ``2 G N L p_topo``         ``4 G N L p_topo``
+TA-MoE             ``2 G N L p_topo``         ``4 G N L p_topo``
+DeepSpeed-MoE      ``2 G N L p``              ``4 G N L p``
+ExFlow             ``G N (L p* + G)``         ``G N (2 L p* + G)``
+=================  =========================  ===========================
+
+G = expert-parallel GPUs, N = tokens per GPU, L = MoE layers, and the
+``p`` factors are the fraction of tokens actually crossing GPUs — plain
+``p`` for affinity-blind placement, ``p_topo`` under topology-aware gating,
+``p*`` under ExFlow's affinity placement (the engine *measures* ``p*``; the
+functions here evaluate the formulas for any supplied value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "CommVolume",
+    "deepspeed_volume",
+    "topo_aware_volume",
+    "exflow_volume",
+    "comm_volume_table",
+]
+
+
+def _validate(g: int, n: int, L: int, p: float) -> None:
+    if g < 1 or n < 1 or L < 1:
+        raise ValueError("G, N and L must be >= 1")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("routing fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class CommVolume:
+    """One framework's forward communication volume (token units)."""
+
+    framework: str
+    top1: float
+    top2: float
+    applicable_in_inference: bool
+
+    def scaled_by(self, token_bytes: int) -> tuple[float, float]:
+        """Convert token units to bytes."""
+        return self.top1 * token_bytes, self.top2 * token_bytes
+
+
+def deepspeed_volume(g: int, n: int, L: int, p: float) -> CommVolume:
+    """DeepSpeed-MoE: two Alltoalls per layer, fraction ``p`` crossing."""
+    _validate(g, n, L, p)
+    base = g * n * L * p
+    return CommVolume("Deepspeed-MoE", 2 * base, 4 * base, True)
+
+
+def topo_aware_volume(g: int, n: int, L: int, p_topo: float, framework: str) -> CommVolume:
+    """FasterMoE / TA-MoE: same structure with the topology-shaped fraction.
+
+    Marked not-applicable-in-inference: their gating constraint is baked in
+    at training time and breaks when the serving topology differs.
+    """
+    _validate(g, n, L, p_topo)
+    base = g * n * L * p_topo
+    return CommVolume(framework, 2 * base, 4 * base, False)
+
+
+def exflow_volume(g: int, n: int, L: int, p_star: float) -> CommVolume:
+    """ExFlow: one Alltoall per layer (fraction ``p*``) + the AllGather term.
+
+    The trailing ``G N G`` term is the per-iteration context AllGather —
+    independent of L, which is why deeper models amortise it ("as the model
+    has more layers, the overhead of AllGather becomes less significant").
+    """
+    _validate(g, n, L, p_star)
+    top1 = g * n * (L * p_star + g)
+    top2 = g * n * (2 * L * p_star + g)
+    return CommVolume("ExFlow", top1, top2, True)
+
+
+def comm_volume_table(
+    g: int,
+    n: int,
+    L: int,
+    p: float,
+    p_topo: float | None = None,
+    p_star: float | None = None,
+) -> list[CommVolume]:
+    """Evaluate all four Table I rows.
+
+    ``p_topo`` defaults to ``0.7 p`` and ``p_star`` to ``0.5 p`` when not
+    measured — conservative placeholders; the benchmarks substitute the
+    fractions the engine actually measures.
+    """
+    p_topo = 0.7 * p if p_topo is None else p_topo
+    p_star = 0.5 * p if p_star is None else p_star
+    return [
+        topo_aware_volume(g, n, L, p_topo, "FasterMoE"),
+        topo_aware_volume(g, n, L, p_topo, "TA-MoE"),
+        deepspeed_volume(g, n, L, p),
+        exflow_volume(g, n, L, p_star),
+    ]

@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Wraps the common workflows so the library is usable without writing Python:
+
+* ``models`` — list the Table II model presets.
+* ``profile`` — sample a routing trace (Markov router) to an ``.npz`` file.
+* ``place`` — solve an expert placement from a trace file.
+* ``simulate`` — run the three-way serving comparison and print the table.
+* ``heatmap`` — render a trace's layer-pair affinity heatmap.
+
+Every command takes ``--seed`` and prints deterministic output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.heatmap import ascii_heatmap
+from repro.analysis.report import format_table
+from repro.config import PAPER_MODELS, ClusterConfig, InferenceConfig, paper_model
+from repro.core.affinity import affinity_matrix, scaled_affinity
+from repro.core.placement.base import Placement, placement_locality
+from repro.core.placement.registry import SOLVERS, solve_placement
+from repro.engine.comparison import compare_modes
+from repro.trace.events import RoutingTrace
+from repro.trace.markov import MarkovRoutingModel
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ExFlow reproduction: MoE inference with inter-layer expert affinity",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the paper's model presets")
+
+    p = sub.add_parser("profile", help="sample a routing trace to an .npz file")
+    p.add_argument("--model", default="gpt-m-350m-e32", help="paper model key")
+    p.add_argument("--tokens", type=int, default=3000)
+    p.add_argument("--affinity", type=float, default=0.85)
+    p.add_argument("--collision", type=float, default=0.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True, help="output .npz path")
+
+    p = sub.add_parser("place", help="solve an expert placement from a trace")
+    p.add_argument("--trace", required=True, help="input trace .npz")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--gpus-per-node", type=int, default=4)
+    p.add_argument("--strategy", default="staged", choices=SOLVERS)
+    p.add_argument("--out", help="optional placement .npz path")
+
+    p = sub.add_parser("simulate", help="compare serving strategies end to end")
+    p.add_argument("--model", default="gpt-m-350m-e32")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--gpus-per-node", type=int, default=4)
+    p.add_argument("--requests-per-gpu", type=int, default=8)
+    p.add_argument("--prompt-len", type=int, default=64)
+    p.add_argument("--generate-len", type=int, default=8)
+    p.add_argument("--affinity", type=float, default=0.85)
+    p.add_argument("--strategy", default="staged", choices=SOLVERS)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("heatmap", help="render a trace's affinity heatmap")
+    p.add_argument("--trace", required=True)
+    p.add_argument("--layer", type=int, default=0)
+
+    return parser
+
+
+def _cmd_models(_args: argparse.Namespace) -> int:
+    rows = [
+        [key, m.name, m.num_layers, m.num_experts, m.d_model, m.base_params]
+        for key, m in sorted(PAPER_MODELS.items())
+    ]
+    print(
+        format_table(
+            ["key", "name", "layers", "experts", "d_model", "base"],
+            rows,
+            title="Table II model presets",
+        )
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    model = paper_model(args.model)
+    routing = MarkovRoutingModel.with_affinity(
+        model.num_experts,
+        model.num_moe_layers,
+        args.affinity,
+        rng=np.random.default_rng(args.seed),
+        collision=args.collision,
+    )
+    trace = routing.sample(args.tokens, np.random.default_rng(args.seed + 1))
+    trace.save(args.out)
+    print(
+        f"wrote {trace.num_tokens} tokens x {trace.num_layers} layers to {args.out} "
+        f"(scaled affinity {scaled_affinity(trace):.3f})"
+    )
+    return 0
+
+
+def _cmd_place(args: argparse.Namespace) -> int:
+    trace = RoutingTrace.load(args.trace)
+    cluster = ClusterConfig(num_nodes=args.nodes, gpus_per_node=args.gpus_per_node)
+    placement = solve_placement(args.strategy, trace, cluster)
+    stats = placement_locality(placement, trace, cluster)
+    print(
+        f"{args.strategy} placement on {cluster.num_gpus} GPUs: "
+        f"{stats.gpu_stay_fraction:.1%} same-GPU, "
+        f"{stats.node_stay_fraction:.1%} same-node, "
+        f"{stats.crossings_per_token:.2f} crossings/token"
+    )
+    if args.out:
+        placement.save(args.out)
+        print(f"wrote placement to {args.out}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    model = paper_model(args.model)
+    cluster = ClusterConfig(num_nodes=args.nodes, gpus_per_node=args.gpus_per_node)
+    infer = InferenceConfig(
+        requests_per_gpu=args.requests_per_gpu,
+        prompt_len=args.prompt_len,
+        generate_len=args.generate_len,
+    )
+    rows = compare_modes(
+        model,
+        cluster,
+        infer,
+        placement_strategy=args.strategy,
+        affinity=args.affinity,
+        seed=args.seed,
+    )
+    table = [
+        [
+            label,
+            row.result.throughput_tokens_per_s,
+            row.speedup,
+            row.comm_reduction,
+            row.result.alltoall_fraction,
+            row.result.gpu_stay_fraction,
+        ]
+        for label, row in rows.items()
+    ]
+    print(
+        format_table(
+            ["strategy", "tokens/s", "speedup", "comm cut", "alltoall share", "GPU-stay"],
+            table,
+            title=f"{model.name} on {cluster.num_nodes}x{cluster.gpus_per_node} GPUs",
+        )
+    )
+    return 0
+
+
+def _cmd_heatmap(args: argparse.Namespace) -> int:
+    trace = RoutingTrace.load(args.trace)
+    if not 0 <= args.layer < trace.num_layers - 1:
+        print(
+            f"error: layer must be in [0, {trace.num_layers - 2}]", file=sys.stderr
+        )
+        return 2
+    print(
+        ascii_heatmap(
+            affinity_matrix(trace, args.layer),
+            title=f"affinity: layer {args.layer} -> {args.layer + 1} "
+            f"({trace.num_tokens} tokens, source {trace.source or 'unknown'})",
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "models": _cmd_models,
+    "profile": _cmd_profile,
+    "place": _cmd_place,
+    "simulate": _cmd_simulate,
+    "heatmap": _cmd_heatmap,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

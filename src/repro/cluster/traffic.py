@@ -1,0 +1,102 @@
+"""Cumulative traffic accounting across a simulated run.
+
+The engine performs many collectives per generation iteration (one or two
+Alltoalls per MoE layer plus the optional AllGather).  A
+:class:`TrafficLedger` accumulates their :class:`CollectiveResult`s so the
+benchmarks can report exactly the quantities the paper plots: total Alltoall
+seconds, AllGather seconds, bytes per tier, and reduction ratios between
+execution modes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.cluster.collectives import CollectiveResult
+from repro.cluster.topology import Tier
+
+__all__ = ["TrafficLedger"]
+
+
+@dataclass
+class TrafficLedger:
+    """Mutable accumulator of collective costs, grouped by operation name.
+
+    ``record`` may be called with an optional ``label`` to separate phases
+    (e.g. ``"dispatch"`` vs ``"combine"`` Alltoalls), falling back to the
+    collective's own op name.
+    """
+
+    time_by_op: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    bytes_by_op_tier: dict[str, dict[Tier, float]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(float))
+    )
+    count_by_op: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, result: CollectiveResult, label: str | None = None) -> None:
+        """Add one collective's cost under ``label`` (default: its op)."""
+        op = label or result.op
+        self.time_by_op[op] += result.time_s
+        self.count_by_op[op] += 1
+        for tier, b in result.bytes_by_tier.items():
+            self.bytes_by_op_tier[op][tier] += b
+
+    # -- aggregate views ----------------------------------------------------
+
+    @property
+    def total_time_s(self) -> float:
+        return float(sum(self.time_by_op.values()))
+
+    def time_of(self, *ops: str) -> float:
+        """Total seconds across the named operation labels."""
+        return float(sum(self.time_by_op.get(op, 0.0) for op in ops))
+
+    def bytes_of(self, op: str, tier: Tier | None = None) -> float:
+        tiers = self.bytes_by_op_tier.get(op, {})
+        if tier is None:
+            return float(sum(tiers.values()))
+        return float(tiers.get(tier, 0.0))
+
+    @property
+    def total_bytes(self) -> float:
+        return float(
+            sum(sum(tiers.values()) for tiers in self.bytes_by_op_tier.values())
+        )
+
+    def cross_gpu_bytes(self) -> float:
+        """All bytes that crossed a GPU boundary (INTRA + INTER tiers)."""
+        total = 0.0
+        for tiers in self.bytes_by_op_tier.values():
+            total += tiers.get(Tier.INTRA, 0.0) + tiers.get(Tier.INTER, 0.0)
+        return float(total)
+
+    def inter_node_bytes(self) -> float:
+        return float(
+            sum(tiers.get(Tier.INTER, 0.0) for tiers in self.bytes_by_op_tier.values())
+        )
+
+    def merge(self, other: "TrafficLedger") -> "TrafficLedger":
+        """Return a new ledger combining two runs."""
+        out = TrafficLedger()
+        for src in (self, other):
+            for op, t in src.time_by_op.items():
+                out.time_by_op[op] += t
+            for op, c in src.count_by_op.items():
+                out.count_by_op[op] += c
+            for op, tiers in src.bytes_by_op_tier.items():
+                for tier, b in tiers.items():
+                    out.bytes_by_op_tier[op][tier] += b
+        return out
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Plain-dict summary for reports and benchmark output."""
+        return {
+            op: {
+                "time_s": self.time_by_op[op],
+                "count": float(self.count_by_op[op]),
+                "bytes": self.bytes_of(op),
+                "inter_node_bytes": self.bytes_of(op, Tier.INTER),
+            }
+            for op in sorted(self.time_by_op)
+        }

@@ -1,0 +1,57 @@
+"""ExFlow core: affinity modelling, expert placement, context coherence.
+
+This package implements the paper's primary contribution:
+
+* :mod:`repro.core.affinity` — inter-layer expert affinity statistics
+  (formulas 1–6): conditional-probability matrices, multi-hop variants,
+  combined GPU-set affinity and the scalar affinity metric tracked during
+  training.
+* :mod:`repro.core.placement` — expert-to-GPU placement strategies, from
+  the DeepSpeed round-robin baseline to the integer-programming solution of
+  formulas 8–12 and its staged (node-first) variant.
+* :mod:`repro.core.context` — token context coherence management (the
+  design that removes the second Alltoall of every MoE layer).
+* :mod:`repro.core.exflow` — the :class:`ExFlowOptimizer` facade tying it
+  all together: trace in, placement + engine configuration out.
+"""
+
+from repro.core.affinity import (
+    affinity_matrix,
+    multi_hop_affinity,
+    set_affinity,
+    staged_set_affinity,
+    scaled_affinity,
+    affinity_concentration,
+)
+from repro.core.placement import (
+    Placement,
+    vanilla_placement,
+    greedy_placement,
+    ilp_placement,
+    staged_placement,
+    local_search_placement,
+    solve_placement,
+    SOLVERS,
+)
+from repro.core.context import ContextStore
+from repro.core.exflow import ExFlowOptimizer, ExFlowPlan
+
+__all__ = [
+    "affinity_matrix",
+    "multi_hop_affinity",
+    "set_affinity",
+    "staged_set_affinity",
+    "scaled_affinity",
+    "affinity_concentration",
+    "Placement",
+    "vanilla_placement",
+    "greedy_placement",
+    "ilp_placement",
+    "staged_placement",
+    "local_search_placement",
+    "solve_placement",
+    "SOLVERS",
+    "ContextStore",
+    "ExFlowOptimizer",
+    "ExFlowPlan",
+]

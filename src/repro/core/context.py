@@ -1,0 +1,135 @@
+"""Token context coherence (paper Section IV-A, Fig 4).
+
+Vanilla expert parallelism keeps each request's context on one GPU (data
+parallelism), forcing every token back to its home GPU after each MoE layer.
+ExFlow instead replicates all contexts everywhere:
+
+* **before inference** — one AllGather of every GPU's prompt contexts;
+* **after each iteration** — one AllGather of the newly generated tokens.
+
+A :class:`ContextStore` book-keeps each GPU's view of every request's
+context length, exposes the AllGather payload sizes the engine charges, and
+asserts the coherence invariant that justifies dropping the combine
+Alltoall: a token may attend on *any* GPU only if that GPU's view of its
+request is complete.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ContextStore", "CoherenceError"]
+
+
+class CoherenceError(RuntimeError):
+    """Raised when an operation requires context the holding GPU lacks."""
+
+
+class ContextStore:
+    """Per-GPU view of every request's context length.
+
+    Parameters
+    ----------
+    num_gpus:
+        Expert-parallel group size.
+    requests_per_gpu:
+        Requests homed on each GPU (data-parallel shard sizes; the paper's
+        ``g_i`` may differ per GPU — pass an array for that).
+
+    Notes
+    -----
+    State is a (num_gpus, num_requests) matrix ``view_len`` where entry
+    ``(g, r)`` is how many tokens of request ``r``'s context GPU ``g``
+    holds, plus the true length per request.  Vanilla mode never gathers,
+    so off-home entries stay at zero.
+    """
+
+    def __init__(self, num_gpus: int, requests_per_gpu: int | np.ndarray):
+        if num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        per_gpu = np.broadcast_to(
+            np.asarray(requests_per_gpu, dtype=np.int64), (num_gpus,)
+        ).copy()
+        if (per_gpu < 0).any():
+            raise ValueError("requests_per_gpu must be non-negative")
+        self.num_gpus = num_gpus
+        self.requests_per_gpu = per_gpu
+        self.num_requests = int(per_gpu.sum())
+        self.home_gpu = np.repeat(np.arange(num_gpus), per_gpu)
+        self.true_len = np.zeros(self.num_requests, dtype=np.int64)
+        self.view_len = np.zeros((num_gpus, self.num_requests), dtype=np.int64)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def ingest_prompts(self, prompt_len: int | np.ndarray) -> None:
+        """Place each request's prompt on its home GPU only."""
+        lens = np.broadcast_to(
+            np.asarray(prompt_len, dtype=np.int64), (self.num_requests,)
+        )
+        if (lens <= 0).any():
+            raise ValueError("prompt lengths must be positive")
+        self.true_len = lens.copy()
+        self.view_len[:] = 0
+        self.view_len[self.home_gpu, np.arange(self.num_requests)] = lens
+
+    def allgather_contexts(self) -> np.ndarray:
+        """Replicate all contexts everywhere; returns per-GPU gathered tokens.
+
+        Return value is the (num_gpus,) count of context tokens each GPU
+        *contributed* (its own requests' un-shared tokens) — the AllGather
+        payload unit the engine converts to bytes.
+        """
+        contributed = np.zeros(self.num_gpus, dtype=np.int64)
+        own = self.view_len[self.home_gpu, np.arange(self.num_requests)]
+        np.add.at(contributed, self.home_gpu, own)
+        self.view_len[:] = self.true_len[None, :]
+        return contributed
+
+    def append_generated(self, tokens_per_request: int | np.ndarray = 1) -> None:
+        """Each request generates tokens on its home GPU (pre-gather state)."""
+        new = np.broadcast_to(
+            np.asarray(tokens_per_request, dtype=np.int64), (self.num_requests,)
+        )
+        if (new < 0).any():
+            raise ValueError("token counts must be non-negative")
+        self.true_len = self.true_len + new
+        self.view_len[self.home_gpu, np.arange(self.num_requests)] += new
+
+    def allgather_step(self) -> np.ndarray:
+        """Post-iteration AllGather of newly generated tokens.
+
+        Returns the (num_gpus,) newly contributed token counts — with one
+        token per request per iteration this is ``requests_per_gpu``.
+        """
+        missing = self.true_len[None, :] - self.view_len
+        if (missing < 0).any():
+            raise AssertionError("view exceeded true context length")
+        contributed = np.zeros(self.num_gpus, dtype=np.int64)
+        own_missing_elsewhere = self.true_len - np.min(self.view_len, axis=0)
+        # contribution = tokens of own requests not yet visible everywhere
+        np.add.at(contributed, self.home_gpu, own_missing_elsewhere)
+        self.view_len[:] = self.true_len[None, :]
+        return contributed
+
+    # -- invariants ----------------------------------------------------------
+
+    def is_coherent(self) -> bool:
+        """True iff every GPU sees every request's full context."""
+        return bool((self.view_len == self.true_len[None, :]).all())
+
+    def can_attend(self, gpu: int, request: int) -> bool:
+        """May ``request``'s token attend on ``gpu`` right now?"""
+        return bool(self.view_len[gpu, request] == self.true_len[request])
+
+    def require_attend(self, gpu: int, request: int) -> None:
+        """Raise :class:`CoherenceError` unless attention is legal on ``gpu``.
+
+        This is the check vanilla expert parallelism fails on foreign GPUs —
+        the reason it needs the combine Alltoall.
+        """
+        if not self.can_attend(gpu, request):
+            raise CoherenceError(
+                f"GPU {gpu} holds {self.view_len[gpu, request]} of request "
+                f"{request}'s {self.true_len[request]} context tokens; "
+                "attention requires the full context"
+            )

@@ -1,0 +1,124 @@
+"""The ExFlow facade: profile -> place -> serve.
+
+:class:`ExFlowOptimizer` is the library's main entry point, packaging the
+paper's offline pipeline (Section IV): collect a routing trace from the
+pre-trained model, estimate inter-layer affinity, solve the placement
+integer program, and hand the engine a ready-to-run plan.
+
+Typical use::
+
+    opt = ExFlowOptimizer(model_cfg, cluster)
+    plan = opt.fit(profiling_trace)            # offline, once per cluster
+    result = opt.run(plan, workload, infer)    # simulated serving
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import ClusterConfig, ExecutionMode, InferenceConfig, ModelConfig
+from repro.core.affinity import scaled_affinity
+from repro.core.placement.base import LocalityStats, Placement, placement_locality
+from repro.core.placement.registry import solve_placement
+from repro.core.placement.vanilla import vanilla_placement
+from repro.engine.executor import simulate_inference
+from repro.engine.metrics import RunResult
+from repro.engine.workload import DecodeWorkload
+from repro.trace.events import RoutingTrace
+
+__all__ = ["ExFlowPlan", "ExFlowOptimizer"]
+
+
+@dataclass(frozen=True)
+class ExFlowPlan:
+    """A solved deployment: placement + profiling provenance.
+
+    Attributes
+    ----------
+    placement:
+        The affinity-optimised expert-to-GPU mapping.
+    profile_tokens:
+        How many tokens informed the placement (Fig 13's x-axis).
+    profile_affinity:
+        Scaled affinity of the profiling trace — a cheap a-priori indicator
+        of how much placement can help.
+    expected_locality:
+        Locality of the *profiling* trace replayed under the placement
+        (in-sample estimate; out-of-sample evaluation uses fresh traffic).
+    """
+
+    placement: Placement
+    profile_tokens: int
+    profile_affinity: float
+    expected_locality: LocalityStats
+
+    @property
+    def strategy(self) -> str:
+        return self.placement.strategy
+
+
+class ExFlowOptimizer:
+    """End-to-end ExFlow pipeline over a model/cluster pairing.
+
+    Parameters
+    ----------
+    model / cluster:
+        Deployment target.  The expert count must divide evenly across the
+        cluster's GPUs (the ILP's load-balance constraint).
+    strategy:
+        Placement solver (default: the paper's staged node-then-GPU ILP).
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        cluster: ClusterConfig,
+        strategy: str = "staged",
+    ):
+        cluster.experts_per_gpu(model.num_experts)  # validates divisibility
+        self.model = model
+        self.cluster = cluster
+        self.strategy = strategy
+
+    def fit(self, trace: RoutingTrace, **solver_kwargs) -> ExFlowPlan:
+        """Solve the placement from a profiling trace."""
+        if trace.num_experts != self.model.num_experts:
+            raise ValueError("trace expert count differs from model")
+        if trace.num_layers != self.model.num_moe_layers:
+            raise ValueError("trace layer count differs from model")
+        placement = solve_placement(self.strategy, trace, self.cluster, **solver_kwargs)
+        return ExFlowPlan(
+            placement=placement,
+            profile_tokens=trace.num_tokens,
+            profile_affinity=scaled_affinity(trace),
+            expected_locality=placement_locality(placement, trace, self.cluster),
+        )
+
+    def baseline_placement(self) -> Placement:
+        """The DeepSpeed-style placement used in every baseline run."""
+        return vanilla_placement(
+            self.model.num_moe_layers, self.model.num_experts, self.cluster.num_gpus
+        )
+
+    def evaluate_locality(
+        self, plan: ExFlowPlan, eval_trace: RoutingTrace
+    ) -> LocalityStats:
+        """Out-of-sample locality: replay fresh traffic under the plan."""
+        return placement_locality(plan.placement, eval_trace, self.cluster)
+
+    def run(
+        self,
+        plan: ExFlowPlan,
+        workload: DecodeWorkload,
+        infer: InferenceConfig,
+        mode: ExecutionMode = ExecutionMode.EXFLOW,
+    ) -> RunResult:
+        """Simulate serving ``workload`` under the plan."""
+        cfg = dataclasses.replace(infer, mode=mode)
+        placement = (
+            plan.placement if mode.uses_affinity_placement else self.baseline_placement()
+        )
+        return simulate_inference(self.model, self.cluster, cfg, placement, workload)

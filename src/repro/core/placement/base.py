@@ -1,0 +1,184 @@
+"""Placement representation, validation and locality metrics.
+
+A :class:`Placement` is the solved ``x^p_{i,j}`` of the paper's ILP
+(formulas 8-12), stored densely as an (L, E) integer matrix mapping each
+(layer, expert) to a GPU rank.  Validity means exactly the ILP's
+constraints: every expert owned by exactly one GPU (formula 10 — implicit
+in the dense encoding) and every GPU holding exactly ``E / G`` experts per
+layer (formula 9).
+
+:func:`placement_locality` replays a routing trace under a placement and
+reports the token-locality statistics behind Figs 7 and 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import ClusterConfig
+from repro.trace.events import RoutingTrace
+
+__all__ = ["Placement", "placement_locality", "LocalityStats"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Expert-to-GPU assignment for every MoE layer.
+
+    Attributes
+    ----------
+    gpu_of:
+        (L, E) int array; ``gpu_of[j, i]`` is the GPU rank holding expert
+        ``i`` of layer ``j``.
+    num_gpus:
+        Expert-parallel group size G.
+    strategy:
+        Label of the solver that produced this placement.
+    """
+
+    gpu_of: np.ndarray
+    num_gpus: int
+    strategy: str = ""
+
+    def __post_init__(self) -> None:
+        gpu_of = np.asarray(self.gpu_of, dtype=np.int64)
+        if gpu_of.ndim != 2:
+            raise ValueError(f"gpu_of must be (layers, experts), got {gpu_of.shape}")
+        if self.num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        L, E = gpu_of.shape
+        if E % self.num_gpus != 0:
+            raise ValueError(f"{E} experts not divisible across {self.num_gpus} GPUs")
+        if gpu_of.size and (gpu_of.min() < 0 or gpu_of.max() >= self.num_gpus):
+            raise ValueError("GPU rank out of range")
+        cap = E // self.num_gpus
+        counts = np.stack([np.bincount(row, minlength=self.num_gpus) for row in gpu_of])
+        if not (counts == cap).all():
+            bad = np.argwhere(counts != cap)[0]
+            raise ValueError(
+                f"load-balance violated: layer {bad[0]} GPU {bad[1]} holds "
+                f"{counts[bad[0], bad[1]]} experts, expected {cap} (formula 9)"
+            )
+        object.__setattr__(self, "gpu_of", gpu_of)
+
+    # -- shape -----------------------------------------------------------------
+
+    @property
+    def num_layers(self) -> int:
+        return self.gpu_of.shape[0]
+
+    @property
+    def num_experts(self) -> int:
+        return self.gpu_of.shape[1]
+
+    @property
+    def experts_per_gpu(self) -> int:
+        return self.num_experts // self.num_gpus
+
+    # -- queries ------------------------------------------------------------------
+
+    def experts_on_gpu(self, layer: int, gpu: int) -> np.ndarray:
+        """Expert ids held by ``gpu`` at ``layer``."""
+        return np.flatnonzero(self.gpu_of[layer] == gpu)
+
+    def node_of(self, cluster: ClusterConfig) -> np.ndarray:
+        """(L, E) node index of each expert under ``cluster``'s layout."""
+        if cluster.num_gpus != self.num_gpus:
+            raise ValueError(
+                f"placement built for {self.num_gpus} GPUs, cluster has {cluster.num_gpus}"
+            )
+        return self.gpu_of // cluster.gpus_per_node
+
+    def assignment_matrix(self, layer: int) -> np.ndarray:
+        """The ILP's binary ``x^p_{i,j}`` for one layer as (G, E)."""
+        x = np.zeros((self.num_gpus, self.num_experts), dtype=np.int8)
+        x[self.gpu_of[layer], np.arange(self.num_experts)] = 1
+        return x
+
+    def relabel_layer(self, layer: int, new_gpus: np.ndarray) -> "Placement":
+        """Return a copy with one layer's assignment replaced."""
+        gpu_of = self.gpu_of.copy()
+        gpu_of[layer] = new_gpus
+        return Placement(gpu_of, self.num_gpus, self.strategy)
+
+    # -- persistence -----------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        np.savez_compressed(
+            Path(path),
+            gpu_of=self.gpu_of,
+            num_gpus=np.int64(self.num_gpus),
+            strategy=np.bytes_(self.strategy.encode()),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Placement":
+        with np.load(Path(path)) as data:
+            return cls(
+                gpu_of=data["gpu_of"],
+                num_gpus=int(data["num_gpus"]),
+                strategy=bytes(data["strategy"]).decode(),
+            )
+
+
+@dataclass(frozen=True)
+class LocalityStats:
+    """Token-locality outcome of replaying a trace under a placement.
+
+    ``gpu_stay_fraction`` — fraction of layer transitions where the token's
+    next expert lives on its *current* GPU (the bars of Fig 7).
+    ``node_stay_fraction`` — same at node granularity (Fig 8).
+    ``crossings_per_token`` — mean cross-GPU moves per token across the
+    whole model (the quantity formula 8 minimises).
+    """
+
+    gpu_stay_fraction: float
+    node_stay_fraction: float
+    crossings_per_token: float
+    inter_node_crossings_per_token: float
+    transitions: int
+
+
+def placement_locality(
+    placement: Placement,
+    trace: RoutingTrace,
+    cluster: ClusterConfig | None = None,
+) -> LocalityStats:
+    """Replay ``trace`` under ``placement`` and measure locality.
+
+    For every token and layer pair (j, j+1), the token sits on the GPU of
+    its layer-j expert; the transition is local iff its layer-(j+1) expert
+    is on the same GPU (same node for the node statistic).  Fully
+    vectorised over the whole (N, L) path matrix.
+    """
+    if trace.num_layers != placement.num_layers:
+        raise ValueError(
+            f"trace has {trace.num_layers} layers, placement {placement.num_layers}"
+        )
+    if trace.num_experts != placement.num_experts:
+        raise ValueError("trace/placement disagree on expert count")
+    if trace.num_layers < 2 or trace.num_tokens == 0:
+        return LocalityStats(1.0, 1.0, 0.0, 0.0, 0)
+
+    layers = np.arange(trace.num_layers)
+    gpu_path = placement.gpu_of[layers[None, :], trace.paths]  # (N, L)
+    same_gpu = gpu_path[:, 1:] == gpu_path[:, :-1]
+    transitions = same_gpu.size
+
+    if cluster is not None:
+        node_path = gpu_path // cluster.gpus_per_node
+        same_node = node_path[:, 1:] == node_path[:, :-1]
+    else:
+        same_node = same_gpu
+
+    n_tokens = trace.num_tokens
+    return LocalityStats(
+        gpu_stay_fraction=float(same_gpu.mean()),
+        node_stay_fraction=float(same_node.mean()),
+        crossings_per_token=float((~same_gpu).sum() / n_tokens),
+        inter_node_crossings_per_token=float((~same_node).sum() / n_tokens),
+        transitions=int(transitions),
+    )

@@ -1,0 +1,54 @@
+"""Greedy affinity placement (the local heuristic the paper improves on).
+
+Mirrors the strategy of formula (2) / Lina-style expert popularity: walk the
+layers in order; for each expert of layer ``j+1``, greedily hand it to the
+GPU whose layer-``j`` experts send it the most tokens, first-come
+first-served by descending mass, respecting capacity.  No backtracking, no
+global view — the reference point that motivates the ILP ("this only
+guarantees a local optima", Section VI).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.placement.base import Placement
+from repro.trace.events import RoutingTrace
+
+__all__ = ["greedy_placement"]
+
+
+def greedy_placement(trace: RoutingTrace, num_gpus: int) -> Placement:
+    """Chained greedy assignment by descending transition mass."""
+    e, L = trace.num_experts, trace.num_layers
+    if e % num_gpus != 0:
+        raise ValueError(f"{e} experts not divisible across {num_gpus} GPUs")
+    cap = e // num_gpus
+
+    gpu_of = np.empty((L, e), dtype=np.int64)
+    gpu_of[0] = np.arange(e) // cap  # contiguous seed, like the baseline
+
+    for j in range(1, L):
+        w = trace.transition_counts(j - 1).astype(np.float64)  # (E, E)
+        benefit = np.zeros((e, num_gpus))
+        np.add.at(benefit.T, gpu_of[j - 1], w)  # mass into expert i' from GPU p
+        remaining = np.full(num_gpus, cap, dtype=np.int64)
+        assigned = np.full(e, -1, dtype=np.int64)
+
+        # visit (expert, gpu) pairs by descending benefit
+        order = np.argsort(-benefit, axis=None)
+        for flat in order:
+            i, p = divmod(int(flat), num_gpus)
+            if assigned[i] >= 0 or remaining[p] == 0:
+                continue
+            assigned[i] = p
+            remaining[p] -= 1
+
+        # any experts with zero observed traffic: fill remaining capacity
+        for i in np.flatnonzero(assigned < 0):
+            p = int(np.argmax(remaining))
+            assigned[i] = p
+            remaining[p] -= 1
+        gpu_of[j] = assigned
+
+    return Placement(gpu_of, num_gpus, strategy="greedy")

@@ -1,0 +1,138 @@
+"""Popularity-based expert replication (the Lina-style baseline).
+
+The paper's Related Work contrasts ExFlow with Jiamin Li et al.'s approach:
+compute each layer's most *popular* experts and place replicas of them on
+every GPU, trading memory for locality ("they use extra memory to
+accommodate these popular experts locally...  In our design, we do not need
+such explicit replicas").  This module implements that baseline so the
+trade-off can be measured: locality gained per replica of memory spent.
+
+A :class:`ReplicatedPlacement` wraps a base :class:`Placement` with
+per-layer replica sets; a token's transition is local if its next expert is
+available on its current GPU either as the owned copy or as a replica.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.placement.base import LocalityStats, Placement
+from repro.core.placement.vanilla import vanilla_placement
+from repro.trace.events import RoutingTrace
+
+__all__ = ["ReplicatedPlacement", "popularity_replication", "replicated_locality"]
+
+
+@dataclass(frozen=True)
+class ReplicatedPlacement:
+    """A base placement plus universally replicated experts per layer.
+
+    Attributes
+    ----------
+    base:
+        The owning placement (one authoritative GPU per expert).
+    replicated:
+        ``replicated[j]`` is the array of expert ids of layer ``j`` that
+        every GPU holds a local replica of (Lina replicates the globally
+        popular experts on all ranks).
+    """
+
+    base: Placement
+    replicated: tuple[np.ndarray, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.replicated) != self.base.num_layers:
+            raise ValueError("one replica set per layer required")
+        cleaned = []
+        for j, ids in enumerate(self.replicated):
+            ids = np.unique(np.asarray(ids, dtype=np.int64))
+            if ids.size and (ids.min() < 0 or ids.max() >= self.base.num_experts):
+                raise ValueError(f"layer {j}: replica expert id out of range")
+            cleaned.append(ids)
+        object.__setattr__(self, "replicated", tuple(cleaned))
+
+    @property
+    def replicas_per_gpu_per_layer(self) -> float:
+        """Average extra experts each GPU must store per layer."""
+        return float(np.mean([ids.size for ids in self.replicated]))
+
+    def memory_overhead_fraction(self) -> float:
+        """Replica storage relative to the owned expert shard."""
+        owned = self.base.experts_per_gpu
+        return self.replicas_per_gpu_per_layer / owned
+
+    def is_local(self, layer: int, expert: int, gpu: int) -> bool:
+        """Is ``expert`` of ``layer`` servable on ``gpu`` without a hop?"""
+        if self.base.gpu_of[layer, expert] == gpu:
+            return True
+        return bool(np.isin(expert, self.replicated[layer]))
+
+
+def popularity_replication(
+    trace: RoutingTrace,
+    num_gpus: int,
+    replicas_per_layer: int,
+    base: Placement | None = None,
+) -> ReplicatedPlacement:
+    """Replicate each layer's ``replicas_per_layer`` most popular experts.
+
+    Popularity is the token count each expert receives in the profiling
+    trace — exactly the statistic Lina's planner uses.  The base placement
+    defaults to the DeepSpeed contiguous layout (replication papers keep
+    the owning layout unchanged and add copies).
+    """
+    if replicas_per_layer < 0:
+        raise ValueError("replicas_per_layer must be >= 0")
+    if replicas_per_layer > trace.num_experts:
+        raise ValueError("cannot replicate more experts than exist")
+    base = base or vanilla_placement(trace.num_layers, trace.num_experts, num_gpus)
+    if (base.num_layers, base.num_experts) != (trace.num_layers, trace.num_experts):
+        raise ValueError("base placement does not match trace shape")
+
+    replicated = []
+    for j in range(trace.num_layers):
+        hist = trace.layer_histogram(j)
+        hot = np.argsort(-hist)[:replicas_per_layer]
+        replicated.append(hot)
+    return ReplicatedPlacement(base=base, replicated=tuple(replicated))
+
+
+def replicated_locality(rep: ReplicatedPlacement, trace: RoutingTrace) -> LocalityStats:
+    """Replay a trace under a replicated placement.
+
+    A token served by a replica *stays on its current GPU*; otherwise it
+    moves to the expert's owning GPU.  Vectorised: per layer, membership in
+    the replica set is a table lookup.
+    """
+    base = rep.base
+    if trace.num_layers != base.num_layers or trace.num_experts != base.num_experts:
+        raise ValueError("trace does not match placement shape")
+    n, L = trace.num_tokens, trace.num_layers
+    if n == 0 or L < 2:
+        return LocalityStats(1.0, 1.0, 0.0, 0.0, 0)
+
+    replica_mask = np.zeros((L, base.num_experts), dtype=bool)
+    for j, ids in enumerate(rep.replicated):
+        replica_mask[j, ids] = True
+
+    # walk layers: current GPU evolves; replicas absorb moves
+    cur = base.gpu_of[0][trace.paths[:, 0]]  # layer-0 dispatch fixes location
+    stays = 0
+    total = 0
+    for j in range(1, L):
+        experts = trace.paths[:, j]
+        local = replica_mask[j, experts] | (base.gpu_of[j][experts] == cur)
+        stays += int(local.sum())
+        total += n
+        cur = np.where(local, cur, base.gpu_of[j][experts])
+
+    stay_fraction = stays / total
+    return LocalityStats(
+        gpu_stay_fraction=stay_fraction,
+        node_stay_fraction=stay_fraction,  # node stats need a cluster; GPU bound suffices
+        crossings_per_token=(total - stays) / n,
+        inter_node_crossings_per_token=0.0,
+        transitions=total,
+    )

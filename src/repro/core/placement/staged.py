@@ -1,0 +1,77 @@
+"""Staged (topology-aware) placement — the paper's Section IV-C/D.
+
+Inter-node links are an order of magnitude slower than NVLink, so crossings
+are not all equal.  The paper optimises top-down with the *same* objective
+at two granularities:
+
+* **Stage 1** — treat each *node* as the placement unit (capacity C2 =
+  experts per node) and minimise inter-node crossings.
+* **Stage 2** — within each node, assign its stage-1 experts to the node's
+  GPUs (capacity C1) minimising intra-node cross-GPU crossings, counting
+  only transitions that stage 1 already kept inside the node.
+
+Both stages reuse the chained-assignment machinery from
+:mod:`repro.core.placement.ilp`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import ClusterConfig
+from repro.core.placement.base import Placement
+from repro.core.placement.ilp import assignment_solve, ilp_placement
+from repro.trace.events import RoutingTrace
+
+__all__ = ["staged_placement"]
+
+
+def staged_placement(
+    trace: RoutingTrace,
+    cluster: ClusterConfig,
+    sweeps: int = 3,
+) -> Placement:
+    """Two-stage node-then-GPU placement on ``cluster``'s hierarchy.
+
+    Falls back to single-stage GPU placement when the cluster has one node
+    (no inter-node tier to protect) or one GPU per node (stage 2 trivial).
+    """
+    e, L = trace.num_experts, trace.num_layers
+    g = cluster.num_gpus
+    if e % g != 0:
+        raise ValueError(f"{e} experts not divisible across {g} GPUs")
+
+    if cluster.num_nodes == 1 or cluster.gpus_per_node == 1:
+        flat = ilp_placement(trace, g, sweeps=sweeps)
+        return Placement(flat.gpu_of, g, strategy="staged")
+
+    # -- stage 1: experts -> nodes (capacity C2 per layer) -------------------
+    node_level = ilp_placement(trace, g, sweeps=sweeps, groups=cluster.num_nodes)
+    node_of = node_level.gpu_of  # (L, E) node ids
+
+    # -- stage 2: within each node, experts -> that node's GPUs --------------
+    gpn = cluster.gpus_per_node
+    cap1 = e // g
+    weights = [trace.transition_counts(j).astype(np.float64) for j in range(L - 1)]
+    gpu_of = np.empty((L, e), dtype=np.int64)
+
+    for node in range(cluster.num_nodes):
+        # chained assignment restricted to this node's experts per layer
+        prev_local: np.ndarray | None = None  # local gpu of node's layer-j experts
+        prev_members: np.ndarray | None = None
+        for j in range(L):
+            members = np.flatnonzero(node_of[j] == node)  # expert ids on this node
+            if members.size != cap1 * gpn:
+                raise AssertionError("stage-1 placement violated node capacity")
+            if j == 0 or prev_members is None or prev_local is None:
+                local = np.arange(members.size) // cap1
+            else:
+                w = weights[j - 1]
+                sub = w[np.ix_(prev_members, members)]  # kept-in-node transitions
+                benefit = np.zeros((members.size, gpn))
+                np.add.at(benefit.T, prev_local, sub)
+                local = assignment_solve(benefit, gpn)
+            gpu_of[j, members] = node * gpn + local
+            prev_local, prev_members = local, members
+
+    return Placement(gpu_of, g, strategy="staged")

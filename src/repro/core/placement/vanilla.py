@@ -1,0 +1,35 @@
+"""The DeepSpeed-MoE baseline placement: rank-contiguous, affinity-blind.
+
+DeepSpeed's expert parallelism shards each layer's experts contiguously by
+global rank: GPU ``g`` holds experts ``[g*C, (g+1)*C)`` at *every* layer
+("the baseline Deepspeed framework does not have any optimization on the
+placement of inter-layer experts", Section V-C).  Tokens therefore cross
+GPUs with probability ``1 - C/E`` per layer under memoryless routing — the
+quantity ExFlow's placement attacks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.placement.base import Placement
+
+__all__ = ["vanilla_placement"]
+
+
+def vanilla_placement(num_layers: int, num_experts: int, num_gpus: int) -> Placement:
+    """Rank-contiguous layout, identical at every layer.
+
+    Note that identical per-layer layouts *do* make a transition local
+    whenever consecutive experts share a contiguous block — the paper
+    observes baseline locality is non-zero for exactly this reason ("tokens
+    might find their experts on local GPUs even though these experts are
+    not loaded in a topology-aware manner").
+    """
+    if num_experts % num_gpus != 0:
+        raise ValueError(f"{num_experts} experts not divisible by {num_gpus} GPUs")
+    per_gpu = num_experts // num_gpus
+    row = np.arange(num_experts) // per_gpu
+    return Placement(
+        np.tile(row, (num_layers, 1)), num_gpus, strategy="vanilla"
+    )

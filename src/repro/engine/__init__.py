@@ -1,0 +1,35 @@
+"""Distributed MoE inference engine (simulation).
+
+Replays routing workloads over a simulated cluster under the three
+execution strategies the paper compares:
+
+* ``vanilla`` — DeepSpeed-MoE pattern: two Alltoalls per MoE layer, tokens
+  return home after every layer.
+* ``context_coherent`` — ExFlow w/o affinity: one Alltoall per layer plus a
+  per-iteration context AllGather.
+* ``exflow`` — context coherence + affinity placement.
+
+The engine is trace-driven: a workload assigns each request's token an
+expert path per iteration; the executor converts paths + placement into
+per-layer traffic matrices, prices them with
+:mod:`repro.cluster.collectives`, prices compute with
+:mod:`repro.engine.costs`, and accumulates a
+:class:`~repro.cluster.traffic.TrafficLedger`.
+"""
+
+from repro.engine.costs import CostModel
+from repro.engine.metrics import RunResult, OpBreakdown
+from repro.engine.workload import DecodeWorkload, make_decode_workload
+from repro.engine.executor import simulate_inference
+from repro.engine.comparison import compare_modes, ComparisonRow
+
+__all__ = [
+    "CostModel",
+    "RunResult",
+    "OpBreakdown",
+    "DecodeWorkload",
+    "make_decode_workload",
+    "simulate_inference",
+    "compare_modes",
+    "ComparisonRow",
+]

@@ -1,0 +1,100 @@
+"""Compute cost model for the simulated GPUs.
+
+The engine charges each operation FLOPs under the standard ``2 m k n``
+matmul convention and converts to seconds with the GPU's sustained
+throughput, discounted by a per-op efficiency factor (decode-time GEMMs are
+memory-bound, so small ops achieve a fraction of peak — the factors below
+are calibrated so the compute/communication split reproduces the paper's
+Fig 9 ratios on the Wilkes3-shaped cluster).
+
+Only the four operations the paper measures are modelled ("we only measure
+the most significant four operations in the MoE model, as others are
+trivial"): attention, gating, expert FFN, and communication (priced by
+:mod:`repro.cluster.collectives`, not here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ModelConfig
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """FLOP accounting + efficiency factors for one model/GPU pairing.
+
+    Parameters
+    ----------
+    model:
+        Architecture whose dimensions set the FLOP counts.
+    gpu_flops:
+        Sustained dense-GEMM throughput of one GPU.
+    attention_efficiency / ffn_efficiency / gating_efficiency:
+        Fraction of ``gpu_flops`` each op achieves.  Decode attention is a
+        batched GEMV (heavily memory-bound) — its low factor is what makes
+        single-node inference compute-dominated.  Defaults are calibrated so
+        the vanilla Alltoall share of runtime on the Wilkes3-shaped cluster
+        reproduces Fig 9: ~15 % on one node rising to ~80-85 % on eight.
+    """
+
+    model: ModelConfig
+    gpu_flops: float = 150.0e12
+    attention_efficiency: float = 0.015
+    ffn_efficiency: float = 0.03
+    gating_efficiency: float = 0.006
+
+    def __post_init__(self) -> None:
+        for name in ("attention_efficiency", "ffn_efficiency", "gating_efficiency"):
+            v = getattr(self, name)
+            if not 0 < v <= 1:
+                raise ValueError(f"{name} must be in (0, 1], got {v}")
+        if self.gpu_flops <= 0:
+            raise ValueError("gpu_flops must be positive")
+
+    # -- FLOP counts (per token) ------------------------------------------------
+
+    def attention_flops(self, context_len: int) -> float:
+        """One token's decode attention over a ``context_len`` context.
+
+        QKV projection (2 * d * 3d) + scores and value mix (2 * 2 * c * d)
+        + output projection (2 * d * d).
+        """
+        d = self.model.d_model
+        return 2.0 * d * 3 * d + 4.0 * context_len * d + 2.0 * d * d
+
+    def ffn_flops(self) -> float:
+        """One token through one expert FFN (two matmuls)."""
+        d, f = self.model.d_model, self.model.d_ff
+        return 2.0 * d * f + 2.0 * f * d
+
+    def gating_flops(self) -> float:
+        """One token's router projection."""
+        return 2.0 * self.model.d_model * self.model.num_experts
+
+    # -- times -------------------------------------------------------------------
+
+    def attention_time(self, tokens: int, context_len: int) -> float:
+        """Seconds for ``tokens`` decode-attention tokens on one GPU."""
+        if tokens < 0 or context_len < 0:
+            raise ValueError("tokens and context_len must be >= 0")
+        return tokens * self.attention_flops(context_len) / (
+            self.gpu_flops * self.attention_efficiency
+        )
+
+    def ffn_time(self, tokens: int, k: int = 1) -> float:
+        """Seconds for ``tokens`` tokens through ``k`` experts each."""
+        if tokens < 0:
+            raise ValueError("tokens must be >= 0")
+        return tokens * k * self.ffn_flops() / (self.gpu_flops * self.ffn_efficiency)
+
+    def gating_time(self, tokens: int) -> float:
+        if tokens < 0:
+            raise ValueError("tokens must be >= 0")
+        return tokens * self.gating_flops() / (self.gpu_flops * self.gating_efficiency)
+
+    def token_bytes(self, dtype_bytes: int = 2) -> int:
+        """Wire size of one token's activation (the Alltoall payload unit)."""
+        return self.model.d_model * dtype_bytes

@@ -1,0 +1,191 @@
+"""Discrete-event executor for distributed MoE inference.
+
+Simulates lockstep SPMD execution: each generation iteration walks the MoE
+layer stack; per layer, every GPU runs attention + gating on its resident
+tokens, the group performs the dispatch Alltoall implied by the routing
+decisions and the expert placement, expert FFNs run, and (vanilla mode
+only) a combine Alltoall returns tokens home.  Times are per-op maxima over
+GPUs (SPMD barrier semantics) summed across layers and iterations.
+
+Token movement is the whole story:
+
+* **vanilla** — tokens live at their home GPU; every layer is
+  home -> expert-GPU -> home (two Alltoalls).
+* **context-coherent** — tokens *stay where routing sends them*; a layer
+  moves a token only if its next expert lives elsewhere (one Alltoall), and
+  a per-iteration AllGather keeps contexts coherent.
+* **exflow** — identical engine path to context-coherent; the placement
+  (affinity-optimised) is what concentrates traffic on the diagonal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.collectives import allgather_cost, alltoall_matrix
+from repro.cluster.topology import Topology
+from repro.cluster.traffic import TrafficLedger
+from repro.config import ClusterConfig, ExecutionMode, InferenceConfig, ModelConfig
+from repro.core.placement.base import Placement
+from repro.engine.costs import CostModel
+from repro.engine.metrics import OpBreakdown, RunResult
+from repro.engine.workload import DecodeWorkload
+
+__all__ = ["simulate_inference"]
+
+
+def _traffic_from_moves(
+    src: np.ndarray, dst: np.ndarray, num_gpus: int, bytes_per_token: float
+) -> np.ndarray:
+    """(G, G) byte matrix from per-token source/destination GPU ranks."""
+    flat = src * num_gpus + dst
+    counts = np.bincount(flat, minlength=num_gpus * num_gpus).reshape(num_gpus, num_gpus)
+    traffic = counts.astype(np.float64) * bytes_per_token
+    np.fill_diagonal(traffic, 0.0)  # same-GPU moves are free memcpys
+    return traffic
+
+
+def simulate_inference(
+    model: ModelConfig,
+    cluster: ClusterConfig,
+    infer: InferenceConfig,
+    placement: Placement,
+    workload: DecodeWorkload,
+    cost_model: CostModel | None = None,
+) -> RunResult:
+    """Simulate one serving run; returns the full :class:`RunResult`.
+
+    Parameters
+    ----------
+    model / cluster / infer:
+        Architecture, hardware and workload configuration.  ``infer.mode``
+        selects the execution strategy.
+    placement:
+        Expert-to-GPU mapping (use the vanilla placement for baseline runs;
+        the engine itself is placement-agnostic).
+    workload:
+        Per-iteration routing decisions (see
+        :func:`repro.engine.workload.make_decode_workload`).
+    cost_model:
+        Compute pricing; defaults to :class:`CostModel` on the cluster's
+        GPU throughput.
+    """
+    if placement.num_experts != model.num_experts:
+        raise ValueError("placement expert count differs from model")
+    if placement.num_layers != model.num_moe_layers:
+        raise ValueError("placement layer count differs from model")
+    if placement.num_gpus != cluster.num_gpus:
+        raise ValueError("placement GPU count differs from cluster")
+    if workload.num_layers != model.num_moe_layers:
+        raise ValueError("workload layer count differs from model")
+    if workload.num_experts != model.num_experts:
+        raise ValueError("workload expert count differs from model")
+    if workload.home_gpu.size and workload.home_gpu.max() >= cluster.num_gpus:
+        raise ValueError("workload home GPU out of range for cluster")
+
+    cost = cost_model or CostModel(model, gpu_flops=cluster.gpu_flops)
+    topo = Topology(cluster)
+    ledger = TrafficLedger()
+    mode = infer.mode
+    g = cluster.num_gpus
+    token_bytes = cost.token_bytes(infer.dtype_bytes)
+    top2 = model.gating.k == 2 and workload.secondary_paths is not None
+
+    attention_s = gating_s = ffn_s = alltoall_s = allgather_s = 0.0
+    same_gpu_transitions = 0
+    same_node_transitions = 0
+    total_transitions = 0
+    node_of = topo.node_of_gpu
+
+    home = workload.home_gpu
+    r = workload.num_requests
+    layers = model.num_moe_layers
+
+    def compute_max(counts: np.ndarray, fn) -> float:
+        """Lockstep time: the slowest GPU's share of a compute op."""
+        return float(fn(int(counts.max()))) if counts.size else 0.0
+
+    # initial context replication (before-inference AllGather, Fig 4)
+    if mode.uses_context_coherence:
+        prompt_payload = np.bincount(home, minlength=g).astype(np.float64)
+        prompt_payload *= infer.prompt_len * token_bytes
+        res = allgather_cost(topo, prompt_payload)
+        ledger.record(res, "allgather")
+        allgather_s += res.time_s
+
+    for it in range(workload.iterations):
+        ctx_len = workload.prompt_len + it  # context grows one token/iter
+        paths = workload.paths[it]  # (R, L)
+        loc = home.copy()  # every iteration's token starts at its home GPU
+
+        for j in range(layers):
+            expert_gpu = placement.gpu_of[j][paths[:, j]]  # (R,)
+
+            # attention + gating happen where tokens currently reside
+            resident = np.bincount(loc, minlength=g)
+            attention_s += compute_max(resident, lambda n: cost.attention_time(n, ctx_len))
+            gating_s += compute_max(resident, cost.gating_time)
+
+            # dispatch Alltoall: current location -> expert's GPU
+            traffic = _traffic_from_moves(loc, expert_gpu, g, token_bytes)
+            if top2:
+                sec_gpu = placement.gpu_of[j][workload.secondary_paths[it][:, j]]
+                # secondary expert: payload out and result back to primary
+                traffic += _traffic_from_moves(loc, sec_gpu, g, token_bytes)
+                traffic += _traffic_from_moves(sec_gpu, expert_gpu, g, token_bytes)
+            res = alltoall_matrix(topo, traffic)
+            ledger.record(res, "alltoall")
+            alltoall_s += res.time_s
+
+            # locality bookkeeping (transition = a potential token move)
+            moved = expert_gpu != loc
+            crossed_node = node_of[expert_gpu] != node_of[loc]
+            same_gpu_transitions += int((~moved).sum())
+            same_node_transitions += int((~crossed_node).sum())
+            total_transitions += r
+
+            # expert FFN on the owning GPUs
+            ffn_load = np.bincount(expert_gpu, minlength=g)
+            if top2:
+                ffn_load = ffn_load + np.bincount(sec_gpu, minlength=g)
+            ffn_s += compute_max(ffn_load, cost.ffn_time)
+
+            if mode.uses_context_coherence:
+                loc = expert_gpu  # token stays with its expert's GPU
+            else:
+                # combine Alltoall: expert GPU -> home
+                back = _traffic_from_moves(expert_gpu, home, g, token_bytes)
+                if top2:
+                    back += _traffic_from_moves(expert_gpu, home, g, token_bytes)
+                res = alltoall_matrix(topo, back)
+                ledger.record(res, "alltoall")
+                alltoall_s += res.time_s
+                loc = home.copy()
+
+        # end of iteration: coherent modes AllGather the new tokens
+        if mode.uses_context_coherence:
+            step_payload = np.bincount(home, minlength=g).astype(np.float64) * token_bytes
+            res = allgather_cost(topo, step_payload)
+            ledger.record(res, "allgather")
+            allgather_s += res.time_s
+
+    breakdown = OpBreakdown(
+        attention_s=attention_s,
+        gating_s=gating_s,
+        expert_ffn_s=ffn_s,
+        alltoall_s=alltoall_s,
+        allgather_s=allgather_s,
+    )
+    return RunResult(
+        mode=mode,
+        breakdown=breakdown,
+        ledger=ledger,
+        generated_tokens=workload.iterations * r,
+        iterations=workload.iterations,
+        gpu_stay_fraction=(
+            same_gpu_transitions / total_transitions if total_transitions else 1.0
+        ),
+        node_stay_fraction=(
+            same_node_transitions / total_transitions if total_transitions else 1.0
+        ),
+    )

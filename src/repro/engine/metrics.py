@@ -1,0 +1,115 @@
+"""Result containers and derived metrics for engine runs.
+
+A :class:`RunResult` is the engine's complete account of one simulated
+serving run: wall-clock decomposition per operation (the slices of Fig 9),
+communication ledger, token-locality statistics (Figs 7/8) and throughput
+(Fig 10's y-axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.traffic import TrafficLedger
+from repro.config import ExecutionMode
+
+__all__ = ["OpBreakdown", "RunResult"]
+
+
+@dataclass(frozen=True)
+class OpBreakdown:
+    """Seconds spent per operation class across a run."""
+
+    attention_s: float = 0.0
+    gating_s: float = 0.0
+    expert_ffn_s: float = 0.0
+    alltoall_s: float = 0.0
+    allgather_s: float = 0.0
+
+    @property
+    def compute_s(self) -> float:
+        return self.attention_s + self.gating_s + self.expert_ffn_s
+
+    @property
+    def comm_s(self) -> float:
+        return self.alltoall_s + self.allgather_s
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.comm_s
+
+    def fraction(self, op: str) -> float:
+        """Share of total time taken by ``op`` (e.g. ``"alltoall_s"``)."""
+        total = self.total_s
+        if total <= 0:
+            return 0.0
+        return float(getattr(self, op) / total)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "attention_s": self.attention_s,
+            "gating_s": self.gating_s,
+            "expert_ffn_s": self.expert_ffn_s,
+            "alltoall_s": self.alltoall_s,
+            "allgather_s": self.allgather_s,
+        }
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Full account of one simulated inference run.
+
+    Attributes
+    ----------
+    mode:
+        Execution strategy that produced this run.
+    breakdown:
+        Per-op wall-clock decomposition (times are the per-iteration maxima
+        over GPUs, summed over iterations — lockstep SPMD semantics).
+    ledger:
+        Collective-level traffic record.
+    generated_tokens:
+        Total tokens produced across all requests.
+    iterations:
+        Generation iterations executed.
+    gpu_stay_fraction / node_stay_fraction:
+        Locality of expert-to-expert transitions during the run.
+    """
+
+    mode: ExecutionMode
+    breakdown: OpBreakdown
+    ledger: TrafficLedger
+    generated_tokens: int
+    iterations: int
+    gpu_stay_fraction: float
+    node_stay_fraction: float
+
+    @property
+    def total_time_s(self) -> float:
+        return self.breakdown.total_s
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        if self.total_time_s <= 0:
+            return float("inf")
+        return self.generated_tokens / self.total_time_s
+
+    @property
+    def alltoall_fraction(self) -> float:
+        """Alltoall share of total runtime — the pies of Fig 9."""
+        return self.breakdown.fraction("alltoall_s")
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Throughput ratio vs a baseline run of the same workload."""
+        if baseline.generated_tokens != self.generated_tokens:
+            raise ValueError("speedup requires runs over identical workloads")
+        if self.total_time_s <= 0:
+            return float("inf")
+        return baseline.total_time_s / self.total_time_s
+
+    def comm_reduction_over(self, baseline: "RunResult") -> float:
+        """Fractional reduction in communication time vs ``baseline``."""
+        base = baseline.breakdown.comm_s
+        if base <= 0:
+            return 0.0
+        return 1.0 - self.breakdown.comm_s / base

@@ -1,0 +1,37 @@
+"""Pure-numpy GPT MoE model substrate.
+
+The paper runs pre-trained DeepSpeed-Megatron GPT MoE checkpoints; this
+package provides the functional equivalent the reproduction needs: a
+decoder-only transformer whose FFNs are mixtures of experts with softmax
+top-k gating.  The placement and engine layers only consume the model's
+*routing decisions*, so the substrate's job is to produce realistic routing:
+experts specialise on synthetic topics during a short gate-training phase,
+after which inter-layer affinity emerges exactly as Section II-B describes.
+
+Modules
+-------
+* :mod:`repro.model.tensors` — numerical primitives (softmax, layernorm,
+  GELU, initialisers).
+* :mod:`repro.model.attention` — causal multi-head attention with KV cache.
+* :mod:`repro.model.experts` — vectorised banks of expert FFNs.
+* :mod:`repro.model.gating` — top-1/top-2 softmax gate + GShard aux loss.
+* :mod:`repro.model.moe_layer` — gate + experts + routing records.
+* :mod:`repro.model.transformer` — the full decoder.
+* :mod:`repro.model.generation` — autoregressive loop emitting traces.
+"""
+
+from repro.model.gating import GateOutput, TopKGate
+from repro.model.experts import ExpertBank
+from repro.model.moe_layer import MoELayer
+from repro.model.transformer import MoETransformer
+from repro.model.generation import generate, GenerationResult
+
+__all__ = [
+    "GateOutput",
+    "TopKGate",
+    "ExpertBank",
+    "MoELayer",
+    "MoETransformer",
+    "generate",
+    "GenerationResult",
+]

@@ -1,0 +1,125 @@
+"""Causal multi-head self-attention with an incremental KV cache.
+
+The attention module is context-bound: a token's attention output depends on
+every earlier token of *its own request*.  This is precisely the constraint
+that forces vanilla expert parallelism to haul tokens back to their home GPU
+after every MoE layer (Section III-A) — and that ExFlow's context coherence
+removes by replicating the (immutable) KV context on every GPU.
+
+The engine never re-runs attention per GPU; it uses this module to produce
+hidden states and routing, while communication is accounted separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model.tensors import normal_init, softmax
+
+__all__ = ["KVCache", "CausalSelfAttention"]
+
+
+@dataclass
+class KVCache:
+    """Append-only key/value store for one attention layer.
+
+    Shapes: ``keys``/``values`` are (batch, heads, seq, head_dim).  ``seq``
+    grows as generation appends tokens; earlier entries are immutable, which
+    is the property that makes replicating them across GPUs safe (the
+    paper's "once generated, these tokens remain immutable").
+    """
+
+    keys: np.ndarray
+    values: np.ndarray
+
+    @classmethod
+    def empty(cls, batch: int, heads: int, head_dim: int) -> "KVCache":
+        shape = (batch, heads, 0, head_dim)
+        return cls(np.zeros(shape), np.zeros(shape))
+
+    @property
+    def seq_len(self) -> int:
+        return self.keys.shape[2]
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Append new (batch, heads, new_seq, head_dim) keys/values."""
+        if k.shape != v.shape:
+            raise ValueError("key/value shapes must match")
+        if k.shape[:2] != self.keys.shape[:2] or k.shape[3] != self.keys.shape[3]:
+            raise ValueError(
+                f"incompatible append shape {k.shape} onto cache {self.keys.shape}"
+            )
+        self.keys = np.concatenate([self.keys, k], axis=2)
+        self.values = np.concatenate([self.values, v], axis=2)
+
+
+class CausalSelfAttention:
+    """Multi-head causal attention, single fused QKV projection.
+
+    Parameters
+    ----------
+    d_model:
+        Hidden size.
+    num_heads:
+        Head count; ``d_model`` must be divisible by it.
+    rng:
+        Initialisation source.
+    """
+
+    def __init__(self, d_model: int, num_heads: int, rng: np.random.Generator):
+        if d_model % num_heads != 0:
+            raise ValueError(f"d_model {d_model} not divisible by num_heads {num_heads}")
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.head_dim = d_model // num_heads
+        self.w_qkv = normal_init(rng, d_model, 3 * d_model)
+        self.w_out = normal_init(rng, d_model, d_model)
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        """(batch, seq, d_model) -> (batch, heads, seq, head_dim)."""
+        b, s, _ = x.shape
+        return x.reshape(b, s, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        """(batch, heads, seq, head_dim) -> (batch, seq, d_model)."""
+        b, h, s, d = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, s, h * d)
+
+    def __call__(
+        self, x: np.ndarray, cache: KVCache | None = None
+    ) -> tuple[np.ndarray, KVCache]:
+        """Attend the ``x`` block (batch, seq, d_model) over cache + itself.
+
+        With a cache, ``x`` is the newly appended slice (typically seq=1
+        during generation) and attends causally over all cached positions
+        plus itself.  Returns the attention output and the updated cache.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 3 or x.shape[2] != self.d_model:
+            raise ValueError(f"expected (batch, seq, {self.d_model}), got {x.shape}")
+        b, s_new, _ = x.shape
+
+        qkv = x @ self.w_qkv
+        q, k, v = np.split(qkv, 3, axis=-1)
+        q = self._split_heads(q)
+        k = self._split_heads(k)
+        v = self._split_heads(v)
+
+        if cache is None:
+            cache = KVCache.empty(b, self.num_heads, self.head_dim)
+        past = cache.seq_len
+        cache.append(k, v)
+
+        scores = q @ cache.keys.transpose(0, 1, 3, 2) / np.sqrt(self.head_dim)
+        # causal mask: new position i (absolute past+i) sees keys [0, past+i]
+        total = past + s_new
+        key_pos = np.arange(total)
+        query_pos = past + np.arange(s_new)
+        mask = key_pos[None, :] > query_pos[:, None]
+        scores = np.where(mask[None, None, :, :], -np.inf, scores)
+
+        attn = softmax(scores, axis=-1)
+        out = self._merge_heads(attn @ cache.values)
+        return out @ self.w_out, cache

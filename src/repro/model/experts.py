@@ -1,0 +1,99 @@
+"""Vectorised banks of expert FFNs.
+
+Each expert is a two-matrix feed-forward network (the paper: "each expert
+being a de facto large feed-forward network").  An :class:`ExpertBank` holds
+all E experts of one MoE layer as stacked weight tensors so that dispatching
+a token batch to its selected experts is a grouped einsum, not a Python loop
+over experts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.tensors import gelu, normal_init
+
+__all__ = ["ExpertBank"]
+
+
+class ExpertBank:
+    """All experts of one MoE layer, stored as (E, d_model, d_ff) stacks.
+
+    Parameters
+    ----------
+    num_experts:
+        Expert count E.
+    d_model:
+        Token hidden size.
+    d_ff:
+        Expert inner size.
+    rng:
+        Initialisation source.  Each expert gets independent weights, which
+        is what lets experts specialise once the gate differentiates them.
+    """
+
+    def __init__(self, num_experts: int, d_model: int, d_ff: int, rng: np.random.Generator):
+        if min(num_experts, d_model, d_ff) < 1:
+            raise ValueError("num_experts, d_model and d_ff must be positive")
+        self.num_experts = num_experts
+        self.d_model = d_model
+        self.d_ff = d_ff
+        self.w_in = normal_init(rng, num_experts, d_model, d_ff)
+        self.w_out = normal_init(rng, num_experts, d_ff, d_model)
+
+    @property
+    def params_per_expert(self) -> int:
+        return self.d_model * self.d_ff * 2
+
+    def forward_expert(self, expert_id: int, x: np.ndarray) -> np.ndarray:
+        """Run one expert on a (tokens, d_model) batch."""
+        if not 0 <= expert_id < self.num_experts:
+            raise IndexError(f"expert {expert_id} out of range [0, {self.num_experts})")
+        h = gelu(x @ self.w_in[expert_id])
+        return h @ self.w_out[expert_id]
+
+    def forward_routed(self, x: np.ndarray, expert_ids: np.ndarray) -> np.ndarray:
+        """Run each token through its assigned expert.
+
+        ``x`` is (tokens, d_model); ``expert_ids`` is (tokens,).  Tokens are
+        grouped by expert (argsort) so each expert processes its tokens as
+        one matmul — the vectorisation pattern the HPC guide prescribes for
+        scatter/gather-style work.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        expert_ids = np.asarray(expert_ids)
+        if x.ndim != 2 or x.shape[1] != self.d_model:
+            raise ValueError(f"expected (tokens, {self.d_model}), got {x.shape}")
+        if expert_ids.shape != (x.shape[0],):
+            raise ValueError("expert_ids must be one id per token")
+        if expert_ids.size and (
+            expert_ids.min() < 0 or expert_ids.max() >= self.num_experts
+        ):
+            raise ValueError("expert id out of range")
+
+        out = np.empty_like(x)
+        order = np.argsort(expert_ids, kind="stable")
+        sorted_ids = expert_ids[order]
+        boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+        for group in np.split(order, boundaries):
+            if group.size == 0:
+                continue
+            eid = int(expert_ids[group[0]])
+            out[group] = self.forward_expert(eid, x[group])
+        return out
+
+    def forward_topk(
+        self, x: np.ndarray, expert_ids: np.ndarray, weights: np.ndarray
+    ) -> np.ndarray:
+        """Top-k combination: weighted sum over each token's k experts.
+
+        ``expert_ids``/``weights`` are (tokens, k).
+        """
+        expert_ids = np.asarray(expert_ids)
+        weights = np.asarray(weights, dtype=np.float64)
+        if expert_ids.shape != weights.shape:
+            raise ValueError("expert_ids and weights must have matching shapes")
+        acc = np.zeros_like(np.asarray(x, dtype=np.float64))
+        for j in range(expert_ids.shape[1]):
+            acc += weights[:, j : j + 1] * self.forward_routed(x, expert_ids[:, j])
+        return acc

@@ -1,0 +1,159 @@
+"""Top-k softmax gating (GShard-style) for MoE layers.
+
+The gate is the component whose decisions the whole paper revolves around:
+``TopKGate`` maps each token's hidden state to a distribution over experts
+and selects the top-1 or top-2.  It is *shared across all GPUs* ("the gating
+function is shared among all GPUs", Section IV-A), so a token can be routed
+correctly no matter where it currently resides.
+
+The GShard auxiliary load-balancing loss and its gradient are implemented
+for the training-dynamics experiments (Figs 11/12): models trained with it
+converge to balanced expert usage while still developing strong inter-layer
+affinity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import GatingKind
+from repro.model.tensors import normal_init, one_hot, softmax
+
+__all__ = ["GateOutput", "TopKGate", "gshard_balance_loss"]
+
+
+@dataclass(frozen=True)
+class GateOutput:
+    """Routing decision for a batch of tokens.
+
+    Attributes
+    ----------
+    experts:
+        (tokens, k) int array — selected expert ids, best first.
+    weights:
+        (tokens, k) float array — normalised combination weights for the
+        selected experts (sums to 1 per token).
+    probs:
+        (tokens, E) full softmax distribution (used by the balance loss and
+        by affinity analysis).
+    """
+
+    experts: np.ndarray
+    weights: np.ndarray
+    probs: np.ndarray
+
+    @property
+    def num_tokens(self) -> int:
+        return self.experts.shape[0]
+
+    @property
+    def k(self) -> int:
+        return self.experts.shape[1]
+
+    @property
+    def top1(self) -> np.ndarray:
+        """Primary expert id per token (the paper's trace unit)."""
+        return self.experts[:, 0]
+
+
+class TopKGate:
+    """Linear router + softmax + top-k selection.
+
+    Parameters
+    ----------
+    d_model:
+        Token hidden size.
+    num_experts:
+        Experts per layer (E).
+    kind:
+        Top-1 or top-2 selection.
+    rng:
+        Initialisation source.
+    temperature:
+        Softmax temperature; lower values sharpen routing and strengthen
+        affinity (exposed for the affinity-strength ablation).
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        num_experts: int,
+        kind: GatingKind = GatingKind.TOP1,
+        rng: np.random.Generator | None = None,
+        temperature: float = 1.0,
+    ):
+        if num_experts < 1:
+            raise ValueError("num_experts must be >= 1")
+        if kind.k > num_experts:
+            raise ValueError(f"top-{kind.k} gating needs at least {kind.k} experts")
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.d_model = d_model
+        self.num_experts = num_experts
+        self.kind = kind
+        self.temperature = temperature
+        self.weight = normal_init(rng, d_model, num_experts)
+
+    def logits(self, x: np.ndarray) -> np.ndarray:
+        """(tokens, E) router logits."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.d_model:
+            raise ValueError(f"expected (tokens, {self.d_model}), got {x.shape}")
+        return (x @ self.weight) / self.temperature
+
+    def __call__(self, x: np.ndarray) -> GateOutput:
+        """Route a (tokens, d_model) batch."""
+        probs = softmax(self.logits(x), axis=-1)
+        k = self.kind.k
+        # argpartition then sort the k winners — O(E) instead of full sort
+        top = np.argpartition(probs, -k, axis=-1)[:, -k:]
+        top_p = np.take_along_axis(probs, top, axis=-1)
+        order = np.argsort(-top_p, axis=-1)
+        experts = np.take_along_axis(top, order, axis=-1)
+        weights = np.take_along_axis(top_p, order, axis=-1)
+        weights = weights / weights.sum(axis=-1, keepdims=True)
+        return GateOutput(experts=experts, weights=weights, probs=probs)
+
+    def balance_loss(self, probs: np.ndarray, experts: np.ndarray) -> float:
+        """GShard auxiliary loss for this gate's decisions."""
+        return gshard_balance_loss(probs, experts, self.num_experts)
+
+    def balance_grad(self, x: np.ndarray) -> np.ndarray:
+        """d(balance loss)/d(weight) — used by the gate-only trainer.
+
+        Differentiates the smooth part of the GShard loss
+        ``E * sum_e f_e * P_e`` treating the dispatch fractions ``f_e`` as
+        constants (the standard straight-through treatment).
+        """
+        x = np.asarray(x, dtype=np.float64)
+        out = self(x)
+        n, e = out.probs.shape
+        f = np.bincount(out.top1, minlength=e) / max(n, 1)
+        # dL/dprobs = E * f / n ; backprop through softmax
+        dprobs = (e * f / max(n, 1))[None, :].repeat(n, axis=0)
+        dot = (dprobs * out.probs).sum(axis=-1, keepdims=True)
+        dlogits = out.probs * (dprobs - dot) / self.temperature
+        return x.T @ dlogits
+
+
+def gshard_balance_loss(probs: np.ndarray, experts: np.ndarray, num_experts: int) -> float:
+    """GShard load-balance loss: ``E * sum_e f_e * P_e``.
+
+    ``f_e`` is the fraction of tokens dispatched to expert ``e`` (top-1) and
+    ``P_e`` the mean router probability of ``e``.  Perfectly balanced routing
+    gives 1.0; fully collapsed routing gives ``num_experts``.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    experts = np.asarray(experts)
+    if probs.ndim != 2 or probs.shape[1] != num_experts:
+        raise ValueError(f"probs must be (tokens, {num_experts}), got {probs.shape}")
+    top1 = experts[:, 0] if experts.ndim == 2 else experts
+    n = probs.shape[0]
+    if n == 0:
+        return 0.0
+    f = np.bincount(top1, minlength=num_experts) / n
+    p = probs.mean(axis=0)
+    return float(num_experts * (f * p).sum())

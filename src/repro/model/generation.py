@@ -1,0 +1,133 @@
+"""Autoregressive generation loop emitting routing traces.
+
+Mirrors the paper's inference pipeline (Section IV-A): prompts are consumed
+in one prefill pass, then tokens are generated one iteration at a time, each
+newly generated token becoming immutable context for the next iteration.
+Every forward position's expert path is recorded — this is the trace that
+feeds affinity estimation and the distributed-engine replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.tensors import softmax
+from repro.model.transformer import MoETransformer
+
+__all__ = ["GenerationResult", "generate"]
+
+
+@dataclass(frozen=True)
+class GenerationResult:
+    """Output of one generation run.
+
+    Attributes
+    ----------
+    tokens:
+        (batch, prompt_len + steps) full sequences including the prompt.
+    expert_paths:
+        (positions, num_moe_layers) top-1 expert id of every processed
+        position, prefill positions first (batch-major), then one slab of
+        ``batch`` rows per generation step.
+    position_request:
+        (positions,) request (batch row) index of each trace row, aligning
+        ``expert_paths`` with requests.
+    position_is_prefill:
+        (positions,) bool — True for prompt positions.
+    """
+
+    tokens: np.ndarray
+    expert_paths: np.ndarray
+    position_request: np.ndarray
+    position_is_prefill: np.ndarray
+
+    @property
+    def decode_paths(self) -> np.ndarray:
+        """Expert paths of generated (non-prefill) positions only."""
+        return self.expert_paths[~self.position_is_prefill]
+
+
+def _sample(logits: np.ndarray, rng: np.random.Generator, temperature: float) -> np.ndarray:
+    """Sample one token per batch row from final-position logits."""
+    if temperature <= 0:  # greedy
+        return logits.argmax(axis=-1)
+    probs = softmax(logits / temperature, axis=-1)
+    cdf = probs.cumsum(axis=-1)
+    u = rng.random((probs.shape[0], 1))
+    return (cdf < u).sum(axis=-1)
+
+
+def generate(
+    model: MoETransformer,
+    prompts: np.ndarray,
+    steps: int,
+    rng: np.random.Generator | None = None,
+    temperature: float = 1.0,
+) -> GenerationResult:
+    """Generate ``steps`` tokens per request and trace all routing.
+
+    Parameters
+    ----------
+    model:
+        The MoE decoder.
+    prompts:
+        (batch, prompt_len) prompt token ids.
+    steps:
+        Generation iterations (one token per request per iteration).
+    rng:
+        Sampling source; ``None`` means greedy decoding.
+    temperature:
+        Sampling temperature (ignored when greedy).
+    """
+    prompts = np.asarray(prompts)
+    if prompts.ndim != 2:
+        raise ValueError(f"prompts must be (batch, prompt_len), got {prompts.shape}")
+    if steps < 0:
+        raise ValueError("steps must be >= 0")
+    greedy = rng is None
+    rng = rng or np.random.default_rng(0)
+
+    batch, prompt_len = prompts.shape
+    states = model.init_state(batch)
+    logits, routings = model.forward(prompts, states)
+
+    path_chunks: list[np.ndarray] = []
+    request_chunks: list[np.ndarray] = []
+    prefill_chunks: list[np.ndarray] = []
+
+    def _stack(routs, seq: int, is_prefill: bool) -> None:
+        if not routs:
+            return
+        paths = np.stack([r.top1 for r in routs], axis=1)  # (batch*seq, L_moe)
+        path_chunks.append(paths)
+        req = np.repeat(np.arange(batch), seq)
+        request_chunks.append(req)
+        prefill_chunks.append(np.full(batch * seq, is_prefill))
+
+    _stack(routings, prompt_len, True)
+
+    tokens = prompts
+    for _ in range(steps):
+        next_logits = logits[:, -1, :]
+        new = _sample(next_logits, rng, 0.0 if greedy else temperature)
+        tokens = np.concatenate([tokens, new[:, None]], axis=1)
+        logits, routings = model.forward(new[:, None], states)
+        _stack(routings, 1, False)
+
+    if path_chunks:
+        expert_paths = np.concatenate(path_chunks, axis=0)
+        position_request = np.concatenate(request_chunks)
+        position_is_prefill = np.concatenate(prefill_chunks)
+    else:  # model without MoE layers
+        expert_paths = np.empty((0, model.config.num_moe_layers), dtype=np.int64)
+        position_request = np.empty(0, dtype=np.int64)
+        position_is_prefill = np.empty(0, dtype=bool)
+
+    return GenerationResult(
+        tokens=tokens,
+        expert_paths=expert_paths,
+        position_request=position_request,
+        position_is_prefill=position_is_prefill,
+    )

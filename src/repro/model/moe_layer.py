@@ -1,0 +1,83 @@
+"""One MoE layer: gate + expert bank + routing record.
+
+This is the unit the paper's communication analysis revolves around: in
+distributed execution each :class:`MoELayer` implies an Alltoall dispatch
+(and, without context coherence, a second Alltoall combine).  The layer
+itself is communication-agnostic — it just computes and reports *which
+expert each token chose*, which the engine turns into traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import GatingKind
+from repro.model.experts import ExpertBank
+from repro.model.gating import GateOutput, TopKGate
+
+__all__ = ["MoELayer"]
+
+
+class MoELayer:
+    """Sparsely activated FFN: route each token to its top-k experts.
+
+    Parameters mirror :class:`~repro.model.experts.ExpertBank` plus the
+    gating kind.  ``capacity_factor`` > 0 enables GShard-style token
+    dropping when an expert overflows ``capacity_factor * tokens / E``
+    slots; the paper's models run with *variable capacity* (no dropping),
+    which is the default here (0 = unbounded).
+    """
+
+    def __init__(
+        self,
+        num_experts: int,
+        d_model: int,
+        d_ff: int,
+        rng: np.random.Generator,
+        gating: GatingKind = GatingKind.TOP1,
+        capacity_factor: float = 0.0,
+        gate_temperature: float = 1.0,
+    ):
+        self.gate = TopKGate(d_model, num_experts, gating, rng, gate_temperature)
+        self.experts = ExpertBank(num_experts, d_model, d_ff, rng)
+        self.capacity_factor = capacity_factor
+
+    @property
+    def num_experts(self) -> int:
+        return self.experts.num_experts
+
+    def _apply_capacity(self, out: GateOutput) -> GateOutput:
+        """Drop overflow tokens to their next-best expert (or keep if top-1).
+
+        With top-1 gating an overflowing token simply stays with its expert
+        (variable-capacity semantics would not drop either; capacity here
+        exists for the ablations, not the headline runs).
+        """
+        if self.capacity_factor <= 0:
+            return out
+        n = out.num_tokens
+        cap = int(np.ceil(self.capacity_factor * n / self.num_experts))
+        experts = out.experts.copy()
+        primary = experts[:, 0]
+        counts = np.zeros(self.num_experts, dtype=np.int64)
+        # deterministic first-come-first-served in token order
+        for t in range(n):
+            e = primary[t]
+            if counts[e] < cap:
+                counts[e] += 1
+            elif out.k > 1:
+                alt = experts[t, 1]
+                if counts[alt] < cap:
+                    experts[t, 0], experts[t, 1] = alt, e
+                    counts[alt] += 1
+                else:
+                    counts[e] += 1  # both full: overflow in place
+            else:
+                counts[e] += 1
+        return GateOutput(experts=experts, weights=out.weights, probs=out.probs)
+
+    def __call__(self, x: np.ndarray) -> tuple[np.ndarray, GateOutput]:
+        """Forward a (tokens, d_model) batch; return (output, routing)."""
+        routing = self._apply_capacity(self.gate(np.asarray(x, dtype=np.float64)))
+        y = self.experts.forward_topk(x, routing.experts, routing.weights)
+        return y, routing

@@ -1,0 +1,83 @@
+"""Numerical primitives shared by the model substrate.
+
+Small, vectorised building blocks with no state: activations, normalisation,
+stable softmax, and weight initialisers.  Everything takes and returns
+``float64`` numpy arrays (precision is irrelevant at proxy scale and float64
+keeps tests deterministic across BLAS backends).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "layer_norm",
+    "gelu",
+    "normal_init",
+    "one_hot",
+    "cross_entropy",
+]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable log-softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - x.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def layer_norm(x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Parameter-free LayerNorm over the last dimension."""
+    x = np.asarray(x, dtype=np.float64)
+    mu = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    return (x - mu) / np.sqrt(var + eps)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """tanh-approximation GELU (the GPT-2 variant)."""
+    x = np.asarray(x, dtype=np.float64)
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)))
+
+
+def normal_init(
+    rng: np.random.Generator, *shape: int, scale: float | None = None
+) -> np.ndarray:
+    """Gaussian weight initialiser with 1/sqrt(fan_in) default scale."""
+    if scale is None:
+        fan_in = shape[-2] if len(shape) >= 2 else shape[-1]
+        scale = 1.0 / np.sqrt(max(fan_in, 1))
+    return rng.normal(0.0, scale, size=shape)
+
+
+def one_hot(indices: np.ndarray, depth: int) -> np.ndarray:
+    """One-hot encode an integer array into a trailing ``depth`` axis."""
+    indices = np.asarray(indices)
+    if indices.size and (indices.min() < 0 or indices.max() >= depth):
+        raise ValueError(f"indices out of range for depth {depth}")
+    out = np.zeros(indices.shape + (depth,), dtype=np.float64)
+    np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
+    return out
+
+
+def cross_entropy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Mean cross-entropy of integer ``targets`` under ``logits``."""
+    logits = np.asarray(logits, dtype=np.float64)
+    targets = np.asarray(targets)
+    if logits.shape[:-1] != targets.shape:
+        raise ValueError(
+            f"logits leading shape {logits.shape[:-1]} != targets shape {targets.shape}"
+        )
+    logp = log_softmax(logits, axis=-1)
+    picked = np.take_along_axis(logp, targets[..., None], axis=-1)
+    return float(-picked.mean())

@@ -1,0 +1,180 @@
+"""Decoder-only GPT transformer with MoE feed-forward layers.
+
+Structure follows the paper's DeepSpeed-Megatron models (Table II): a stack
+of pre-norm blocks, each ``attention -> residual -> MoE FFN -> residual``,
+token + learned positional embeddings, and a weight-tied LM head.  Every
+block whose index appears in ``ModelConfig.moe_layer_indices`` uses a
+mixture of experts; the rest use a dense FFN (with ``moe_every == 1`` every
+block is MoE, matching the paper).
+
+The forward pass returns the routing decisions of every MoE layer for the
+positions processed — the raw material for affinity profiling, placement
+and the distributed-engine simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import ModelConfig
+from repro.model.attention import CausalSelfAttention, KVCache
+from repro.model.experts import ExpertBank
+from repro.model.gating import GateOutput
+from repro.model.moe_layer import MoELayer
+from repro.model.tensors import gelu, layer_norm, normal_init
+
+__all__ = ["BlockState", "MoETransformer"]
+
+
+@dataclass
+class BlockState:
+    """Per-block mutable inference state (the attention KV cache)."""
+
+    cache: KVCache
+
+
+class _DenseFFN:
+    """Plain two-matrix FFN used for non-MoE blocks."""
+
+    def __init__(self, d_model: int, d_ff: int, rng: np.random.Generator):
+        self.w_in = normal_init(rng, d_model, d_ff)
+        self.w_out = normal_init(rng, d_ff, d_model)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return gelu(x @ self.w_in) @ self.w_out
+
+
+class _Block:
+    """One decoder block: attention + (MoE or dense) FFN, pre-norm residual."""
+
+    def __init__(self, config: ModelConfig, is_moe: bool, rng: np.random.Generator):
+        self.attn = CausalSelfAttention(config.d_model, config.num_heads, rng)
+        self.is_moe = is_moe
+        if is_moe:
+            self.ffn: MoELayer | _DenseFFN = MoELayer(
+                config.num_experts,
+                config.d_model,
+                config.d_ff,
+                rng,
+                gating=config.gating,
+                capacity_factor=config.capacity_factor,
+            )
+        else:
+            self.ffn = _DenseFFN(config.d_model, config.d_ff, rng)
+
+    def __call__(
+        self, x: np.ndarray, state: BlockState
+    ) -> tuple[np.ndarray, GateOutput | None]:
+        """(batch, seq, d) -> (batch, seq, d), plus routing if MoE."""
+        a, state.cache = self.attn(layer_norm(x), state.cache)
+        x = x + a
+        h = layer_norm(x)
+        b, s, d = h.shape
+        flat = h.reshape(b * s, d)
+        if self.is_moe:
+            y, routing = self.ffn(flat)  # type: ignore[misc]
+        else:
+            y, routing = self.ffn(flat), None
+        return x + y.reshape(b, s, d), routing
+
+
+class MoETransformer:
+    """The full GPT MoE decoder.
+
+    Parameters
+    ----------
+    config:
+        Architecture description (use :func:`repro.config.scaled_proxy` to
+        shrink hidden sizes for fast functional runs — the routing structure
+        is preserved).
+    rng:
+        Initialisation source; pass a seeded generator for reproducibility.
+
+    Notes
+    -----
+    ``forward`` processes a (batch, seq) token block given per-block states
+    and returns logits for every position plus each MoE layer's
+    :class:`GateOutput`, ordered by MoE layer index.  Gate outputs flatten
+    positions batch-major: token ``(b, s)`` is row ``b * seq + s``.
+    """
+
+    def __init__(self, config: ModelConfig, rng: np.random.Generator | None = None):
+        rng = rng or np.random.default_rng(0)
+        self.config = config
+        self.wte = normal_init(rng, config.vocab_size, config.d_model)
+        self.wpe = normal_init(rng, 4096, config.d_model, scale=0.01)
+        moe_set = set(config.moe_layer_indices)
+        self.blocks = [
+            _Block(config, i in moe_set, rng) for i in range(config.num_layers)
+        ]
+
+    @property
+    def moe_layers(self) -> list[MoELayer]:
+        """The MoE FFNs in layer order (len == config.num_moe_layers)."""
+        return [b.ffn for b in self.blocks if b.is_moe]  # type: ignore[misc]
+
+    def init_state(self, batch: int) -> list[BlockState]:
+        """Fresh per-block KV caches for a new batch of requests."""
+        return [
+            BlockState(
+                KVCache.empty(batch, self.config.num_heads, self.config.d_model // self.config.num_heads)
+            )
+            for _ in self.blocks
+        ]
+
+    def forward(
+        self, tokens: np.ndarray, states: list[BlockState]
+    ) -> tuple[np.ndarray, list[GateOutput]]:
+        """Run a (batch, seq) token block through the stack.
+
+        Returns (batch, seq, vocab) logits and per-MoE-layer routing for the
+        ``batch * seq`` processed positions.
+        """
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 2:
+            raise ValueError(f"tokens must be (batch, seq), got {tokens.shape}")
+        if len(states) != len(self.blocks):
+            raise ValueError("one BlockState per block required")
+        if tokens.size and (tokens.min() < 0 or tokens.max() >= self.config.vocab_size):
+            raise ValueError("token id out of vocabulary range")
+
+        past = states[0].cache.seq_len
+        b, s = tokens.shape
+        if past + s > self.wpe.shape[0]:
+            raise ValueError(f"sequence length {past + s} exceeds positional table")
+
+        x = self.wte[tokens] + self.wpe[past : past + s][None, :, :]
+        routings: list[GateOutput] = []
+        for block, state in zip(self.blocks, states):
+            x, routing = block(x, state)
+            if routing is not None:
+                routings.append(routing)
+        logits = layer_norm(x) @ self.wte.T
+        return logits, routings
+
+    def route_hidden(self, hidden: np.ndarray) -> np.ndarray:
+        """Route raw hidden states through every MoE gate (no FFN compute).
+
+        Used by trainers and profilers that only need routing decisions.
+        Returns (tokens, num_moe_layers) top-1 expert ids.
+        """
+        hidden = np.asarray(hidden, dtype=np.float64)
+        paths = np.empty((hidden.shape[0], self.config.num_moe_layers), dtype=np.int64)
+        for j, layer in enumerate(self.moe_layers):
+            paths[:, j] = layer.gate(hidden).top1
+        return paths
+
+    def param_count(self) -> int:
+        """Total parameter count (embeddings + blocks)."""
+        total = self.wte.size + self.wpe.size
+        for block in self.blocks:
+            total += block.attn.w_qkv.size + block.attn.w_out.size
+            ffn = block.ffn
+            if isinstance(ffn, MoELayer):
+                total += ffn.experts.w_in.size + ffn.experts.w_out.size
+                total += ffn.gate.weight.size
+            else:
+                total += ffn.w_in.size + ffn.w_out.size
+        return int(total)

@@ -1,0 +1,32 @@
+"""Routing traces: collection, synthesis and storage.
+
+A *routing trace* is the paper's raw measurement: for each profiled token,
+the expert it selected at every MoE layer.  Affinity estimation (Section
+IV-B), placement optimisation and the engine's communication replay all
+consume :class:`RoutingTrace` objects.
+
+Traces come from three sources:
+
+* :mod:`repro.trace.collector` — real traces from a
+  :class:`~repro.model.MoETransformer` forward/generation pass;
+* :mod:`repro.trace.markov` — controlled synthetic traces with tunable
+  affinity strength (for ablations and fast tests);
+* :mod:`repro.trace.datasets` — synthetic topic-mixture corpora standing in
+  for the Pile / C4 / Dolma / Yelp token streams.
+"""
+
+from repro.trace.events import RoutingTrace
+from repro.trace.collector import collect_trace, trace_from_generation
+from repro.trace.markov import MarkovRoutingModel, make_affinity_transitions
+from repro.trace.datasets import TopicCorpus, make_corpus, CORPUS_NAMES
+
+__all__ = [
+    "RoutingTrace",
+    "collect_trace",
+    "trace_from_generation",
+    "MarkovRoutingModel",
+    "make_affinity_transitions",
+    "TopicCorpus",
+    "make_corpus",
+    "CORPUS_NAMES",
+]

@@ -1,0 +1,76 @@
+"""Collect routing traces from real model forward passes.
+
+The paper's offline profiling step: feed sampled tokens through the
+pre-trained model and record each token's expert path at every MoE layer.
+:func:`collect_trace` does this with a corpus + model pair;
+:func:`trace_from_generation` converts a finished generation run's records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.generation import GenerationResult
+from repro.model.transformer import MoETransformer
+from repro.trace.datasets import TopicCorpus
+from repro.trace.events import RoutingTrace
+
+__all__ = ["collect_trace", "trace_from_generation"]
+
+
+def collect_trace(
+    model: MoETransformer,
+    corpus: TopicCorpus,
+    num_tokens: int,
+    doc_len: int = 32,
+    rng: np.random.Generator | None = None,
+) -> RoutingTrace:
+    """Profile ``num_tokens`` corpus tokens through the model's gates.
+
+    Documents are sampled from the corpus, run through full forward passes
+    (so hidden states carry real attention context), and every position's
+    expert path is recorded.  Mirrors the paper's "we sample tokens from the
+    Pile dataset to profile the expert routing pattern".
+
+    Parameters
+    ----------
+    num_tokens:
+        Target number of profiled positions; the last document batch is
+        truncated to hit it exactly.
+    doc_len:
+        Tokens per synthetic document (prompt length of each forward pass).
+    """
+    if num_tokens <= 0:
+        raise ValueError("num_tokens must be positive")
+    if corpus.vocab_size > model.config.vocab_size:
+        raise ValueError(
+            f"corpus vocab ({corpus.vocab_size}) exceeds model vocab "
+            f"({model.config.vocab_size})"
+        )
+    rng = rng or np.random.default_rng(0)
+
+    batch_docs = 8
+    chunks: list[np.ndarray] = []
+    collected = 0
+    while collected < num_tokens:
+        docs, _ = corpus.sample_documents(batch_docs, doc_len, rng)
+        states = model.init_state(docs.shape[0])
+        _, routings = model.forward(docs, states)
+        paths = np.stack([r.top1 for r in routings], axis=1)
+        chunks.append(paths)
+        collected += paths.shape[0]
+
+    paths = np.concatenate(chunks, axis=0)[:num_tokens]
+    return RoutingTrace(paths, model.config.num_experts, source=corpus.name)
+
+
+def trace_from_generation(
+    result: GenerationResult, num_experts: int, decode_only: bool = False, source: str = ""
+) -> RoutingTrace:
+    """Wrap a :class:`GenerationResult`'s recorded paths as a trace.
+
+    ``decode_only=True`` keeps only generated (non-prefill) positions —
+    the latency-critical tokens during serving.
+    """
+    paths = result.decode_paths if decode_only else result.expert_paths
+    return RoutingTrace(paths, num_experts, source=source or "generation")

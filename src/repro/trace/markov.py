@@ -1,0 +1,181 @@
+"""Controlled synthetic routing traces with tunable inter-layer affinity.
+
+The paper measures affinity in real checkpoints; for ablations ("how strong
+must affinity be before placement pays off?") and for fast deterministic
+tests we also need traces whose affinity strength is a *dial*.  A
+:class:`MarkovRoutingModel` generates token paths from a first-layer prior
+and per-layer-pair transition matrices
+
+    ``T_j = alpha * S_j + (1 - alpha) * U``
+
+where ``S_j`` is a structured row-stochastic kernel (each expert
+concentrates its mass on a few successors, like the hot columns of Fig 2),
+``U`` the uniform kernel, and ``alpha`` the affinity strength: 0 gives
+memoryless uniform routing (the paper's "purely stochastic" null
+hypothesis), 1 gives near-deterministic expert chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.events import RoutingTrace
+
+__all__ = ["make_affinity_transitions", "MarkovRoutingModel"]
+
+
+def make_affinity_transitions(
+    num_experts: int,
+    num_layers: int,
+    affinity: float,
+    successors: int = 2,
+    rng: np.random.Generator | None = None,
+    collision: float = 0.0,
+) -> np.ndarray:
+    """Build (L-1, E, E) row-stochastic transition stacks.
+
+    Each expert at layer ``j`` prefers ``successors`` random next-layer
+    experts (a random permutation block, so preferences don't all collide on
+    one expert — the trained models in the paper are load-balanced).
+
+    Parameters
+    ----------
+    affinity:
+        Mixing weight alpha in [0, 1] toward the structured kernel.
+    successors:
+        How many hot columns each row has (Fig 2 shows "only a few columns
+        are red" per row).
+    collision:
+        Fraction of rows whose primary preferred successor is redirected to
+        a small set of shared "hub" experts.  Real checkpoints exhibit this
+        (several experts funnel into the same popular successor), and it is
+        exactly what limits affinity placement when each GPU holds one
+        expert per layer: colliding rows cannot all co-locate with their
+        hub.  0 keeps the fully placeable permutation structure; 1 makes
+        every primary preference point at a hub.
+    """
+    if not 0.0 <= affinity <= 1.0:
+        raise ValueError("affinity must be in [0, 1]")
+    if not 0.0 <= collision <= 1.0:
+        raise ValueError("collision must be in [0, 1]")
+    if not 1 <= successors <= num_experts:
+        raise ValueError("successors must be in [1, num_experts]")
+    if num_layers < 2:
+        raise ValueError("need at least 2 layers for transitions")
+    rng = rng or np.random.default_rng(0)
+
+    e = num_experts
+    uniform = np.full((e, e), 1.0 / e)
+    stacks = np.empty((num_layers - 1, e, e))
+    num_hubs = max(1, e // 8)
+    for j in range(num_layers - 1):
+        structured = np.zeros((e, e))
+        # one permutation per preferred-successor slot keeps columns balanced
+        for s in range(successors):
+            perm = rng.permutation(e)
+            if s == 0 and collision > 0:
+                hubs = rng.choice(e, size=num_hubs, replace=False)
+                redirect = rng.random(e) < collision
+                perm = perm.copy()
+                perm[redirect] = hubs[rng.integers(0, num_hubs, size=int(redirect.sum()))]
+            weight = 2.0 ** (-s)  # first successor twice as hot as the second
+            structured[np.arange(e), perm] += weight
+        structured /= structured.sum(axis=1, keepdims=True)
+        stacks[j] = affinity * structured + (1.0 - affinity) * uniform
+    return stacks
+
+
+@dataclass
+class MarkovRoutingModel:
+    """First-order Markov routing generator.
+
+    Attributes
+    ----------
+    transitions:
+        (L-1, E, E) row-stochastic transition matrices.
+    prior:
+        (E,) first-layer expert distribution; uniform if omitted.
+    """
+
+    transitions: np.ndarray
+    prior: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        t = np.asarray(self.transitions, dtype=np.float64)
+        if t.ndim != 3 or t.shape[1] != t.shape[2]:
+            raise ValueError(f"transitions must be (L-1, E, E), got {t.shape}")
+        if (t < 0).any():
+            raise ValueError("transition probabilities must be non-negative")
+        rows = t.sum(axis=2)
+        if not np.allclose(rows, 1.0, atol=1e-8):
+            raise ValueError("transition rows must sum to 1")
+        object.__setattr__(self, "transitions", t)
+        if self.prior is not None:
+            p = np.asarray(self.prior, dtype=np.float64)
+            if p.shape != (t.shape[1],) or (p < 0).any() or not np.isclose(p.sum(), 1.0):
+                raise ValueError("prior must be a distribution over experts")
+            object.__setattr__(self, "prior", p)
+
+    @property
+    def num_experts(self) -> int:
+        return self.transitions.shape[1]
+
+    @property
+    def num_layers(self) -> int:
+        return self.transitions.shape[0] + 1
+
+    @classmethod
+    def with_affinity(
+        cls,
+        num_experts: int,
+        num_layers: int,
+        affinity: float,
+        successors: int = 2,
+        rng: np.random.Generator | None = None,
+        collision: float = 0.0,
+    ) -> "MarkovRoutingModel":
+        """Convenience constructor wrapping :func:`make_affinity_transitions`."""
+        return cls(
+            make_affinity_transitions(
+                num_experts, num_layers, affinity, successors, rng, collision
+            )
+        )
+
+    def sample(self, num_tokens: int, rng: np.random.Generator | None = None) -> RoutingTrace:
+        """Draw ``num_tokens`` expert paths, fully vectorised.
+
+        Sampling uses the inverse-CDF trick per layer: with all tokens'
+        current experts known, gather their transition rows, cumsum, and
+        compare against one uniform draw per token.
+        """
+        if num_tokens < 0:
+            raise ValueError("num_tokens must be >= 0")
+        rng = rng or np.random.default_rng(0)
+        e, L = self.num_experts, self.num_layers
+        paths = np.empty((num_tokens, L), dtype=np.int64)
+        prior = self.prior if self.prior is not None else np.full(e, 1.0 / e)
+
+        cdf0 = np.cumsum(prior)
+        paths[:, 0] = np.searchsorted(cdf0, rng.random(num_tokens), side="right").clip(0, e - 1)
+        for j in range(L - 1):
+            rows = self.transitions[j][paths[:, j]]  # (N, E)
+            cdf = np.cumsum(rows, axis=1)
+            u = rng.random((num_tokens, 1))
+            paths[:, j + 1] = (cdf < u).sum(axis=1).clip(0, e - 1)
+        return RoutingTrace(paths, e, source=f"markov(a={self._affinity_label()})")
+
+    def _affinity_label(self) -> str:
+        # diagnostic: mean max-row-probability across layers
+        return f"{float(self.transitions.max(axis=2).mean()):.2f}"
+
+    def stationary_distribution(self, layer: int) -> np.ndarray:
+        """Marginal expert distribution at ``layer`` under the model."""
+        if not 0 <= layer < self.num_layers:
+            raise IndexError("layer out of range")
+        e = self.num_experts
+        dist = self.prior if self.prior is not None else np.full(e, 1.0 / e)
+        for j in range(layer):
+            dist = dist @ self.transitions[j]
+        return dist

@@ -1,0 +1,25 @@
+"""Training dynamics of expert affinity (paper Section V-F, Figs 11-12).
+
+The paper traces how routing balance and inter-layer affinity evolve while
+a GPT MoE model trains from scratch with the GShard balance loss.  This
+package reproduces those dynamics with a gate-only trainer over the
+synthetic topic corpus: token representations are fixed (the frozen
+"backbone"), and per-layer gates train under a specialisation pressure
+(sharpen routing) opposed by the GShard load-balancing loss — the two
+forces whose interplay produces the paper's observed phases: early expert
+collapse, re-balancing, then steadily strengthening affinity.
+"""
+
+from repro.training.trainer import GateStackTrainer, TrainerConfig
+from repro.training.balance import load_imbalance, expert_share, gshard_balance_loss
+from repro.training.evolution import AffinityTimeline, track_affinity_evolution
+
+__all__ = [
+    "GateStackTrainer",
+    "TrainerConfig",
+    "load_imbalance",
+    "expert_share",
+    "gshard_balance_loss",
+    "AffinityTimeline",
+    "track_affinity_evolution",
+]

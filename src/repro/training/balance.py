@@ -1,0 +1,54 @@
+"""Load-balance metrics for expert routing.
+
+Quantifies the expert-usage skew the paper plots in Fig 11: at training
+start a few experts receive most tokens; the GShard loss drives usage
+toward uniformity.  ``gshard_balance_loss`` is re-exported from the model
+package so training code has one import site.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.gating import gshard_balance_loss
+from repro.trace.events import RoutingTrace
+
+__all__ = ["load_imbalance", "expert_share", "gshard_balance_loss", "entropy_balance"]
+
+
+def expert_share(assignments: np.ndarray, num_experts: int) -> np.ndarray:
+    """(E,) fraction of tokens routed to each expert (one layer)."""
+    assignments = np.asarray(assignments)
+    n = assignments.size
+    if n == 0:
+        return np.zeros(num_experts)
+    return np.bincount(assignments.ravel(), minlength=num_experts) / n
+
+
+def load_imbalance(assignments: np.ndarray, num_experts: int) -> float:
+    """Max-over-mean expert load: 1.0 = perfectly balanced, E = collapsed."""
+    share = expert_share(assignments, num_experts)
+    mean = share.mean()
+    if mean == 0:
+        return 1.0
+    return float(share.max() / mean)
+
+
+def entropy_balance(assignments: np.ndarray, num_experts: int) -> float:
+    """Normalised routing entropy: 1.0 = uniform usage, 0.0 = collapsed."""
+    share = expert_share(assignments, num_experts)
+    nz = share[share > 0]
+    if nz.size <= 1 or num_experts <= 1:
+        return 0.0
+    h = float(-(nz * np.log(nz)).sum())
+    return h / np.log(num_experts)
+
+
+def trace_balance_series(trace: RoutingTrace) -> np.ndarray:
+    """(L,) load imbalance of each layer in a trace."""
+    return np.array(
+        [
+            load_imbalance(trace.paths[:, j], trace.num_experts)
+            for j in range(trace.num_layers)
+        ]
+    )

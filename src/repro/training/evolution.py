@@ -1,0 +1,104 @@
+"""Affinity evolution tracking across training (Figs 11 and 12).
+
+Runs a :class:`~repro.training.trainer.GateStackTrainer` and snapshots, at
+each checkpoint, the scalar affinity metric (Fig 12's y-axis) and the last
+layer's expert-share vector (Fig 11's stacked series).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.affinity import scaled_affinity
+from repro.trace.datasets import TopicCorpus, make_corpus
+from repro.training.balance import expert_share, load_imbalance
+from repro.training.trainer import GateStackTrainer, TrainerConfig
+
+__all__ = ["AffinityTimeline", "track_affinity_evolution"]
+
+
+@dataclass(frozen=True)
+class AffinityTimeline:
+    """Checkpointed routing statistics across a training run.
+
+    Attributes
+    ----------
+    iterations:
+        (T,) checkpoint iteration numbers (0 = untrained).
+    affinity:
+        (T,) scaled affinity at each checkpoint.
+    last_layer_share:
+        (T, E) expert routing shares at the final MoE layer.
+    imbalance:
+        (T,) max-over-mean load at the final layer.
+    """
+
+    iterations: np.ndarray
+    affinity: np.ndarray
+    last_layer_share: np.ndarray
+    imbalance: np.ndarray
+
+    @property
+    def num_checkpoints(self) -> int:
+        return self.iterations.size
+
+    def affinity_increased_overall(self) -> bool:
+        """Did affinity end above its post-collapse minimum? (Fig 12b's claim)"""
+        if self.affinity.size < 3:
+            return False
+        interior_min = float(self.affinity[1:-1].min())
+        return bool(self.affinity[-1] > interior_min)
+
+
+def track_affinity_evolution(
+    num_experts: int,
+    num_layers: int = 6,
+    total_iterations: int = 200,
+    checkpoints: int = 20,
+    corpus: TopicCorpus | None = None,
+    trainer_config: TrainerConfig | None = None,
+    probe_tokens: int = 2048,
+    seed: int = 0,
+) -> AffinityTimeline:
+    """Train gates from scratch and record the affinity timeline.
+
+    Parameters mirror the paper's sweep: one curve per expert count
+    (8/16/32/64 in Fig 12), trained with the GShard balance loss active.
+    """
+    corpus = corpus or make_corpus("pile", num_topics=max(8, num_experts), seed=seed)
+    config = trainer_config or TrainerConfig(
+        num_experts=num_experts, num_layers=num_layers, seed=seed
+    )
+    trainer = GateStackTrainer(config, corpus)
+
+    marks = np.unique(
+        np.linspace(0, total_iterations, num=max(checkpoints, 2)).astype(int)
+    )
+    iters: list[int] = []
+    aff: list[float] = []
+    share: list[np.ndarray] = []
+    imb: list[float] = []
+
+    def snapshot() -> None:
+        trace = trainer.probe_trace(probe_tokens, seed=seed + 999)
+        iters.append(trainer.iteration)
+        aff.append(scaled_affinity(trace))
+        last = trace.paths[:, -1]
+        share.append(expert_share(last, num_experts))
+        imb.append(load_imbalance(last, num_experts))
+
+    snapshot()  # iteration 0: untrained
+    done = 0
+    for mark in marks[1:]:
+        trainer.train(int(mark) - done)
+        done = int(mark)
+        snapshot()
+
+    return AffinityTimeline(
+        iterations=np.asarray(iters),
+        affinity=np.asarray(aff),
+        last_layer_share=np.stack(share),
+        imbalance=np.asarray(imb),
+    )

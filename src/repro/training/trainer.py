@@ -1,0 +1,208 @@
+"""Gate-only MoE trainer over a frozen backbone.
+
+The full paper trains 350M-1.3B GPT MoE models; what Figs 11/12 actually
+measure, though, is *router* behaviour.  We therefore train only the
+per-layer gates, over fixed token representations derived from the topic
+corpus — a frozen-backbone proxy that preserves the three forces shaping
+routing dynamics:
+
+1. **specialisation pressure** — a self-training sharpening loss (tokens
+   are pulled toward their current best expert), the stand-in for the task
+   loss's tendency to make routing confident and domain-specific;
+2. **GShard balance loss** — pushes usage toward uniformity;
+3. **shared representation drift across layers** — layer-j representations
+   are smooth transforms of layer-(j-1) ones, so once experts specialise by
+   topic, consecutive-layer selections correlate: affinity.
+
+Token representations are topic clusters (each vocabulary slice belongs to
+one topic of the corpus universe, mirroring
+:mod:`repro.trace.datasets`) plus token noise and a shared mean component.
+At random initialisation the shared mean dominates every gate's logits, so
+one expert receives most tokens — the paper's observed early collapse —
+until the balance loss spreads load across topic clusters.  A small weight
+decay keeps the softmax from saturating (saturated routing has zero
+gradient and would freeze the collapsed state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import GatingKind
+from repro.model.gating import TopKGate
+from repro.model.tensors import normal_init, one_hot
+from repro.trace.datasets import TopicCorpus
+from repro.trace.events import RoutingTrace
+
+__all__ = ["TrainerConfig", "GateStackTrainer"]
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Hyper-parameters of the gate-only trainer.
+
+    ``balance_weight`` scales the GShard gradient against the sharpening
+    gradient; ``lr`` is plain SGD.  ``embed_mean_bias`` sets the shared
+    component of token embeddings that produces the early collapse phase;
+    ``topic_scale`` sets how strongly topics cluster in embedding space
+    (the eventual driver of specialisation and affinity).
+    """
+
+    num_experts: int
+    num_layers: int
+    d_model: int = 32
+    lr: float = 0.2
+    balance_weight: float = 4.0
+    sharpen_weight: float = 0.5
+    weight_decay: float = 0.02
+    batch_tokens: int = 256
+    embed_mean_bias: float = 2.0
+    topic_scale: float = 4.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_experts < 2 or self.num_layers < 2:
+            raise ValueError("need >= 2 experts and >= 2 layers")
+        if self.lr <= 0 or self.batch_tokens < 1:
+            raise ValueError("lr must be positive and batch_tokens >= 1")
+        if self.weight_decay < 0:
+            raise ValueError("weight_decay must be >= 0")
+
+
+class GateStackTrainer:
+    """Trains one gate per layer over frozen layer representations.
+
+    Parameters
+    ----------
+    config:
+        Trainer hyper-parameters.
+    corpus:
+        Topic corpus supplying training tokens; its topic structure is what
+        experts eventually specialise on.
+    """
+
+    def __init__(self, config: TrainerConfig, corpus: TopicCorpus):
+        self.config = config
+        self.corpus = corpus
+        rng = np.random.default_rng(config.seed)
+        self._rng = rng
+
+        # frozen backbone: topic-clustered token embeddings.  Vocabulary
+        # slice t belongs to topic t (same convention as the corpus
+        # generator), so documents' tokens cluster by topic geometry.
+        v, d, k = corpus.vocab_size, config.d_model, corpus.num_topics
+        slice_size = max(1, v // k)
+        topic_of_token = np.minimum(np.arange(v) // slice_size, k - 1)
+        topic_centers = rng.normal(0.0, config.topic_scale, size=(k, d))
+        shared_mean = rng.normal(0.0, config.embed_mean_bias, size=(1, d))
+        self.token_embed = topic_centers[topic_of_token] + normal_init(
+            rng, v, d, scale=1.0
+        ) + shared_mean
+        self.layer_mix = [
+            normal_init(rng, d, d, scale=0.25) for _ in range(config.num_layers)
+        ]
+
+        # trainable gates, tiny init so early routing is decided by the
+        # embeddings' shared mean direction (-> initial collapse)
+        self.gates = [
+            TopKGate(d, config.num_experts, GatingKind.TOP1, rng)
+            for _ in range(config.num_layers)
+        ]
+        for gate in self.gates:
+            gate.weight *= 0.05
+        self.iteration = 0
+
+    # -- representations ------------------------------------------------------
+
+    def hidden_states(self, tokens: np.ndarray) -> list[np.ndarray]:
+        """Frozen per-layer representations of a flat token batch.
+
+        ``h_0 = embed(token)``; ``h_j = norm(h_{j-1} + h_{j-1} @ M_j)`` — a
+        residual-stream proxy: representations drift smoothly across layers,
+        which is what carries affinity between consecutive gates.
+        """
+        h = self.token_embed[np.asarray(tokens).ravel()]
+        states = []
+        for mix in self.layer_mix:
+            h = h + h @ mix
+            scale = np.linalg.norm(h, axis=1, keepdims=True).clip(min=1e-9)
+            h = h / scale * np.sqrt(self.config.d_model)
+            states.append(h)
+        return states
+
+    # -- training ----------------------------------------------------------------
+
+    def _sample_batch(self) -> np.ndarray:
+        docs, _ = self.corpus.sample_documents(
+            max(1, self.config.batch_tokens // 16), 16, self._rng
+        )
+        return docs.ravel()[: self.config.batch_tokens]
+
+    def step(self) -> dict[str, float]:
+        """One SGD step on every gate; returns scalar diagnostics."""
+        cfg = self.config
+        tokens = self._sample_batch()
+        states = self.hidden_states(tokens)
+
+        total_balance = 0.0
+        total_conf = 0.0
+        for gate, h in zip(self.gates, states):
+            out = gate(h)
+            n = h.shape[0]
+
+            # sharpening: cross-entropy toward the current argmax expert
+            target = one_hot(out.top1, cfg.num_experts)
+            d_logits_sharp = (out.probs - target) / n
+
+            # balance gradient, straight-through on the logits: push every
+            # over-used expert's logit down by its excess usage.  Routing
+            # through the saturated softmax would give a vanishing gradient
+            # exactly when balancing matters most (full collapse), so the
+            # straight-through form is what makes recovery possible.
+            e = cfg.num_experts
+            f = np.bincount(out.top1, minlength=e) / n
+            d_logits_bal = np.tile((f - 1.0 / e) / n, (n, 1))
+
+            grad = h.T @ (
+                cfg.sharpen_weight * d_logits_sharp + cfg.balance_weight * d_logits_bal
+            )
+            gate.weight -= cfg.lr * grad
+            # weight decay keeps logits out of softmax saturation, where all
+            # routing gradients vanish and collapse would become permanent
+            gate.weight *= 1.0 - cfg.lr * cfg.weight_decay
+
+            total_balance += gate.balance_loss(out.probs, out.experts)
+            total_conf += float(out.probs.max(axis=1).mean())
+
+        self.iteration += 1
+        L = cfg.num_layers
+        return {
+            "iteration": float(self.iteration),
+            "balance_loss": total_balance / L,
+            "confidence": total_conf / L,
+        }
+
+    def train(self, iterations: int) -> list[dict[str, float]]:
+        """Run ``iterations`` steps; returns the per-step diagnostics."""
+        if iterations < 0:
+            raise ValueError("iterations must be >= 0")
+        return [self.step() for _ in range(iterations)]
+
+    # -- probing ---------------------------------------------------------------------
+
+    def probe_trace(self, num_tokens: int = 2048, seed: int = 999) -> RoutingTrace:
+        """Route a held-out probe batch through the current gates.
+
+        The returned trace is what the affinity-evolution experiment scores
+        at each checkpoint.
+        """
+        rng = np.random.default_rng(seed)
+        docs, _ = self.corpus.sample_documents(max(1, num_tokens // 16), 16, rng)
+        tokens = docs.ravel()[:num_tokens]
+        states = self.hidden_states(tokens)
+        paths = np.stack(
+            [gate(h).top1 for gate, h in zip(self.gates, states)], axis=1
+        )
+        return RoutingTrace(paths, self.config.num_experts, source="probe")

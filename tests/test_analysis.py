@@ -1,0 +1,133 @@
+"""Unit tests for repro.analysis (heatmap, tables, report)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.heatmap import ascii_heatmap, heatmap_csv
+from repro.analysis.report import format_series, format_table
+from repro.analysis.tables import (
+    comm_volume_table,
+    deepspeed_volume,
+    exflow_volume,
+    topo_aware_volume,
+)
+
+
+class TestHeatmap:
+    def test_renders_rows(self):
+        out = ascii_heatmap(np.eye(4), title="identity")
+        assert "identity" in out
+        assert out.count("\n") >= 5
+
+    def test_peak_reported(self):
+        out = ascii_heatmap(np.array([[0.0, 0.5], [0.25, 0.0]]))
+        assert "0.5000" in out
+
+    def test_hot_cells_darker(self):
+        m = np.array([[1.0, 0.0], [0.0, 0.0]])
+        lines = [l for l in ascii_heatmap(m).splitlines() if l and l[0].isdigit() is False]
+        body = ascii_heatmap(m).splitlines()
+        row0 = body[0]
+        assert "@" in row0  # peak cell uses the darkest ramp char
+
+    def test_pooling_large_matrix(self):
+        out = ascii_heatmap(np.random.default_rng(0).random((200, 200)), max_size=32)
+        data_rows = [l for l in out.splitlines() if l and not l.startswith("    ")]
+        assert len(data_rows) <= 33
+
+    def test_zero_matrix(self):
+        out = ascii_heatmap(np.zeros((3, 3)))
+        assert "peak value: 0.0000" in out
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.array([[-1.0]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros(4))
+
+    def test_csv_roundtrip(self):
+        m = np.array([[0.5, 0.25], [0.125, 1.0]])
+        parsed = np.array(
+            [[float(v) for v in line.split(",")] for line in heatmap_csv(m).strip().splitlines()]
+        )
+        assert np.allclose(parsed, m)
+
+
+class TestCommVolumeTable:
+    def test_deepspeed_formula(self):
+        v = deepspeed_volume(g=4, n=8, L=12, p=0.5)
+        assert v.top1 == 2 * 4 * 8 * 12 * 0.5
+        assert v.top2 == 2 * v.top1
+        assert v.applicable_in_inference
+
+    def test_topo_aware_not_applicable(self):
+        v = topo_aware_volume(4, 8, 12, 0.4, "FasterMoE")
+        assert not v.applicable_in_inference
+
+    def test_exflow_formula(self):
+        v = exflow_volume(g=4, n=8, L=12, p_star=0.25)
+        assert v.top1 == 4 * 8 * (12 * 0.25 + 4)
+        assert v.top2 == 4 * 8 * (2 * 12 * 0.25 + 4)
+
+    def test_exflow_beats_deepspeed_at_realistic_p(self):
+        """With p* around half of p and enough layers, ExFlow's volume is
+        lower despite the AllGather term."""
+        ds = deepspeed_volume(16, 8, 24, p=0.9)
+        ex = exflow_volume(16, 8, 24, p_star=0.45)
+        assert ex.top1 < ds.top1
+
+    def test_allgather_term_amortised_by_depth(self):
+        """Deeper models shrink ExFlow's relative AllGather overhead."""
+        shallow = exflow_volume(8, 8, 12, 0.5).top1 / deepspeed_volume(8, 8, 12, 0.9).top1
+        deep = exflow_volume(8, 8, 40, 0.5).top1 / deepspeed_volume(8, 8, 40, 0.9).top1
+        assert deep < shallow
+
+    def test_table_has_four_rows(self):
+        rows = comm_volume_table(4, 8, 12, p=0.8)
+        assert [r.framework for r in rows] == [
+            "FasterMoE",
+            "TA-MoE",
+            "Deepspeed-MoE",
+            "ExFlow",
+        ]
+
+    def test_scaled_by(self):
+        v = deepspeed_volume(2, 2, 2, 1.0)
+        b1, b2 = v.scaled_by(2048)
+        assert b1 == v.top1 * 2048
+        assert b2 == v.top2 * 2048
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            deepspeed_volume(0, 1, 1, 0.5)
+        with pytest.raises(ValueError):
+            exflow_volume(1, 1, 1, 1.5)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.125]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("bb")
+
+    def test_format_table_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.startswith("T\n")
+
+    def test_format_table_row_width_check(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_series(self):
+        out = format_series([1, 2], {"y": [0.5, 0.25]}, x_label="n")
+        assert "n" in out.splitlines()[0]
+        assert "0.250" in out
+
+    def test_format_series_length_check(self):
+        with pytest.raises(ValueError):
+            format_series([1, 2], {"y": [1.0]})

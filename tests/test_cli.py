@@ -1,0 +1,107 @@
+"""Unit tests for the repro CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.placement.base import Placement
+from repro.trace.events import RoutingTrace
+
+
+class TestModels:
+    def test_lists_presets(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "gpt-m-350m-e32" in out
+        assert "MoE-GPT-XL-1.3B-E16" in out
+
+
+class TestProfile:
+    def test_writes_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.npz"
+        code = main(
+            ["profile", "--model", "gpt-m-350m-e8", "--tokens", "200", "--out", str(out)]
+        )
+        assert code == 0
+        trace = RoutingTrace.load(out)
+        assert trace.num_tokens == 200
+        assert trace.num_experts == 8
+        assert "scaled affinity" in capsys.readouterr().out
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        main(["profile", "--tokens", "100", "--seed", "5", "--out", str(a)])
+        main(["profile", "--tokens", "100", "--seed", "5", "--out", str(b)])
+        assert np.array_equal(RoutingTrace.load(a).paths, RoutingTrace.load(b).paths)
+
+
+class TestPlace:
+    def test_solves_and_saves(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.npz"
+        main(["profile", "--model", "gpt-m-350m-e32", "--tokens", "500", "--out", str(trace_path)])
+        placement_path = tmp_path / "placement.npz"
+        code = main(
+            [
+                "place",
+                "--trace",
+                str(trace_path),
+                "--nodes",
+                "2",
+                "--gpus-per-node",
+                "4",
+                "--out",
+                str(placement_path),
+            ]
+        )
+        assert code == 0
+        placement = Placement.load(placement_path)
+        assert placement.num_gpus == 8
+        assert "same-GPU" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_prints_comparison(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--model",
+                "gpt-m-350m-e8",
+                "--nodes",
+                "2",
+                "--gpus-per-node",
+                "4",
+                "--requests-per-gpu",
+                "2",
+                "--generate-len",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "deepspeed" in out
+        assert "exflow" in out
+
+
+class TestHeatmap:
+    def test_renders(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.npz"
+        main(["profile", "--model", "gpt-m-350m-e8", "--tokens", "300", "--out", str(trace_path)])
+        assert main(["heatmap", "--trace", str(trace_path), "--layer", "0"]) == 0
+        assert "affinity: layer 0 -> 1" in capsys.readouterr().out
+
+    def test_layer_out_of_range(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.npz"
+        main(["profile", "--model", "gpt-m-350m-e8", "--tokens", "100", "--out", str(trace_path)])
+        assert main(["heatmap", "--trace", str(trace_path), "--layer", "99"]) == 2
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--strategy", "quantum"])

@@ -1,0 +1,180 @@
+"""Unit tests for repro.cluster.collectives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.collectives import (
+    allgather_cost,
+    allreduce_cost,
+    alltoall_cost,
+    alltoall_matrix,
+    broadcast_cost,
+)
+from repro.cluster.topology import Tier, Topology
+from repro.config import ClusterConfig
+
+
+@pytest.fixture
+def topo() -> Topology:
+    return Topology(ClusterConfig(num_nodes=2, gpus_per_node=2))
+
+
+@pytest.fixture
+def big_topo() -> Topology:
+    return Topology(ClusterConfig(num_nodes=4, gpus_per_node=4))
+
+
+class TestAlltoallMatrix:
+    def test_zero_traffic_costs_nothing(self, topo):
+        res = alltoall_matrix(topo, np.zeros((4, 4)))
+        assert res.time_s == 0.0
+        assert res.cross_gpu_bytes == 0.0
+
+    def test_diagonal_only_is_free(self, topo):
+        traffic = np.zeros((4, 4))
+        np.fill_diagonal(traffic, 1e6)
+        res = alltoall_matrix(topo, traffic)
+        assert res.time_s == 0.0
+        assert res.bytes_by_tier[Tier.LOCAL] == pytest.approx(4e6)
+
+    def test_monotone_in_bytes(self, topo):
+        t1 = np.full((4, 4), 1e5)
+        np.fill_diagonal(t1, 0)
+        t2 = t1 * 10
+        r1, r2 = alltoall_matrix(topo, t1), alltoall_matrix(topo, t2)
+        assert r2.time_s > r1.time_s
+
+    def test_inter_node_dearer_than_intra(self, topo):
+        intra = np.zeros((4, 4))
+        intra[0, 1] = 1e7  # same node
+        inter = np.zeros((4, 4))
+        inter[0, 2] = 1e7  # cross node
+        assert alltoall_matrix(topo, inter).time_s > alltoall_matrix(topo, intra).time_s
+
+    def test_single_gpu_all_local(self):
+        topo = Topology(ClusterConfig(num_nodes=1, gpus_per_node=1))
+        res = alltoall_matrix(topo, np.array([[123.0]]))
+        assert res.time_s == 0.0
+        assert res.bytes_by_tier[Tier.LOCAL] == 123.0
+
+    def test_bytes_classified(self, topo):
+        traffic = np.zeros((4, 4))
+        traffic[0, 1] = 100.0  # intra
+        traffic[0, 2] = 200.0  # inter
+        res = alltoall_matrix(topo, traffic)
+        assert res.bytes_by_tier[Tier.INTRA] == 100.0
+        assert res.bytes_by_tier[Tier.INTER] == 200.0
+        assert res.inter_node_bytes == 200.0
+
+    def test_rounds(self, topo):
+        traffic = np.full((4, 4), 1.0)
+        res = alltoall_matrix(topo, traffic)
+        assert res.rounds == 3
+
+    def test_rejects_negative(self, topo):
+        t = np.zeros((4, 4))
+        t[1, 0] = -1
+        with pytest.raises(ValueError):
+            alltoall_matrix(topo, t)
+
+    def test_rejects_wrong_shape(self, topo):
+        with pytest.raises(ValueError):
+            alltoall_matrix(topo, np.zeros((2, 2)))
+
+
+class TestAlltoallUniform:
+    def test_matches_matrix_version(self, topo):
+        traffic = np.full((4, 4), 1e6)
+        np.fill_diagonal(traffic, 0.0)
+        assert alltoall_cost(topo, 1e6).time_s == pytest.approx(
+            alltoall_matrix(topo, traffic).time_s
+        )
+
+    def test_scales_with_gpu_count(self, topo, big_topo):
+        small = alltoall_cost(topo, 1e6)
+        big = alltoall_cost(big_topo, 1e6)
+        assert big.time_s > small.time_s
+
+    def test_rejects_negative(self, topo):
+        with pytest.raises(ValueError):
+            alltoall_cost(topo, -1.0)
+
+
+class TestAllgather:
+    def test_uniform_contributions(self, topo):
+        res = allgather_cost(topo, 1e6)
+        assert res.time_s > 0
+        assert res.rounds == 3
+        # ring moves every contribution across G-1 links
+        assert res.total_bytes == pytest.approx(3 * 4e6)
+
+    def test_heterogeneous_contributions(self, topo):
+        res = allgather_cost(topo, np.array([1e6, 0.0, 0.0, 0.0]))
+        assert res.total_bytes == pytest.approx(3e6)
+
+    def test_zero_contribution_free(self, topo):
+        res = allgather_cost(topo, 0.0)
+        assert res.time_s == 0.0
+
+    def test_single_gpu(self):
+        topo = Topology(ClusterConfig(num_nodes=1, gpus_per_node=1))
+        assert allgather_cost(topo, 1e6).time_s == 0.0
+
+    def test_no_dearer_than_equivalent_alltoall(self, topo):
+        """AllGather of n bytes/rank moves the same volume as Alltoall of n
+        per peer; the ring schedule should never cost more than the pairwise
+        exchange (both are gated by the slowest tier each round)."""
+        ag = allgather_cost(topo, 1e6)
+        a2a = alltoall_cost(topo, 1e6)
+        assert ag.time_s <= a2a.time_s + 1e-12
+
+    def test_rejects_negative(self, topo):
+        with pytest.raises(ValueError):
+            allgather_cost(topo, np.array([1.0, -1.0, 0.0, 0.0]))
+
+
+class TestAllreduce:
+    def test_positive_cost(self, topo):
+        assert allreduce_cost(topo, 1e6).time_s > 0
+
+    def test_steps(self, topo):
+        assert allreduce_cost(topo, 1e6).rounds == 6  # 2*(G-1)
+
+    def test_zero_free(self, topo):
+        assert allreduce_cost(topo, 0.0).time_s == 0.0
+
+    def test_rejects_negative(self, topo):
+        with pytest.raises(ValueError):
+            allreduce_cost(topo, -5.0)
+
+
+class TestBroadcast:
+    def test_log_rounds(self, big_topo):
+        res = broadcast_cost(big_topo, 1e6)
+        assert res.rounds == 4  # ceil(log2 16)
+
+    def test_all_ranks_receive(self, topo):
+        res = broadcast_cost(topo, 1e6)
+        # G-1 receivers, each gets the full payload
+        assert res.total_bytes == pytest.approx(3e6)
+
+    def test_root_out_of_range(self, topo):
+        with pytest.raises(IndexError):
+            broadcast_cost(topo, 1.0, root=4)
+
+    def test_root_relabelling(self, topo):
+        r0 = broadcast_cost(topo, 1e6, root=0)
+        r2 = broadcast_cost(topo, 1e6, root=2)
+        assert r0.total_bytes == pytest.approx(r2.total_bytes)
+
+
+class TestCollectiveResult:
+    def test_combine_adds(self, topo):
+        a = alltoall_cost(topo, 1e5)
+        b = allgather_cost(topo, 1e5)
+        c = a.combine(b)
+        assert c.time_s == pytest.approx(a.time_s + b.time_s)
+        assert c.total_bytes == pytest.approx(a.total_bytes + b.total_bytes)
+        assert c.rounds == a.rounds + b.rounds

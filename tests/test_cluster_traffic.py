@@ -1,0 +1,84 @@
+"""Unit tests for repro.cluster.traffic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.collectives import allgather_cost, alltoall_cost
+from repro.cluster.topology import Tier, Topology
+from repro.cluster.traffic import TrafficLedger
+from repro.config import ClusterConfig
+
+
+@pytest.fixture
+def topo() -> Topology:
+    return Topology(ClusterConfig(num_nodes=2, gpus_per_node=2))
+
+
+class TestLedger:
+    def test_empty(self):
+        ledger = TrafficLedger()
+        assert ledger.total_time_s == 0.0
+        assert ledger.total_bytes == 0.0
+        assert ledger.summary() == {}
+
+    def test_record_accumulates(self, topo):
+        ledger = TrafficLedger()
+        res = alltoall_cost(topo, 1e6)
+        ledger.record(res)
+        ledger.record(res)
+        assert ledger.total_time_s == pytest.approx(2 * res.time_s)
+        assert ledger.count_by_op["alltoall"] == 2
+
+    def test_label_override(self, topo):
+        ledger = TrafficLedger()
+        res = alltoall_cost(topo, 1e6)
+        ledger.record(res, "dispatch")
+        ledger.record(res, "combine")
+        assert ledger.time_of("dispatch") == pytest.approx(res.time_s)
+        assert ledger.time_of("dispatch", "combine") == pytest.approx(2 * res.time_s)
+        assert "alltoall" not in ledger.time_by_op
+
+    def test_bytes_by_tier(self, topo):
+        ledger = TrafficLedger()
+        ledger.record(alltoall_cost(topo, 1e6))
+        assert ledger.bytes_of("alltoall", Tier.INTER) > 0
+        assert ledger.bytes_of("alltoall") == pytest.approx(
+            ledger.bytes_of("alltoall", Tier.LOCAL)
+            + ledger.bytes_of("alltoall", Tier.INTRA)
+            + ledger.bytes_of("alltoall", Tier.INTER)
+        )
+
+    def test_cross_gpu_excludes_local(self, topo):
+        ledger = TrafficLedger()
+        traffic = np.zeros((4, 4))
+        np.fill_diagonal(traffic, 100.0)
+        traffic[0, 1] = 50.0
+        from repro.cluster.collectives import alltoall_matrix
+
+        ledger.record(alltoall_matrix(topo, traffic))
+        assert ledger.cross_gpu_bytes() == pytest.approx(50.0)
+
+    def test_inter_node_bytes(self, topo):
+        ledger = TrafficLedger()
+        from repro.cluster.collectives import alltoall_matrix
+
+        traffic = np.zeros((4, 4))
+        traffic[0, 2] = 77.0
+        ledger.record(alltoall_matrix(topo, traffic))
+        assert ledger.inter_node_bytes() == pytest.approx(77.0)
+
+    def test_merge(self, topo):
+        a, b = TrafficLedger(), TrafficLedger()
+        a.record(alltoall_cost(topo, 1e5))
+        b.record(allgather_cost(topo, 1e5))
+        merged = a.merge(b)
+        assert merged.total_time_s == pytest.approx(a.total_time_s + b.total_time_s)
+        assert set(merged.time_by_op) == {"alltoall", "allgather"}
+
+    def test_summary_keys(self, topo):
+        ledger = TrafficLedger()
+        ledger.record(alltoall_cost(topo, 1e5))
+        s = ledger.summary()["alltoall"]
+        assert set(s) == {"time_s", "count", "bytes", "inter_node_bytes"}

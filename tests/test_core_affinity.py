@@ -1,0 +1,127 @@
+"""Unit tests for repro.core.affinity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.affinity import (
+    affinity_concentration,
+    affinity_matrix,
+    most_affiliated,
+    multi_hop_affinity,
+    scaled_affinity,
+    set_affinity,
+    staged_set_affinity,
+)
+from repro.trace.events import RoutingTrace
+from repro.trace.markov import MarkovRoutingModel
+
+
+class TestAffinityMatrix:
+    def test_row_stochastic(self, affinity_trace):
+        m = affinity_matrix(affinity_trace, 0)
+        assert np.allclose(m.sum(axis=1), 1.0)
+
+    def test_deterministic_chain(self):
+        """Identity routing -> identity affinity matrix."""
+        paths = np.tile(np.arange(4)[:, None], (1, 3))
+        trace = RoutingTrace(paths, num_experts=4)
+        assert np.allclose(affinity_matrix(trace, 0), np.eye(4))
+
+    def test_memoryless_rows_near_uniform(self, uniform_trace):
+        m = affinity_matrix(uniform_trace, 0)
+        e = uniform_trace.num_experts
+        assert np.abs(m - 1.0 / e).max() < 0.12  # sampling noise bound
+
+
+class TestMultiHop:
+    def test_matches_direct_estimate(self, affinity_trace):
+        m = multi_hop_affinity(affinity_trace, 0, 2)
+        direct = affinity_trace.conditional_matrix(0, 2)
+        assert np.array_equal(m, direct)
+
+    def test_rejects_non_forward(self, affinity_trace):
+        with pytest.raises(ValueError):
+            multi_hop_affinity(affinity_trace, 2, 2)
+
+    def test_hops_diffuse(self):
+        """With imperfect affinity, longer hops are less concentrated."""
+        model = MarkovRoutingModel.with_affinity(
+            8, 6, 0.8, successors=1, rng=np.random.default_rng(1)
+        )
+        trace = model.sample(20000, np.random.default_rng(2))
+        one = multi_hop_affinity(trace, 0, 1).max(axis=1).mean()
+        four = multi_hop_affinity(trace, 0, 4).max(axis=1).mean()
+        assert one > four
+
+
+class TestMostAffiliated:
+    def test_deterministic_chain(self):
+        paths = np.column_stack([np.arange(4), (np.arange(4) + 1) % 4])
+        trace = RoutingTrace(paths, num_experts=4)
+        assert most_affiliated(trace, 0).tolist() == [1, 2, 3, 0]
+
+
+class TestSetAffinity:
+    def test_full_sets_give_one(self, affinity_trace):
+        all_experts = np.arange(affinity_trace.num_experts)
+        assert set_affinity(affinity_trace, 0, all_experts, all_experts) == pytest.approx(1.0)
+
+    def test_empty_dst_gives_zero(self, affinity_trace):
+        src = np.arange(affinity_trace.num_experts)
+        assert set_affinity(affinity_trace, 0, src, np.array([], dtype=int)) == 0.0
+
+    def test_unseen_src_gives_zero(self):
+        trace = RoutingTrace(np.zeros((10, 2), dtype=int), num_experts=4)
+        assert set_affinity(trace, 0, np.array([3]), np.array([0])) == 0.0
+
+    def test_partition_sums_to_one(self, affinity_trace):
+        """Disjoint destination groups partition the probability."""
+        e = affinity_trace.num_experts
+        src = np.array([0, 1])
+        half_a, half_b = np.arange(e // 2), np.arange(e // 2, e)
+        total = set_affinity(affinity_trace, 0, src, half_a) + set_affinity(
+            affinity_trace, 0, src, half_b
+        )
+        assert total == pytest.approx(1.0)
+
+
+class TestStagedSetAffinity:
+    def test_decomposition(self, affinity_trace):
+        gpu = np.array([0, 1])
+        node_rest = np.array([2, 3])
+        staged = staged_set_affinity(affinity_trace, 0, gpu, node_rest)
+        node_all = set_affinity(affinity_trace, 0, gpu, np.array([0, 1, 2, 3]))
+        assert staged == pytest.approx(node_all)
+
+
+class TestConcentrationAndScaled:
+    def test_concentration_bounds(self, affinity_trace):
+        c = affinity_concentration(affinity_trace, 0, top=2)
+        assert 0.0 <= c <= 1.0
+
+    def test_strong_beats_weak(self):
+        strong = MarkovRoutingModel.with_affinity(8, 4, 0.9, rng=np.random.default_rng(1))
+        weak = MarkovRoutingModel.with_affinity(8, 4, 0.1, rng=np.random.default_rng(1))
+        rng = np.random.default_rng(2)
+        s = scaled_affinity(strong.sample(5000, rng))
+        w = scaled_affinity(weak.sample(5000, rng))
+        assert s > w + 0.3
+
+    def test_memoryless_near_zero(self, uniform_trace):
+        assert scaled_affinity(uniform_trace) < 0.1
+
+    def test_deterministic_is_one(self):
+        paths = np.tile(np.arange(8)[:, None], (10, 3))
+        trace = RoutingTrace(paths, num_experts=8)
+        assert scaled_affinity(trace, top=1) == pytest.approx(1.0)
+
+    def test_needs_two_layers(self):
+        trace = RoutingTrace(np.zeros((5, 1), dtype=int), num_experts=4)
+        with pytest.raises(ValueError):
+            scaled_affinity(trace)
+
+    def test_empty_trace_concentration(self):
+        trace = RoutingTrace(np.zeros((0, 3), dtype=int), num_experts=4)
+        assert affinity_concentration(trace, 0) == 0.0

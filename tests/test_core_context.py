@@ -1,0 +1,91 @@
+"""Unit tests for repro.core.context (ContextStore)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.context import CoherenceError, ContextStore
+
+
+@pytest.fixture
+def store() -> ContextStore:
+    s = ContextStore(num_gpus=4, requests_per_gpu=2)
+    s.ingest_prompts(10)
+    return s
+
+
+class TestLifecycle:
+    def test_initial_state_incoherent(self, store):
+        assert not store.is_coherent()
+        # home GPUs hold their own prompts
+        assert store.can_attend(0, 0)
+        assert not store.can_attend(1, 0)
+
+    def test_allgather_makes_coherent(self, store):
+        contributed = store.allgather_contexts()
+        assert store.is_coherent()
+        # each GPU contributed its 2 requests x 10 prompt tokens
+        assert contributed.tolist() == [20, 20, 20, 20]
+
+    def test_heterogeneous_requests(self):
+        s = ContextStore(num_gpus=2, requests_per_gpu=np.array([1, 3]))
+        s.ingest_prompts(5)
+        assert s.num_requests == 4
+        contributed = s.allgather_contexts()
+        assert contributed.tolist() == [5, 15]
+
+    def test_append_breaks_coherence(self, store):
+        store.allgather_contexts()
+        store.append_generated(1)
+        assert not store.is_coherent()
+        assert store.can_attend(0, 0)  # home still complete
+
+    def test_step_allgather_restores(self, store):
+        store.allgather_contexts()
+        store.append_generated(1)
+        contributed = store.allgather_step()
+        assert store.is_coherent()
+        # one new token per request, 2 requests per GPU
+        assert contributed.tolist() == [2, 2, 2, 2]
+
+    def test_multiple_iterations(self, store):
+        store.allgather_contexts()
+        for _ in range(3):
+            store.append_generated(1)
+            store.allgather_step()
+        assert store.is_coherent()
+        assert (store.true_len == 13).all()
+
+    def test_vanilla_never_coherent(self, store):
+        """Without gathers, only home GPUs can attend — the constraint that
+        forces the combine Alltoall."""
+        store.append_generated(1)
+        for r in range(store.num_requests):
+            home = store.home_gpu[r]
+            for g in range(store.num_gpus):
+                assert store.can_attend(g, r) == (g == home)
+
+
+class TestInvariants:
+    def test_require_attend_raises(self, store):
+        with pytest.raises(CoherenceError):
+            store.require_attend(1, 0)
+
+    def test_require_attend_passes_after_gather(self, store):
+        store.allgather_contexts()
+        store.require_attend(1, 0)  # no raise
+
+    def test_rejects_bad_prompts(self, store):
+        with pytest.raises(ValueError):
+            store.ingest_prompts(0)
+
+    def test_rejects_negative_generation(self, store):
+        with pytest.raises(ValueError):
+            store.append_generated(-1)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            ContextStore(0, 1)
+        with pytest.raises(ValueError):
+            ContextStore(2, -1)

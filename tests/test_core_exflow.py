@@ -1,0 +1,71 @@
+"""Unit tests for repro.core.exflow (the facade)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ExecutionMode, InferenceConfig
+from repro.core.exflow import ExFlowOptimizer
+from repro.engine.workload import make_decode_workload
+
+
+@pytest.fixture
+def optimizer(small_model, small_cluster) -> ExFlowOptimizer:
+    return ExFlowOptimizer(small_model, small_cluster)
+
+
+class TestFit:
+    def test_plan_fields(self, optimizer, affinity_trace):
+        plan = optimizer.fit(affinity_trace)
+        assert plan.profile_tokens == affinity_trace.num_tokens
+        assert 0.0 <= plan.profile_affinity <= 1.0
+        assert plan.strategy == "staged"
+        assert plan.expected_locality.gpu_stay_fraction > 0.2
+
+    def test_fit_rejects_mismatched_trace(self, optimizer, affinity_trace):
+        from repro.trace.events import RoutingTrace
+
+        bad_experts = RoutingTrace(affinity_trace.paths % 4, num_experts=4)
+        with pytest.raises(ValueError):
+            optimizer.fit(bad_experts)
+        bad_layers = RoutingTrace(affinity_trace.paths[:, :2], affinity_trace.num_experts)
+        with pytest.raises(ValueError):
+            optimizer.fit(bad_layers)
+
+    def test_alternative_strategy(self, small_model, small_cluster, affinity_trace):
+        opt = ExFlowOptimizer(small_model, small_cluster, strategy="greedy")
+        plan = opt.fit(affinity_trace)
+        assert plan.placement.strategy == "greedy"
+
+    def test_indivisible_deployment_rejected(self, small_model):
+        from repro.config import ClusterConfig
+
+        with pytest.raises(ValueError):
+            ExFlowOptimizer(small_model, ClusterConfig(num_nodes=3, gpus_per_node=1))
+
+
+class TestEvaluate:
+    def test_out_of_sample_locality(self, optimizer, affinity_routing, rng):
+        train = affinity_routing.sample(2000, rng)
+        fresh = affinity_routing.sample(2000, np.random.default_rng(99))
+        plan = optimizer.fit(train)
+        stats = optimizer.evaluate_locality(plan, fresh)
+        # affinity generalises: out-of-sample locality close to in-sample
+        assert stats.gpu_stay_fraction > plan.expected_locality.gpu_stay_fraction - 0.1
+
+
+class TestRun:
+    def test_exflow_beats_vanilla(self, optimizer, small_model, small_cluster, affinity_trace):
+        infer = InferenceConfig(requests_per_gpu=2, prompt_len=8, generate_len=4)
+        workload = make_decode_workload(small_model, small_cluster, infer)
+        plan = optimizer.fit(affinity_trace)
+        vanilla = optimizer.run(plan, workload, infer, ExecutionMode.VANILLA)
+        exflow = optimizer.run(plan, workload, infer, ExecutionMode.EXFLOW)
+        assert exflow.total_time_s < vanilla.total_time_s
+        assert exflow.generated_tokens == vanilla.generated_tokens
+
+    def test_baseline_placement_is_vanilla(self, optimizer):
+        p = optimizer.baseline_placement()
+        assert p.strategy == "vanilla"
+        assert (p.gpu_of == p.gpu_of[0]).all()

@@ -1,0 +1,42 @@
+"""Unit tests for repro.engine.comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.comparison import compare_modes
+
+
+class TestCompareModes:
+    @pytest.fixture
+    def rows(self, small_model, small_cluster, small_infer):
+        return compare_modes(small_model, small_cluster, small_infer, seed=3)
+
+    def test_three_rows(self, rows):
+        assert set(rows) == {"deepspeed", "exflow-noaff", "exflow"}
+
+    def test_baseline_speedup_is_one(self, rows):
+        assert rows["deepspeed"].speedup == pytest.approx(1.0)
+        assert rows["deepspeed"].comm_reduction == pytest.approx(0.0)
+
+    def test_paper_ordering(self, rows):
+        """The paper's headline: exflow >= context-coherence-only > baseline."""
+        assert rows["exflow-noaff"].speedup > 1.0
+        assert rows["exflow"].speedup >= rows["exflow-noaff"].speedup
+
+    def test_comm_reduction_positive(self, rows):
+        assert rows["exflow"].comm_reduction > 0.3
+
+    def test_locality_improves_with_affinity(self, rows):
+        assert (
+            rows["exflow"].result.gpu_stay_fraction
+            > rows["deepspeed"].result.gpu_stay_fraction
+        )
+
+    def test_same_workload_everywhere(self, rows):
+        tokens = {r.result.generated_tokens for r in rows.values()}
+        assert len(tokens) == 1
+
+    def test_throughput_property(self, rows):
+        for row in rows.values():
+            assert row.throughput > 0

@@ -1,0 +1,125 @@
+"""Unit tests for repro.engine.costs and metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.traffic import TrafficLedger
+from repro.config import ExecutionMode, ModelConfig
+from repro.engine.costs import CostModel
+from repro.engine.metrics import OpBreakdown, RunResult
+
+
+@pytest.fixture
+def cost(small_model) -> CostModel:
+    return CostModel(small_model)
+
+
+class TestCostModel:
+    def test_attention_grows_with_context(self, cost):
+        assert cost.attention_flops(100) > cost.attention_flops(10)
+
+    def test_ffn_flops_formula(self, small_model, cost):
+        d, f = small_model.d_model, small_model.d_ff
+        assert cost.ffn_flops() == 4.0 * d * f
+
+    def test_gating_flops(self, small_model, cost):
+        assert cost.gating_flops() == 2.0 * small_model.d_model * small_model.num_experts
+
+    def test_times_linear_in_tokens(self, cost):
+        assert cost.ffn_time(10) == pytest.approx(10 * cost.ffn_time(1))
+        assert cost.attention_time(6, 50) == pytest.approx(6 * cost.attention_time(1, 50))
+
+    def test_topk_scales_ffn(self, cost):
+        assert cost.ffn_time(5, k=2) == pytest.approx(2 * cost.ffn_time(5, k=1))
+
+    def test_zero_tokens_free(self, cost):
+        assert cost.attention_time(0, 100) == 0.0
+        assert cost.ffn_time(0) == 0.0
+        assert cost.gating_time(0) == 0.0
+
+    def test_token_bytes(self, small_model, cost):
+        assert cost.token_bytes(2) == small_model.d_model * 2
+
+    def test_rejects_negative(self, cost):
+        with pytest.raises(ValueError):
+            cost.ffn_time(-1)
+        with pytest.raises(ValueError):
+            cost.attention_time(-1, 10)
+
+    def test_rejects_bad_efficiency(self, small_model):
+        with pytest.raises(ValueError):
+            CostModel(small_model, ffn_efficiency=0.0)
+        with pytest.raises(ValueError):
+            CostModel(small_model, attention_efficiency=1.5)
+
+
+class TestOpBreakdown:
+    def test_totals(self):
+        b = OpBreakdown(attention_s=1.0, gating_s=0.5, expert_ffn_s=2.0, alltoall_s=3.0, allgather_s=0.5)
+        assert b.compute_s == 3.5
+        assert b.comm_s == 3.5
+        assert b.total_s == 7.0
+
+    def test_fraction(self):
+        b = OpBreakdown(alltoall_s=3.0, expert_ffn_s=1.0)
+        assert b.fraction("alltoall_s") == pytest.approx(0.75)
+
+    def test_empty_fraction(self):
+        assert OpBreakdown().fraction("alltoall_s") == 0.0
+
+    def test_as_dict_keys(self):
+        assert set(OpBreakdown().as_dict()) == {
+            "attention_s",
+            "gating_s",
+            "expert_ffn_s",
+            "alltoall_s",
+            "allgather_s",
+        }
+
+
+class TestRunResult:
+    def _make(self, total_s: float, tokens: int = 100) -> RunResult:
+        return RunResult(
+            mode=ExecutionMode.VANILLA,
+            breakdown=OpBreakdown(expert_ffn_s=total_s),
+            ledger=TrafficLedger(),
+            generated_tokens=tokens,
+            iterations=10,
+            gpu_stay_fraction=0.5,
+            node_stay_fraction=0.7,
+        )
+
+    def test_throughput(self):
+        r = self._make(2.0, 100)
+        assert r.throughput_tokens_per_s == pytest.approx(50.0)
+
+    def test_speedup(self):
+        fast, slow = self._make(1.0), self._make(2.0)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+
+    def test_speedup_requires_same_workload(self):
+        a, b = self._make(1.0, 100), self._make(1.0, 200)
+        with pytest.raises(ValueError):
+            a.speedup_over(b)
+
+    def test_comm_reduction(self):
+        a = RunResult(
+            ExecutionMode.EXFLOW,
+            OpBreakdown(alltoall_s=1.0),
+            TrafficLedger(),
+            10,
+            1,
+            0.5,
+            0.5,
+        )
+        b = RunResult(
+            ExecutionMode.VANILLA,
+            OpBreakdown(alltoall_s=4.0),
+            TrafficLedger(),
+            10,
+            1,
+            0.5,
+            0.5,
+        )
+        assert a.comm_reduction_over(b) == pytest.approx(0.75)

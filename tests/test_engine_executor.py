@@ -1,0 +1,179 @@
+"""Unit tests for repro.engine.executor."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import ExecutionMode, GatingKind, InferenceConfig
+from repro.core.placement.vanilla import vanilla_placement
+from repro.engine.executor import _traffic_from_moves, simulate_inference
+from repro.engine.workload import DecodeWorkload, make_decode_workload
+
+
+@pytest.fixture
+def baseline_placement(small_model, small_cluster):
+    return vanilla_placement(
+        small_model.num_moe_layers, small_model.num_experts, small_cluster.num_gpus
+    )
+
+
+@pytest.fixture
+def workload(small_model, small_cluster, small_infer):
+    return make_decode_workload(small_model, small_cluster, small_infer)
+
+
+def run(small_model, small_cluster, small_infer, placement, workload, mode):
+    cfg = dataclasses.replace(small_infer, mode=mode)
+    return simulate_inference(small_model, small_cluster, cfg, placement, workload)
+
+
+class TestTrafficFromMoves:
+    def test_counts_and_diagonal(self):
+        src = np.array([0, 0, 1, 2])
+        dst = np.array([1, 0, 1, 0])
+        t = _traffic_from_moves(src, dst, 3, 10.0)
+        assert t[0, 1] == 10.0
+        assert t[0, 0] == 0.0  # diagonal zeroed (local)
+        assert t[1, 1] == 0.0
+        assert t[2, 0] == 10.0
+        assert t.sum() == 20.0
+
+
+class TestModes:
+    def test_vanilla_has_two_alltoalls_per_layer(
+        self, small_model, small_cluster, small_infer, baseline_placement, workload
+    ):
+        res = run(small_model, small_cluster, small_infer, baseline_placement, workload,
+                  ExecutionMode.VANILLA)
+        expected = 2 * small_model.num_moe_layers * workload.iterations
+        assert res.ledger.count_by_op["alltoall"] == expected
+        assert "allgather" not in res.ledger.count_by_op
+
+    def test_coherent_has_one_alltoall_per_layer(
+        self, small_model, small_cluster, small_infer, baseline_placement, workload
+    ):
+        res = run(small_model, small_cluster, small_infer, baseline_placement, workload,
+                  ExecutionMode.CONTEXT_COHERENT)
+        expected = small_model.num_moe_layers * workload.iterations
+        assert res.ledger.count_by_op["alltoall"] == expected
+        # 1 initial context gather + one per iteration
+        assert res.ledger.count_by_op["allgather"] == workload.iterations + 1
+
+    def test_coherent_cheaper_comm(
+        self, small_model, small_cluster, small_infer, baseline_placement, workload
+    ):
+        van = run(small_model, small_cluster, small_infer, baseline_placement, workload,
+                  ExecutionMode.VANILLA)
+        coh = run(small_model, small_cluster, small_infer, baseline_placement, workload,
+                  ExecutionMode.CONTEXT_COHERENT)
+        assert coh.breakdown.comm_s < van.breakdown.comm_s
+        assert coh.breakdown.alltoall_s < van.breakdown.alltoall_s
+
+    def test_identical_compute_tokens(
+        self, small_model, small_cluster, small_infer, baseline_placement, workload
+    ):
+        """Both modes process the same tokens; expert FFN time is identical
+        (same placement -> same per-GPU loads)."""
+        van = run(small_model, small_cluster, small_infer, baseline_placement, workload,
+                  ExecutionMode.VANILLA)
+        coh = run(small_model, small_cluster, small_infer, baseline_placement, workload,
+                  ExecutionMode.CONTEXT_COHERENT)
+        assert van.breakdown.expert_ffn_s == pytest.approx(coh.breakdown.expert_ffn_s)
+        assert van.generated_tokens == coh.generated_tokens
+
+    def test_affinity_placement_reduces_alltoall(
+        self, small_model, small_cluster, small_infer, baseline_placement, workload
+    ):
+        from repro.core.placement.staged import staged_placement
+
+        aff = staged_placement(workload.flat_trace(), small_cluster)
+        base = run(small_model, small_cluster, small_infer, baseline_placement, workload,
+                   ExecutionMode.CONTEXT_COHERENT)
+        opt = run(small_model, small_cluster, small_infer, aff, workload,
+                  ExecutionMode.EXFLOW)
+        assert opt.breakdown.alltoall_s < base.breakdown.alltoall_s
+        assert opt.gpu_stay_fraction > base.gpu_stay_fraction
+
+    def test_locality_fractions_bounded(
+        self, small_model, small_cluster, small_infer, baseline_placement, workload
+    ):
+        res = run(small_model, small_cluster, small_infer, baseline_placement, workload,
+                  ExecutionMode.EXFLOW)
+        assert 0.0 <= res.gpu_stay_fraction <= 1.0
+        assert res.node_stay_fraction >= res.gpu_stay_fraction
+
+    def test_generated_token_count(
+        self, small_model, small_cluster, small_infer, baseline_placement, workload
+    ):
+        res = run(small_model, small_cluster, small_infer, baseline_placement, workload,
+                  ExecutionMode.VANILLA)
+        assert res.generated_tokens == workload.iterations * workload.num_requests
+        assert res.iterations == workload.iterations
+
+
+class TestTop2:
+    def test_top2_increases_traffic(self, small_cluster, small_infer, small_model):
+        top2_model = dataclasses.replace(small_model, gating=GatingKind.TOP2)
+        placement = vanilla_placement(
+            top2_model.num_moe_layers, top2_model.num_experts, small_cluster.num_gpus
+        )
+        w1 = make_decode_workload(small_model, small_cluster, small_infer)
+        w2 = DecodeWorkload(
+            w1.paths, w1.home_gpu, w1.num_experts, w1.prompt_len, secondary_paths=w1.paths
+        )
+        r1 = run(small_model, small_cluster, small_infer, placement, w1,
+                 ExecutionMode.VANILLA)
+        r2 = run(top2_model, small_cluster, small_infer, placement, w2,
+                 ExecutionMode.VANILLA)
+        assert r2.ledger.total_bytes > r1.ledger.total_bytes
+        assert r2.breakdown.expert_ffn_s > r1.breakdown.expert_ffn_s
+
+
+class TestValidation:
+    def test_placement_model_mismatch(self, small_model, small_cluster, small_infer, workload):
+        bad = vanilla_placement(small_model.num_moe_layers, 16, small_cluster.num_gpus)
+        with pytest.raises(ValueError):
+            simulate_inference(small_model, small_cluster, small_infer, bad, workload)
+
+    def test_placement_cluster_mismatch(self, small_model, small_cluster, small_infer, workload):
+        bad = vanilla_placement(small_model.num_moe_layers, small_model.num_experts, 8)
+        with pytest.raises(ValueError):
+            simulate_inference(small_model, small_cluster, small_infer, bad, workload)
+
+    def test_workload_layer_mismatch(
+        self, small_model, small_cluster, small_infer, baseline_placement, workload
+    ):
+        bad = DecodeWorkload(
+            workload.paths[:, :, :2], workload.home_gpu, workload.num_experts, 8
+        )
+        with pytest.raises(ValueError):
+            simulate_inference(
+                small_model, small_cluster, small_infer, baseline_placement, bad
+            )
+
+    def test_home_gpu_out_of_range(
+        self, small_model, small_cluster, small_infer, baseline_placement, workload
+    ):
+        bad = DecodeWorkload(
+            workload.paths, workload.home_gpu + 10, workload.num_experts, 8
+        )
+        with pytest.raises(ValueError):
+            simulate_inference(
+                small_model, small_cluster, small_infer, baseline_placement, bad
+            )
+
+
+class TestSingleGpu:
+    def test_no_communication(self, small_model):
+        from repro.config import ClusterConfig
+
+        cluster = ClusterConfig(num_nodes=1, gpus_per_node=1)
+        infer = InferenceConfig(requests_per_gpu=2, prompt_len=4, generate_len=2)
+        placement = vanilla_placement(small_model.num_moe_layers, small_model.num_experts, 1)
+        workload = make_decode_workload(small_model, cluster, infer)
+        res = simulate_inference(small_model, cluster, infer, placement, workload)
+        assert res.breakdown.alltoall_s == 0.0
+        assert res.gpu_stay_fraction == 1.0

@@ -1,0 +1,96 @@
+"""Unit tests for repro.engine.workload."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import GatingKind, InferenceConfig
+from repro.engine.workload import (
+    DecodeWorkload,
+    make_decode_workload,
+    workload_from_trace,
+)
+from repro.trace.events import RoutingTrace
+
+
+class TestDecodeWorkload:
+    def test_shape_properties(self):
+        paths = np.zeros((3, 4, 2), dtype=int)
+        w = DecodeWorkload(paths, np.array([0, 0, 1, 1]), num_experts=4, prompt_len=8)
+        assert w.iterations == 3
+        assert w.num_requests == 4
+        assert w.num_layers == 2
+
+    def test_flat_trace(self):
+        paths = np.arange(24).reshape(3, 4, 2) % 4
+        w = DecodeWorkload(paths, np.array([0, 0, 1, 1]), num_experts=4, prompt_len=8)
+        trace = w.flat_trace()
+        assert trace.num_tokens == 12
+        assert np.array_equal(trace.paths, paths.reshape(12, 2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecodeWorkload(np.zeros((3, 4), dtype=int), np.zeros(4, int), 4, 8)
+        with pytest.raises(ValueError):
+            DecodeWorkload(np.zeros((3, 4, 2), dtype=int), np.zeros(3, int), 4, 8)
+        with pytest.raises(ValueError):
+            DecodeWorkload(np.full((1, 2, 2), 9), np.zeros(2, int), 4, 8)
+        with pytest.raises(ValueError):
+            DecodeWorkload(np.zeros((1, 2, 2), int), np.zeros(2, int), 4, 0)
+
+    def test_secondary_validation(self):
+        paths = np.zeros((2, 2, 2), dtype=int)
+        with pytest.raises(ValueError):
+            DecodeWorkload(paths, np.zeros(2, int), 4, 8, secondary_paths=np.zeros((1, 2, 2), int))
+
+
+class TestMakeDecodeWorkload:
+    def test_shapes_from_config(self, small_model, small_cluster, small_infer):
+        w = make_decode_workload(small_model, small_cluster, small_infer)
+        assert w.iterations == small_infer.generate_len
+        assert w.num_requests == small_infer.total_requests(small_cluster.num_gpus)
+        assert w.num_layers == small_model.num_moe_layers
+        assert w.secondary_paths is None
+
+    def test_home_assignment(self, small_model, small_cluster, small_infer):
+        w = make_decode_workload(small_model, small_cluster, small_infer)
+        counts = np.bincount(w.home_gpu, minlength=small_cluster.num_gpus)
+        assert (counts == small_infer.requests_per_gpu).all()
+
+    def test_top2_generates_secondary(self, small_model, small_cluster, small_infer):
+        top2 = dataclasses.replace(small_model, gating=GatingKind.TOP2)
+        w = make_decode_workload(top2, small_cluster, small_infer)
+        assert w.secondary_paths is not None
+        assert w.secondary_paths.shape == w.paths.shape
+
+    def test_deterministic_via_seed(self, small_model, small_cluster, small_infer):
+        a = make_decode_workload(small_model, small_cluster, small_infer)
+        b = make_decode_workload(small_model, small_cluster, small_infer)
+        assert np.array_equal(a.paths, b.paths)
+
+    def test_mismatched_routing_rejected(self, small_model, small_cluster, small_infer):
+        from repro.trace.markov import MarkovRoutingModel
+
+        wrong = MarkovRoutingModel.with_affinity(16, small_model.num_moe_layers, 0.5)
+        with pytest.raises(ValueError):
+            make_decode_workload(small_model, small_cluster, small_infer, routing=wrong)
+
+
+class TestWorkloadFromTrace:
+    def test_slices_iteration_major(self, small_cluster):
+        infer = InferenceConfig(requests_per_gpu=1, prompt_len=4, generate_len=2)
+        r = infer.total_requests(small_cluster.num_gpus)
+        paths = np.arange(r * 2 * 3).reshape(r * 2, 3) % 4
+        trace = RoutingTrace(paths, num_experts=4)
+        w = workload_from_trace(trace, small_cluster, infer)
+        assert w.iterations == 2
+        assert np.array_equal(w.paths[0], paths[:r])
+
+    def test_insufficient_trace_rejected(self, small_cluster):
+        infer = InferenceConfig(requests_per_gpu=4, prompt_len=4, generate_len=8)
+        trace = RoutingTrace(np.zeros((10, 3), dtype=int), num_experts=4)
+        with pytest.raises(ValueError):
+            workload_from_trace(trace, small_cluster, infer)

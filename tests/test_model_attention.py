@@ -1,0 +1,86 @@
+"""Unit tests for repro.model.attention."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.attention import CausalSelfAttention, KVCache
+
+
+@pytest.fixture
+def attn() -> CausalSelfAttention:
+    return CausalSelfAttention(d_model=16, num_heads=4, rng=np.random.default_rng(0))
+
+
+class TestKVCache:
+    def test_empty(self):
+        cache = KVCache.empty(2, 4, 8)
+        assert cache.seq_len == 0
+
+    def test_append_grows(self):
+        cache = KVCache.empty(2, 4, 8)
+        cache.append(np.zeros((2, 4, 3, 8)), np.zeros((2, 4, 3, 8)))
+        assert cache.seq_len == 3
+        cache.append(np.zeros((2, 4, 1, 8)), np.zeros((2, 4, 1, 8)))
+        assert cache.seq_len == 4
+
+    def test_append_shape_mismatch(self):
+        cache = KVCache.empty(2, 4, 8)
+        with pytest.raises(ValueError):
+            cache.append(np.zeros((2, 4, 1, 8)), np.zeros((2, 4, 2, 8)))
+        with pytest.raises(ValueError):
+            cache.append(np.zeros((1, 4, 1, 8)), np.zeros((1, 4, 1, 8)))
+
+
+class TestAttention:
+    def test_output_shape(self, attn):
+        x = np.random.default_rng(1).normal(size=(2, 5, 16))
+        out, cache = attn(x)
+        assert out.shape == (2, 5, 16)
+        assert cache.seq_len == 5
+
+    def test_causality(self, attn):
+        """Changing a later token must not affect earlier outputs."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 6, 16))
+        out1, _ = attn(x)
+        x2 = x.copy()
+        x2[0, 5] += 10.0
+        out2, _ = attn(x2)
+        assert np.allclose(out1[0, :5], out2[0, :5])
+        assert not np.allclose(out1[0, 5], out2[0, 5])
+
+    def test_incremental_matches_full(self, attn):
+        """Token-by-token decoding with cache equals one full pass."""
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(1, 4, 16))
+        full, _ = attn(x)
+
+        cache = None
+        steps = []
+        for t in range(4):
+            out, cache = attn(x[:, t : t + 1], cache)
+            steps.append(out)
+        incremental = np.concatenate(steps, axis=1)
+        assert np.allclose(full, incremental, atol=1e-10)
+
+    def test_rejects_bad_dims(self, attn):
+        with pytest.raises(ValueError):
+            attn(np.zeros((2, 3, 8)))  # wrong d_model
+        with pytest.raises(ValueError):
+            attn(np.zeros((3, 16)))  # missing batch dim
+
+    def test_invalid_head_split(self):
+        with pytest.raises(ValueError):
+            CausalSelfAttention(d_model=10, num_heads=4, rng=np.random.default_rng(0))
+
+    def test_batch_independence(self, attn):
+        """Rows of the batch must not attend to each other."""
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=(1, 3, 16))
+        b = rng.normal(size=(1, 3, 16))
+        both = np.concatenate([a, b], axis=0)
+        out_both, _ = attn(both)
+        out_a, _ = attn(a)
+        assert np.allclose(out_both[0], out_a[0], atol=1e-12)

@@ -1,0 +1,71 @@
+"""Unit tests for repro.model.experts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.experts import ExpertBank
+
+
+@pytest.fixture
+def bank() -> ExpertBank:
+    return ExpertBank(num_experts=4, d_model=8, d_ff=16, rng=np.random.default_rng(0))
+
+
+class TestExpertBank:
+    def test_params_per_expert(self, bank):
+        assert bank.params_per_expert == 8 * 16 * 2
+
+    def test_forward_expert_shape(self, bank):
+        out = bank.forward_expert(0, np.zeros((5, 8)))
+        assert out.shape == (5, 8)
+
+    def test_experts_differ(self, bank):
+        x = np.random.default_rng(1).normal(size=(3, 8))
+        assert not np.allclose(bank.forward_expert(0, x), bank.forward_expert(1, x))
+
+    def test_forward_expert_out_of_range(self, bank):
+        with pytest.raises(IndexError):
+            bank.forward_expert(4, np.zeros((1, 8)))
+
+    def test_routed_matches_per_expert(self, bank):
+        """Grouped routed forward must equal naive per-token dispatch."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(20, 8))
+        ids = rng.integers(0, 4, size=20)
+        grouped = bank.forward_routed(x, ids)
+        naive = np.stack([bank.forward_expert(int(e), x[t : t + 1])[0] for t, e in enumerate(ids)])
+        assert np.allclose(grouped, naive)
+
+    def test_routed_single_expert(self, bank):
+        x = np.random.default_rng(3).normal(size=(6, 8))
+        out = bank.forward_routed(x, np.full(6, 2))
+        assert np.allclose(out, bank.forward_expert(2, x))
+
+    def test_routed_rejects_bad_ids(self, bank):
+        with pytest.raises(ValueError):
+            bank.forward_routed(np.zeros((2, 8)), np.array([0, 9]))
+
+    def test_routed_rejects_shape_mismatch(self, bank):
+        with pytest.raises(ValueError):
+            bank.forward_routed(np.zeros((2, 8)), np.array([0]))
+
+    def test_topk_weighted_combination(self, bank):
+        x = np.random.default_rng(4).normal(size=(5, 8))
+        ids = np.tile(np.array([[0, 1]]), (5, 1))
+        w = np.tile(np.array([[0.75, 0.25]]), (5, 1))
+        out = bank.forward_topk(x, ids, w)
+        expected = 0.75 * bank.forward_expert(0, x) + 0.25 * bank.forward_expert(1, x)
+        assert np.allclose(out, expected)
+
+    def test_topk_k1_equals_routed(self, bank):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(7, 8))
+        ids = rng.integers(0, 4, size=(7, 1))
+        out = bank.forward_topk(x, ids, np.ones((7, 1)))
+        assert np.allclose(out, bank.forward_routed(x, ids[:, 0]))
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            ExpertBank(0, 8, 16, np.random.default_rng(0))

@@ -1,0 +1,118 @@
+"""Unit tests for repro.model.gating."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import GatingKind
+from repro.model.gating import TopKGate, gshard_balance_loss
+
+
+@pytest.fixture
+def gate() -> TopKGate:
+    return TopKGate(16, 8, GatingKind.TOP1, np.random.default_rng(0))
+
+
+@pytest.fixture
+def gate2() -> TopKGate:
+    return TopKGate(16, 8, GatingKind.TOP2, np.random.default_rng(0))
+
+
+class TestTopKGate:
+    def test_output_shapes_top1(self, gate):
+        x = np.random.default_rng(1).normal(size=(10, 16))
+        out = gate(x)
+        assert out.experts.shape == (10, 1)
+        assert out.weights.shape == (10, 1)
+        assert out.probs.shape == (10, 8)
+
+    def test_output_shapes_top2(self, gate2):
+        out = gate2(np.random.default_rng(1).normal(size=(10, 16)))
+        assert out.experts.shape == (10, 2)
+        assert out.k == 2
+
+    def test_top1_is_argmax(self, gate):
+        x = np.random.default_rng(2).normal(size=(32, 16))
+        out = gate(x)
+        assert np.array_equal(out.top1, out.probs.argmax(axis=1))
+
+    def test_top2_ordered_and_distinct(self, gate2):
+        out = gate2(np.random.default_rng(3).normal(size=(64, 16)))
+        assert (out.experts[:, 0] != out.experts[:, 1]).all()
+        p0 = np.take_along_axis(out.probs, out.experts[:, :1], axis=1)
+        p1 = np.take_along_axis(out.probs, out.experts[:, 1:], axis=1)
+        assert (p0 >= p1).all()
+
+    def test_weights_normalised(self, gate2):
+        out = gate2(np.random.default_rng(4).normal(size=(20, 16)))
+        assert np.allclose(out.weights.sum(axis=1), 1.0)
+
+    def test_top1_weight_is_one(self, gate):
+        out = gate(np.random.default_rng(5).normal(size=(20, 16)))
+        assert np.allclose(out.weights, 1.0)
+
+    def test_probs_row_stochastic(self, gate):
+        out = gate(np.random.default_rng(6).normal(size=(20, 16)))
+        assert np.allclose(out.probs.sum(axis=1), 1.0)
+        assert (out.probs >= 0).all()
+
+    def test_temperature_sharpens(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(100, 16))
+        cold = TopKGate(16, 8, GatingKind.TOP1, np.random.default_rng(0), temperature=0.1)
+        warm = TopKGate(16, 8, GatingKind.TOP1, np.random.default_rng(0), temperature=10.0)
+        assert cold(x).probs.max(axis=1).mean() > warm(x).probs.max(axis=1).mean()
+
+    def test_rejects_wrong_input_dim(self, gate):
+        with pytest.raises(ValueError):
+            gate(np.zeros((5, 8)))
+
+    def test_rejects_top2_with_one_expert(self):
+        with pytest.raises(ValueError):
+            TopKGate(16, 1, GatingKind.TOP2)
+
+    def test_rejects_bad_temperature(self):
+        with pytest.raises(ValueError):
+            TopKGate(16, 4, temperature=0.0)
+
+    def test_deterministic(self):
+        a = TopKGate(16, 8, rng=np.random.default_rng(9))
+        b = TopKGate(16, 8, rng=np.random.default_rng(9))
+        x = np.random.default_rng(10).normal(size=(5, 16))
+        assert np.array_equal(a(x).top1, b(x).top1)
+
+
+class TestBalanceLoss:
+    def test_balanced_routing_is_one(self):
+        """Uniform dispatch + uniform probs -> loss == 1."""
+        e, n = 4, 400
+        probs = np.full((n, e), 1.0 / e)
+        experts = (np.arange(n) % e)[:, None]
+        assert gshard_balance_loss(probs, experts, e) == pytest.approx(1.0)
+
+    def test_collapsed_routing_is_e(self):
+        e, n = 4, 100
+        probs = np.zeros((n, e))
+        probs[:, 0] = 1.0
+        experts = np.zeros((n, 1), dtype=int)
+        assert gshard_balance_loss(probs, experts, e) == pytest.approx(float(e))
+
+    def test_empty_batch(self):
+        assert gshard_balance_loss(np.zeros((0, 4)), np.zeros((0, 1), int), 4) == 0.0
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            gshard_balance_loss(np.zeros((5, 3)), np.zeros((5, 1), int), 4)
+
+    def test_gate_balance_grad_reduces_loss(self, gate):
+        """A gradient step on the balance loss should not increase it."""
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=(256, 16))
+        # collapse the gate first so there is something to balance
+        gate.weight[:, 0] += 2.0
+        before = gate.balance_loss(gate(x).probs, gate(x).experts)
+        for _ in range(20):
+            gate.weight -= 0.5 * gate.balance_grad(x)
+        after = gate.balance_loss(gate(x).probs, gate(x).experts)
+        assert after < before

@@ -1,0 +1,108 @@
+"""Unit tests for repro.model.tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.tensors import (
+    cross_entropy,
+    gelu,
+    layer_norm,
+    log_softmax,
+    normal_init,
+    one_hot,
+    softmax,
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = np.random.default_rng(0).normal(size=(5, 7))
+        assert np.allclose(softmax(x).sum(axis=-1), 1.0)
+
+    def test_invariant_to_shift(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(softmax(x), softmax(x + 100.0))
+
+    def test_stable_for_large_values(self):
+        x = np.array([[1e4, 0.0]])
+        out = softmax(x)
+        assert np.isfinite(out).all()
+        assert out[0, 0] == pytest.approx(1.0)
+
+    def test_axis(self):
+        x = np.random.default_rng(1).normal(size=(3, 4))
+        assert np.allclose(softmax(x, axis=0).sum(axis=0), 1.0)
+
+    def test_log_softmax_consistent(self):
+        x = np.random.default_rng(2).normal(size=(4, 6))
+        assert np.allclose(np.exp(log_softmax(x)), softmax(x))
+
+
+class TestLayerNorm:
+    def test_zero_mean_unit_var(self):
+        x = np.random.default_rng(0).normal(3.0, 5.0, size=(10, 16))
+        out = layer_norm(x)
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-10)
+        assert np.allclose(out.var(axis=-1), 1.0, atol=1e-3)
+
+    def test_constant_row_stays_finite(self):
+        out = layer_norm(np.full((2, 8), 3.0))
+        assert np.isfinite(out).all()
+
+
+class TestGelu:
+    def test_zero_at_zero(self):
+        assert gelu(np.array([0.0]))[0] == 0.0
+
+    def test_approximates_identity_for_large_x(self):
+        assert gelu(np.array([10.0]))[0] == pytest.approx(10.0, rel=1e-4)
+
+    def test_monotone_on_positive_axis(self):
+        x = np.linspace(0, 5, 50)
+        assert (np.diff(gelu(x)) > 0).all()
+
+
+class TestInit:
+    def test_shape(self):
+        w = normal_init(np.random.default_rng(0), 4, 8)
+        assert w.shape == (4, 8)
+
+    def test_default_scale_fan_in(self):
+        w = normal_init(np.random.default_rng(0), 1000, 10)
+        assert w.std() == pytest.approx(1.0 / np.sqrt(1000), rel=0.1)
+
+    def test_deterministic_given_seed(self):
+        a = normal_init(np.random.default_rng(5), 3, 3)
+        b = normal_init(np.random.default_rng(5), 3, 3)
+        assert np.array_equal(a, b)
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = one_hot(np.array([0, 2]), 3)
+        assert out.tolist() == [[1.0, 0.0, 0.0], [0.0, 0.0, 1.0]]
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+
+    def test_multidim(self):
+        out = one_hot(np.array([[0, 1], [1, 0]]), 2)
+        assert out.shape == (2, 2, 2)
+        assert out.sum() == 4.0
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_near_zero(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        assert cross_entropy(logits, np.array([0, 1])) == pytest.approx(0.0, abs=1e-6)
+
+    def test_uniform_is_log_vocab(self):
+        logits = np.zeros((4, 8))
+        assert cross_entropy(logits, np.zeros(4, dtype=int)) == pytest.approx(np.log(8))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cross_entropy(np.zeros((2, 3)), np.zeros(3, dtype=int))

@@ -1,0 +1,122 @@
+"""Unit tests for repro.model.transformer and generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.model.generation import generate
+from repro.model.transformer import MoETransformer
+
+
+@pytest.fixture
+def model(small_model) -> MoETransformer:
+    return MoETransformer(small_model, np.random.default_rng(0))
+
+
+class TestTransformer:
+    def test_forward_shapes(self, model, small_model):
+        tokens = np.random.default_rng(1).integers(0, 128, size=(2, 6))
+        states = model.init_state(2)
+        logits, routings = model.forward(tokens, states)
+        assert logits.shape == (2, 6, small_model.vocab_size)
+        assert len(routings) == small_model.num_moe_layers
+        assert routings[0].num_tokens == 12
+
+    def test_moe_layer_count(self, model, small_model):
+        assert len(model.moe_layers) == small_model.num_moe_layers
+
+    def test_dense_blocks_when_moe_every_2(self):
+        cfg = ModelConfig(
+            "m", num_layers=4, num_experts=4, d_model=32, vocab_size=64, moe_every=2
+        )
+        model = MoETransformer(cfg, np.random.default_rng(0))
+        tokens = np.zeros((1, 3), dtype=int)
+        _, routings = model.forward(tokens, model.init_state(1))
+        assert len(routings) == 2
+
+    def test_kv_cache_grows(self, model):
+        states = model.init_state(1)
+        model.forward(np.zeros((1, 4), dtype=int), states)
+        assert states[0].cache.seq_len == 4
+        model.forward(np.zeros((1, 1), dtype=int), states)
+        assert states[0].cache.seq_len == 5
+
+    def test_incremental_matches_full(self, model):
+        """Prefill-then-decode logits must equal one full forward pass."""
+        rng = np.random.default_rng(2)
+        tokens = rng.integers(0, 128, size=(1, 5))
+        full_logits, _ = model.forward(tokens, model.init_state(1))
+
+        states = model.init_state(1)
+        l1, _ = model.forward(tokens[:, :3], states)
+        l2, _ = model.forward(tokens[:, 3:], states)
+        assert np.allclose(full_logits[:, :3], l1, atol=1e-8)
+        assert np.allclose(full_logits[:, 3:], l2, atol=1e-8)
+
+    def test_rejects_bad_tokens(self, model):
+        with pytest.raises(ValueError):
+            model.forward(np.array([[999]]), model.init_state(1))
+        with pytest.raises(ValueError):
+            model.forward(np.zeros(3, dtype=int), model.init_state(1))
+
+    def test_rejects_wrong_state_count(self, model):
+        with pytest.raises(ValueError):
+            model.forward(np.zeros((1, 2), dtype=int), [])
+
+    def test_route_hidden_shape(self, model, small_model):
+        h = np.random.default_rng(3).normal(size=(7, small_model.d_model))
+        paths = model.route_hidden(h)
+        assert paths.shape == (7, small_model.num_moe_layers)
+        assert paths.max() < small_model.num_experts
+
+    def test_param_count_positive(self, model):
+        assert model.param_count() > 0
+
+
+class TestGeneration:
+    def test_token_shapes(self, model):
+        prompts = np.random.default_rng(4).integers(0, 128, size=(3, 5))
+        result = generate(model, prompts, steps=4)
+        assert result.tokens.shape == (3, 9)
+        assert (result.tokens[:, :5] == prompts).all()
+
+    def test_trace_rows(self, model, small_model):
+        prompts = np.random.default_rng(5).integers(0, 128, size=(2, 4))
+        result = generate(model, prompts, steps=3)
+        # prefill: 2*4 rows; decode: 3 steps x 2 requests
+        assert result.expert_paths.shape == (8 + 6, small_model.num_moe_layers)
+        assert result.decode_paths.shape == (6, small_model.num_moe_layers)
+
+    def test_request_alignment(self, model):
+        prompts = np.zeros((2, 3), dtype=int)
+        result = generate(model, prompts, steps=2)
+        prefill = result.position_request[result.position_is_prefill]
+        assert prefill.tolist() == [0, 0, 0, 1, 1, 1]
+        decode = result.position_request[~result.position_is_prefill]
+        assert decode.tolist() == [0, 1, 0, 1]
+
+    def test_greedy_deterministic(self, model):
+        prompts = np.random.default_rng(6).integers(0, 128, size=(1, 4))
+        a = generate(model, prompts, steps=3)
+        b = generate(model, prompts, steps=3)
+        assert np.array_equal(a.tokens, b.tokens)
+
+    def test_sampling_seeded(self, model):
+        prompts = np.random.default_rng(7).integers(0, 128, size=(1, 4))
+        a = generate(model, prompts, steps=3, rng=np.random.default_rng(1))
+        b = generate(model, prompts, steps=3, rng=np.random.default_rng(1))
+        assert np.array_equal(a.tokens, b.tokens)
+
+    def test_zero_steps(self, model):
+        prompts = np.zeros((2, 3), dtype=int)
+        result = generate(model, prompts, steps=0)
+        assert result.tokens.shape == (2, 3)
+        assert result.decode_paths.shape[0] == 0
+
+    def test_rejects_bad_args(self, model):
+        with pytest.raises(ValueError):
+            generate(model, np.zeros(3, dtype=int), steps=1)
+        with pytest.raises(ValueError):
+            generate(model, np.zeros((1, 3), dtype=int), steps=-1)

@@ -1,0 +1,124 @@
+"""Unit tests for repro.core.placement.base."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig
+from repro.core.placement.base import Placement, placement_locality
+from repro.core.placement.vanilla import vanilla_placement
+from repro.trace.events import RoutingTrace
+
+
+@pytest.fixture
+def placement() -> Placement:
+    # 2 layers x 4 experts on 2 GPUs
+    gpu_of = np.array([[0, 0, 1, 1], [0, 1, 0, 1]])
+    return Placement(gpu_of, num_gpus=2)
+
+
+class TestValidation:
+    def test_valid(self, placement):
+        assert placement.num_layers == 2
+        assert placement.num_experts == 4
+        assert placement.experts_per_gpu == 2
+
+    def test_rejects_imbalance(self):
+        with pytest.raises(ValueError, match="load-balance"):
+            Placement(np.array([[0, 0, 0, 1]]), num_gpus=2)
+
+    def test_rejects_out_of_range_gpu(self):
+        with pytest.raises(ValueError):
+            Placement(np.array([[0, 1, 2, 1]]), num_gpus=2)
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            Placement(np.array([[0, 1, 0]]), num_gpus=2)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            Placement(np.zeros(4, dtype=int), num_gpus=2)
+
+
+class TestQueries:
+    def test_experts_on_gpu(self, placement):
+        assert placement.experts_on_gpu(0, 0).tolist() == [0, 1]
+        assert placement.experts_on_gpu(1, 0).tolist() == [0, 2]
+
+    def test_node_of(self, placement):
+        cluster = ClusterConfig(num_nodes=1, gpus_per_node=2)
+        nodes = placement.node_of(cluster)
+        assert (nodes == 0).all()
+
+    def test_node_of_cluster_mismatch(self, placement):
+        with pytest.raises(ValueError):
+            placement.node_of(ClusterConfig(num_nodes=2, gpus_per_node=2))
+
+    def test_assignment_matrix(self, placement):
+        x = placement.assignment_matrix(0)
+        assert x.shape == (2, 4)
+        assert (x.sum(axis=0) == 1).all()  # formula 10
+        assert (x.sum(axis=1) == 2).all()  # formula 9
+
+    def test_relabel_layer(self, placement):
+        new = placement.relabel_layer(0, np.array([1, 1, 0, 0]))
+        assert new.experts_on_gpu(0, 1).tolist() == [0, 1]
+        assert new is not placement
+
+    def test_relabel_layer_validates(self, placement):
+        with pytest.raises(ValueError):
+            placement.relabel_layer(0, np.array([1, 1, 1, 0]))
+
+
+class TestPersistence:
+    def test_roundtrip(self, placement, tmp_path):
+        p = tmp_path / "placement.npz"
+        placement.save(p)
+        loaded = Placement.load(p)
+        assert np.array_equal(loaded.gpu_of, placement.gpu_of)
+        assert loaded.num_gpus == placement.num_gpus
+
+
+class TestLocality:
+    def test_perfectly_local_trace(self):
+        placement = Placement(np.array([[0, 0, 1, 1], [0, 0, 1, 1]]), num_gpus=2)
+        paths = np.array([[0, 1], [2, 3], [1, 0]])
+        trace = RoutingTrace(paths, num_experts=4)
+        stats = placement_locality(placement, trace)
+        assert stats.gpu_stay_fraction == 1.0
+        assert stats.crossings_per_token == 0.0
+
+    def test_fully_crossing_trace(self):
+        placement = Placement(np.array([[0, 0, 1, 1], [0, 0, 1, 1]]), num_gpus=2)
+        paths = np.array([[0, 2], [3, 1]])
+        trace = RoutingTrace(paths, num_experts=4)
+        stats = placement_locality(placement, trace)
+        assert stats.gpu_stay_fraction == 0.0
+        assert stats.crossings_per_token == 1.0
+
+    def test_node_vs_gpu_granularity(self):
+        cluster = ClusterConfig(num_nodes=2, gpus_per_node=2)
+        placement = vanilla_placement(2, 8, 4)
+        # expert 0 -> gpu 0; expert 2 -> gpu 1 (same node); expert 4 -> gpu 2
+        paths = np.array([[0, 2], [0, 4]])
+        trace = RoutingTrace(paths, num_experts=8)
+        stats = placement_locality(placement, trace, cluster)
+        assert stats.gpu_stay_fraction == 0.0
+        assert stats.node_stay_fraction == 0.5
+
+    def test_shape_mismatch(self, placement):
+        trace = RoutingTrace(np.zeros((3, 5), dtype=int), num_experts=4)
+        with pytest.raises(ValueError):
+            placement_locality(placement, trace)
+
+    def test_empty_trace(self, placement):
+        trace = RoutingTrace(np.zeros((0, 2), dtype=int), num_experts=4)
+        stats = placement_locality(placement, trace)
+        assert stats.gpu_stay_fraction == 1.0
+        assert stats.transitions == 0
+
+    def test_transition_count(self, placement):
+        trace = RoutingTrace(np.zeros((10, 2), dtype=int), num_experts=4)
+        stats = placement_locality(placement, trace)
+        assert stats.transitions == 10  # (L-1) * N

@@ -1,0 +1,117 @@
+"""Unit tests for repro.core.placement.replication (Lina-style baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.placement.base import placement_locality
+from repro.core.placement.replication import (
+    ReplicatedPlacement,
+    popularity_replication,
+    replicated_locality,
+)
+from repro.core.placement.vanilla import vanilla_placement
+from repro.trace.events import RoutingTrace
+from repro.trace.markov import MarkovRoutingModel
+
+
+@pytest.fixture
+def trace():
+    model = MarkovRoutingModel.with_affinity(8, 4, 0.85, rng=np.random.default_rng(1))
+    return model.sample(2000, np.random.default_rng(2))
+
+
+class TestConstruction:
+    def test_popularity_picks_hot_experts(self, trace):
+        rep = popularity_replication(trace, num_gpus=4, replicas_per_layer=2)
+        for j in range(trace.num_layers):
+            hist = trace.layer_histogram(j)
+            hot = set(np.argsort(-hist)[:2].tolist())
+            assert set(rep.replicated[j].tolist()) == hot
+
+    def test_memory_overhead(self, trace):
+        rep = popularity_replication(trace, num_gpus=4, replicas_per_layer=2)
+        assert rep.replicas_per_gpu_per_layer == 2.0
+        assert rep.memory_overhead_fraction() == pytest.approx(1.0)  # 2 replicas / 2 owned
+
+    def test_zero_replicas(self, trace):
+        rep = popularity_replication(trace, num_gpus=4, replicas_per_layer=0)
+        assert rep.memory_overhead_fraction() == 0.0
+
+    def test_rejects_too_many(self, trace):
+        with pytest.raises(ValueError):
+            popularity_replication(trace, num_gpus=4, replicas_per_layer=9)
+
+    def test_rejects_negative(self, trace):
+        with pytest.raises(ValueError):
+            popularity_replication(trace, num_gpus=4, replicas_per_layer=-1)
+
+    def test_rejects_out_of_range_replica(self):
+        base = vanilla_placement(2, 4, 2)
+        with pytest.raises(ValueError):
+            ReplicatedPlacement(base, (np.array([0]), np.array([7])))
+
+    def test_rejects_wrong_layer_count(self):
+        base = vanilla_placement(2, 4, 2)
+        with pytest.raises(ValueError):
+            ReplicatedPlacement(base, (np.array([0]),))
+
+    def test_is_local(self):
+        base = vanilla_placement(1, 4, 2)  # experts 0,1 -> gpu0; 2,3 -> gpu1
+        rep = ReplicatedPlacement(base, (np.array([3]),))
+        assert rep.is_local(0, 0, 0)  # owned
+        assert rep.is_local(0, 3, 0)  # replica
+        assert not rep.is_local(0, 2, 0)
+
+
+class TestLocality:
+    def test_zero_replicas_matches_base(self, trace):
+        """Without replicas the replay must agree with placement_locality."""
+        base = vanilla_placement(trace.num_layers, trace.num_experts, 4)
+        rep = popularity_replication(trace, 4, 0, base=base)
+        a = replicated_locality(rep, trace)
+        # replicated replay keeps tokens where routing sends them (context-
+        # coherent movement), matching the placement-level locality metric
+        b = placement_locality(base, trace)
+        assert a.gpu_stay_fraction == pytest.approx(b.gpu_stay_fraction)
+
+    def test_more_replicas_more_locality(self, trace):
+        stays = []
+        for k in (0, 2, 4, 8):
+            rep = popularity_replication(trace, 4, k)
+            stays.append(replicated_locality(rep, trace).gpu_stay_fraction)
+        assert all(b >= a - 1e-12 for a, b in zip(stays, stays[1:]))
+
+    def test_full_replication_is_fully_local(self, trace):
+        rep = popularity_replication(trace, 4, trace.num_experts)
+        assert replicated_locality(rep, trace).gpu_stay_fraction == pytest.approx(1.0)
+
+    def test_empty_trace(self):
+        base = vanilla_placement(2, 4, 2)
+        rep = ReplicatedPlacement(base, (np.array([]), np.array([])))
+        empty = RoutingTrace(np.zeros((0, 2), dtype=int), num_experts=4)
+        assert replicated_locality(rep, empty).transitions == 0
+
+    def test_shape_mismatch(self, trace):
+        base = vanilla_placement(3, 8, 4)
+        rep = ReplicatedPlacement(base, tuple(np.array([]) for _ in range(3)))
+        with pytest.raises(ValueError):
+            replicated_locality(rep, trace)
+
+
+class TestVsExFlow:
+    def test_exflow_matches_replication_without_memory(self, trace):
+        """The paper's Related-Work claim: affinity placement achieves
+        comparable locality to popularity replication *without* replicas."""
+        from repro.core.placement.ilp import ilp_placement
+
+        exflow = ilp_placement(trace, 4)
+        exflow_stay = placement_locality(exflow, trace).gpu_stay_fraction
+
+        # give the replication baseline a 2-replica budget (100 % memory
+        # overhead at 2 owned experts/GPU)
+        rep = popularity_replication(trace, 4, 2)
+        rep_stay = replicated_locality(rep, trace).gpu_stay_fraction
+
+        assert exflow_stay > rep_stay - 0.05

@@ -1,0 +1,231 @@
+"""Unit tests for the placement solvers (vanilla/greedy/ilp/staged/local)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig
+from repro.core.placement.base import placement_locality
+from repro.core.placement.greedy import greedy_placement
+from repro.core.placement.ilp import (
+    assignment_solve,
+    chain_objective,
+    ilp_placement,
+    joint_ilp_placement,
+)
+from repro.core.placement.local_search import local_search_placement
+from repro.core.placement.registry import SOLVERS, solve_placement
+from repro.core.placement.staged import staged_placement
+from repro.core.placement.vanilla import vanilla_placement
+from repro.trace.events import RoutingTrace
+from repro.trace.markov import MarkovRoutingModel
+
+
+def _weights(trace):
+    return [trace.transition_counts(j).astype(float) for j in range(trace.num_layers - 1)]
+
+
+class TestVanilla:
+    def test_contiguous_blocks(self):
+        p = vanilla_placement(3, 8, 4)
+        assert p.gpu_of[0].tolist() == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_same_every_layer(self):
+        p = vanilla_placement(5, 8, 2)
+        assert (p.gpu_of == p.gpu_of[0]).all()
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            vanilla_placement(2, 6, 4)
+
+
+class TestAssignmentSolve:
+    def test_identity_benefit(self):
+        """Diagonal benefit -> each expert goes to its own column group."""
+        benefit = np.eye(4)
+        groups = assignment_solve(benefit, 4)
+        assert groups.tolist() == [0, 1, 2, 3]
+
+    def test_capacity_respected(self):
+        benefit = np.zeros((8, 2))
+        benefit[:, 0] = 1.0  # everyone prefers group 0
+        groups = assignment_solve(benefit, 2)
+        assert np.bincount(groups, minlength=2).tolist() == [4, 4]
+
+    def test_maximises_total_benefit(self):
+        rng = np.random.default_rng(0)
+        benefit = rng.random((6, 3))
+        groups = assignment_solve(benefit, 3)
+        got = benefit[np.arange(6), groups].sum()
+        # brute-force optimum over all balanced assignments
+        from itertools import permutations
+
+        best = 0.0
+        for perm in permutations(range(6)):
+            g = np.empty(6, dtype=int)
+            for slot, expert in enumerate(perm):
+                g[expert] = slot // 2
+            best = max(best, benefit[np.arange(6), g].sum())
+        assert got == pytest.approx(best)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            assignment_solve(np.zeros((4, 3)), 2)
+        with pytest.raises(ValueError):
+            assignment_solve(np.zeros((5, 2)), 2)
+
+
+class TestChainObjective:
+    def test_counts_kept_mass(self):
+        gpu_of = np.array([[0, 1], [0, 1]])
+        w = [np.array([[3.0, 1.0], [2.0, 5.0]])]
+        # kept: (0->0) 3 and (1->1) 5
+        assert chain_objective(gpu_of, w) == 8.0
+
+
+@pytest.fixture
+def chain_trace():
+    """Deterministic cyclic-shift routing: expert i -> i+1 (mod E)."""
+    e, L, n = 8, 4, 400
+    start = np.tile(np.arange(e), n // e)
+    paths = np.stack([(start + j) % e for j in range(L)], axis=1)
+    return RoutingTrace(paths, num_experts=e)
+
+
+class TestILPChain:
+    def test_perfect_on_deterministic_chain(self, chain_trace):
+        """A shift chain admits a zero-crossing placement; the solver must
+        find it."""
+        p = ilp_placement(chain_trace, num_gpus=4)
+        stats = placement_locality(p, chain_trace)
+        assert stats.gpu_stay_fraction == pytest.approx(1.0)
+
+    def test_beats_vanilla_on_affinity(self, affinity_trace):
+        ilp = ilp_placement(affinity_trace, num_gpus=4)
+        van = vanilla_placement(affinity_trace.num_layers, affinity_trace.num_experts, 4)
+        s_ilp = placement_locality(ilp, affinity_trace).gpu_stay_fraction
+        s_van = placement_locality(van, affinity_trace).gpu_stay_fraction
+        assert s_ilp > s_van + 0.15
+
+    def test_valid_placement(self, affinity_trace):
+        p = ilp_placement(affinity_trace, num_gpus=2)
+        assert p.num_gpus == 2  # Placement validates balance on build
+
+    def test_sweeps_never_hurt(self, affinity_trace):
+        w = _weights(affinity_trace)
+        p0 = ilp_placement(affinity_trace, num_gpus=4, sweeps=0)
+        p3 = ilp_placement(affinity_trace, num_gpus=4, sweeps=3)
+        assert chain_objective(p3.gpu_of, w) >= chain_objective(p0.gpu_of, w) - 1e-9
+
+    def test_single_gpu_trivial(self, affinity_trace):
+        p = ilp_placement(affinity_trace, num_gpus=1)
+        assert (p.gpu_of == 0).all()
+
+    def test_indivisible_rejected(self, affinity_trace):
+        with pytest.raises(ValueError):
+            ilp_placement(affinity_trace, num_gpus=3)
+
+
+class TestJointILP:
+    def test_matches_or_beats_chain(self):
+        """On a small instance the joint ILP is exact: its objective must be
+        >= the chained solver's."""
+        model = MarkovRoutingModel.with_affinity(4, 3, 0.8, rng=np.random.default_rng(3))
+        trace = model.sample(500, np.random.default_rng(4))
+        w = _weights(trace)
+        joint = joint_ilp_placement(trace, num_gpus=2)
+        chain = ilp_placement(trace, num_gpus=2)
+        assert chain_objective(joint.gpu_of, w) >= chain_objective(chain.gpu_of, w) - 1e-6
+
+    def test_perfect_chain_instance(self, chain_trace):
+        p = joint_ilp_placement(chain_trace, num_gpus=2)
+        assert placement_locality(p, chain_trace).gpu_stay_fraction == pytest.approx(1.0)
+
+
+class TestGreedy:
+    def test_valid_and_better_than_vanilla(self, affinity_trace):
+        g = greedy_placement(affinity_trace, num_gpus=4)
+        v = vanilla_placement(affinity_trace.num_layers, affinity_trace.num_experts, 4)
+        s_g = placement_locality(g, affinity_trace).gpu_stay_fraction
+        s_v = placement_locality(v, affinity_trace).gpu_stay_fraction
+        assert s_g > s_v
+
+    def test_ilp_at_least_greedy(self, affinity_trace):
+        """The global solver should not lose to the local heuristic."""
+        w = _weights(affinity_trace)
+        g = greedy_placement(affinity_trace, num_gpus=4)
+        i = ilp_placement(affinity_trace, num_gpus=4)
+        assert chain_objective(i.gpu_of, w) >= chain_objective(g.gpu_of, w) - 1e-9
+
+
+class TestLocalSearch:
+    def test_never_worse_than_start(self, affinity_trace):
+        w = _weights(affinity_trace)
+        start = vanilla_placement(affinity_trace.num_layers, affinity_trace.num_experts, 4)
+        refined = local_search_placement(affinity_trace, 4, start=start)
+        assert chain_objective(refined.gpu_of, w) >= chain_objective(start.gpu_of, w)
+
+    def test_improves_on_affinity(self, affinity_trace):
+        start = vanilla_placement(affinity_trace.num_layers, affinity_trace.num_experts, 4)
+        refined = local_search_placement(affinity_trace, 4, start=start)
+        s0 = placement_locality(start, affinity_trace).gpu_stay_fraction
+        s1 = placement_locality(refined, affinity_trace).gpu_stay_fraction
+        assert s1 > s0
+
+    def test_shape_mismatch_rejected(self, affinity_trace):
+        bad = vanilla_placement(2, affinity_trace.num_experts, 4)
+        with pytest.raises(ValueError):
+            local_search_placement(affinity_trace, 4, start=bad)
+
+
+class TestStaged:
+    def test_valid_on_hierarchy(self, affinity_trace):
+        cluster = ClusterConfig(num_nodes=2, gpus_per_node=2)
+        p = staged_placement(affinity_trace, cluster)
+        assert p.num_gpus == 4
+        assert p.strategy == "staged"
+
+    def test_prioritises_node_locality(self, affinity_trace):
+        """Staged placement must match flat ILP on node-stay fraction
+        (its stage-1 objective) while remaining balanced per GPU."""
+        cluster = ClusterConfig(num_nodes=2, gpus_per_node=2)
+        staged = staged_placement(affinity_trace, cluster)
+        flat = ilp_placement(affinity_trace, cluster.num_gpus)
+        s_staged = placement_locality(staged, affinity_trace, cluster)
+        s_flat = placement_locality(flat, affinity_trace, cluster)
+        assert s_staged.node_stay_fraction >= s_flat.node_stay_fraction - 0.02
+
+    def test_single_node_falls_back(self, affinity_trace):
+        cluster = ClusterConfig(num_nodes=1, gpus_per_node=4)
+        p = staged_placement(affinity_trace, cluster)
+        assert p.num_gpus == 4
+
+    def test_one_gpu_per_node(self, affinity_trace):
+        cluster = ClusterConfig(num_nodes=4, gpus_per_node=1)
+        p = staged_placement(affinity_trace, cluster)
+        assert p.num_gpus == 4
+
+
+class TestRegistry:
+    def test_all_solvers_listed(self):
+        assert set(SOLVERS) == {
+            "vanilla",
+            "greedy",
+            "ilp",
+            "ilp-joint",
+            "staged",
+            "local-search",
+        }
+
+    @pytest.mark.parametrize("strategy", ["vanilla", "greedy", "ilp", "staged", "local-search"])
+    def test_solve_placement_dispatch(self, strategy, affinity_trace):
+        cluster = ClusterConfig(num_nodes=2, gpus_per_node=2)
+        p = solve_placement(strategy, affinity_trace, cluster)
+        assert p.num_gpus == 4
+        assert p.num_experts == affinity_trace.num_experts
+
+    def test_unknown_strategy(self, affinity_trace):
+        cluster = ClusterConfig(num_nodes=1, gpus_per_node=2)
+        with pytest.raises(ValueError):
+            solve_placement("quantum", affinity_trace, cluster)

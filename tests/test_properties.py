@@ -1,0 +1,221 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These pin down the algebraic guarantees the rest of the system leans on:
+placement feasibility (the ILP's constraints), conservation of probability
+in affinity estimates, monotonicity of the collective cost models, and the
+engine's token-conservation law.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.collectives import allgather_cost, alltoall_matrix
+from repro.cluster.topology import Tier, Topology
+from repro.config import ClusterConfig
+from repro.core.affinity import scaled_affinity, set_affinity
+from repro.core.placement.base import Placement, placement_locality
+from repro.core.placement.greedy import greedy_placement
+from repro.core.placement.ilp import assignment_solve, ilp_placement
+from repro.core.placement.vanilla import vanilla_placement
+from repro.trace.events import RoutingTrace
+from repro.trace.markov import MarkovRoutingModel
+
+# -- strategies ----------------------------------------------------------------
+
+
+@st.composite
+def trace_and_gpus(draw):
+    """A random routing trace plus a compatible GPU count."""
+    e = draw(st.sampled_from([4, 8, 16]))
+    L = draw(st.integers(min_value=2, max_value=5))
+    n = draw(st.integers(min_value=8, max_value=200))
+    g = draw(st.sampled_from([g for g in (1, 2, 4) if e % g == 0]))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    paths = np.random.default_rng(seed).integers(0, e, size=(n, L))
+    return RoutingTrace(paths, num_experts=e), g
+
+
+@st.composite
+def traffic_matrix(draw):
+    g = draw(st.sampled_from([2, 4, 8]))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    scale = draw(st.floats(min_value=1.0, max_value=1e9))
+    rng = np.random.default_rng(seed)
+    return g, rng.random((g, g)) * scale
+
+
+# -- placement invariants ---------------------------------------------------------
+
+
+class TestPlacementProperties:
+    @given(trace_and_gpus())
+    @settings(max_examples=25, deadline=None)
+    def test_ilp_placement_always_feasible(self, tg):
+        """Formulas 9/10 hold for every solver output on every input."""
+        trace, g = tg
+        p = ilp_placement(trace, g, sweeps=1)
+        cap = trace.num_experts // g
+        for j in range(trace.num_layers):
+            counts = np.bincount(p.gpu_of[j], minlength=g)
+            assert (counts == cap).all()
+
+    @given(trace_and_gpus())
+    @settings(max_examples=25, deadline=None)
+    def test_greedy_placement_always_feasible(self, tg):
+        trace, g = tg
+        p = greedy_placement(trace, g)
+        cap = trace.num_experts // g
+        for j in range(trace.num_layers):
+            assert (np.bincount(p.gpu_of[j], minlength=g) == cap).all()
+
+    @given(trace_and_gpus())
+    @settings(max_examples=25, deadline=None)
+    def test_locality_bounded(self, tg):
+        trace, g = tg
+        p = vanilla_placement(trace.num_layers, trace.num_experts, g)
+        stats = placement_locality(p, trace)
+        assert 0.0 <= stats.gpu_stay_fraction <= 1.0
+        assert stats.node_stay_fraction >= stats.gpu_stay_fraction - 1e-12
+
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_assignment_solve_feasible_and_no_worse_than_random(self, g, cap, seed):
+        rng = np.random.default_rng(seed)
+        e = g * cap
+        benefit = rng.random((e, g))
+        groups = assignment_solve(benefit, g)
+        assert (np.bincount(groups, minlength=g) == cap).all()
+        got = benefit[np.arange(e), groups].sum()
+        random_groups = np.repeat(np.arange(g), cap)
+        assert got >= benefit[np.arange(e), random_groups].sum() - 1e-9
+
+
+# -- affinity invariants -------------------------------------------------------------
+
+
+class TestAffinityProperties:
+    @given(trace_and_gpus())
+    @settings(max_examples=25, deadline=None)
+    def test_conditional_rows_stochastic(self, tg):
+        trace, _ = tg
+        for j in range(trace.num_layers - 1):
+            m = trace.conditional_matrix(j)
+            assert np.allclose(m.sum(axis=1), 1.0)
+            assert (m >= 0).all()
+
+    @given(trace_and_gpus())
+    @settings(max_examples=25, deadline=None)
+    def test_scaled_affinity_bounded(self, tg):
+        trace, _ = tg
+        assert 0.0 <= scaled_affinity(trace) <= 1.0
+
+    @given(trace_and_gpus(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_set_affinity_partition(self, tg, seed):
+        """Affinity over a destination partition sums to 1 (for seen srcs)."""
+        trace, _ = tg
+        e = trace.num_experts
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(e)
+        cut = e // 2
+        seen = np.unique(trace.paths[:, 0])
+        total = set_affinity(trace, 0, seen, perm[:cut]) + set_affinity(
+            trace, 0, seen, perm[cut:]
+        )
+        assert total == pytest.approx(1.0)
+
+    @given(
+        st.integers(min_value=2, max_value=16),
+        st.integers(min_value=2, max_value=6),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_markov_rows_always_stochastic(self, e, L, affinity, seed):
+        model = MarkovRoutingModel.with_affinity(
+            e, L, affinity, successors=min(2, e), rng=np.random.default_rng(seed)
+        )
+        assert np.allclose(model.transitions.sum(axis=2), 1.0)
+        trace = model.sample(50, np.random.default_rng(seed + 1))
+        assert trace.paths.max() < e
+
+
+# -- collective cost invariants ----------------------------------------------------------
+
+
+class TestCollectiveProperties:
+    @given(traffic_matrix())
+    @settings(max_examples=30, deadline=None)
+    def test_alltoall_nonnegative_and_conserves_bytes(self, gt):
+        g, traffic = gt
+        topo = Topology(ClusterConfig(num_nodes=max(1, g // 2), gpus_per_node=2 if g > 1 else 1))
+        res = alltoall_matrix(topo, traffic)
+        assert res.time_s >= 0.0
+        assert res.total_bytes == pytest.approx(traffic.sum(), rel=1e-9)
+
+    @given(traffic_matrix(), st.floats(min_value=1.1, max_value=10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_alltoall_monotone_in_traffic(self, gt, factor):
+        g, traffic = gt
+        topo = Topology(ClusterConfig(num_nodes=max(1, g // 2), gpus_per_node=2 if g > 1 else 1))
+        base = alltoall_matrix(topo, traffic)
+        more = alltoall_matrix(topo, traffic * factor)
+        assert more.time_s >= base.time_s
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+        st.floats(min_value=0.0, max_value=1e9),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_allgather_bytes_formula(self, nodes, gpn, contrib):
+        topo = Topology(ClusterConfig(num_nodes=nodes, gpus_per_node=gpn))
+        res = allgather_cost(topo, contrib)
+        g = nodes * gpn
+        if g > 1:
+            assert res.total_bytes == pytest.approx((g - 1) * g * contrib, rel=1e-9)
+
+
+# -- engine conservation ------------------------------------------------------------------
+
+
+class TestEngineProperties:
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.sampled_from(["vanilla", "context_coherent", "exflow"]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_every_token_processed_once_per_layer(self, seed, mode_name):
+        """FFN compute equals tokens x layers regardless of mode/placement:
+        dispatch must neither drop nor duplicate tokens."""
+        import dataclasses
+
+        from repro.config import ExecutionMode, InferenceConfig, ModelConfig
+        from repro.engine.costs import CostModel
+        from repro.engine.executor import simulate_inference
+        from repro.engine.workload import make_decode_workload
+
+        model = ModelConfig("p", num_layers=3, num_experts=8, d_model=32, vocab_size=64)
+        cluster = ClusterConfig(num_nodes=2, gpus_per_node=2)
+        infer = InferenceConfig(
+            requests_per_gpu=2, prompt_len=4, generate_len=3,
+            mode=ExecutionMode(mode_name), seed=seed,
+        )
+        workload = make_decode_workload(model, cluster, infer, rng=np.random.default_rng(seed))
+        placement = vanilla_placement(3, 8, 4)
+        res = simulate_inference(model, cluster, infer, placement, workload)
+
+        cost = CostModel(model, gpu_flops=cluster.gpu_flops)
+        total_token_layers = workload.iterations * workload.num_requests * 3
+        # lockstep max per GPU >= even split; <= everything on one GPU
+        lower = cost.ffn_time(total_token_layers // 4)
+        upper = cost.ffn_time(total_token_layers)
+        assert lower - 1e-12 <= res.breakdown.expert_ffn_s <= upper + 1e-12

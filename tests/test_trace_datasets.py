@@ -1,0 +1,91 @@
+"""Unit tests for repro.trace.datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.datasets import CORPUS_NAMES, TopicCorpus, make_corpus
+
+
+class TestMakeCorpus:
+    def test_all_names_construct(self):
+        for name in CORPUS_NAMES:
+            corpus = make_corpus(name, vocab_size=128, num_topics=8)
+            assert corpus.name == name
+            assert corpus.vocab_size == 128
+            assert corpus.num_topics == 8
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_corpus("wikipedia")
+
+    def test_shared_universe(self):
+        """Same seed -> identical topic-word distributions across corpora."""
+        pile = make_corpus("pile", vocab_size=128, num_topics=8, seed=5)
+        yelp = make_corpus("yelp", vocab_size=128, num_topics=8, seed=5)
+        assert np.array_equal(pile.topic_word, yelp.topic_word)
+
+    def test_priors_differ_across_corpora(self):
+        pile = make_corpus("pile", vocab_size=128, num_topics=8)
+        yelp = make_corpus("yelp", vocab_size=128, num_topics=8)
+        assert not np.allclose(pile.topic_prior, yelp.topic_prior)
+
+    def test_yelp_is_concentrated(self):
+        pile = make_corpus("pile", vocab_size=256, num_topics=16)
+        yelp = make_corpus("yelp", vocab_size=256, num_topics=16)
+        assert yelp.topic_prior.max() > pile.topic_prior.max()
+
+    def test_priors_full_support(self):
+        for name in CORPUS_NAMES:
+            corpus = make_corpus(name, vocab_size=128, num_topics=8)
+            assert (corpus.topic_prior > 0).all()
+
+    def test_vocab_smaller_than_topics_rejected(self):
+        with pytest.raises(ValueError):
+            make_corpus("pile", vocab_size=4, num_topics=8)
+
+
+class TestSampling:
+    @pytest.fixture
+    def corpus(self) -> TopicCorpus:
+        return make_corpus("pile", vocab_size=128, num_topics=8)
+
+    def test_shapes(self, corpus):
+        docs, topics = corpus.sample_documents(5, 16, np.random.default_rng(0))
+        assert docs.shape == (5, 16)
+        assert topics.shape == (5,)
+        assert docs.max() < 128
+
+    def test_deterministic(self, corpus):
+        a, _ = corpus.sample_documents(3, 8, np.random.default_rng(1))
+        b, _ = corpus.sample_documents(3, 8, np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+    def test_documents_reflect_topics(self, corpus):
+        """Tokens of a doc should over-represent its topic's vocab slice."""
+        docs, topics = corpus.sample_documents(50, 64, np.random.default_rng(2))
+        slice_size = corpus.vocab_size // corpus.num_topics
+        hits = 0
+        for doc, topic in zip(docs, topics):
+            lo = topic * slice_size
+            in_slice = ((doc >= lo) & (doc < lo + slice_size)).mean()
+            hits += in_slice > 1.5 / corpus.num_topics
+        assert hits > 40  # the vast majority of docs are topic-dominated
+
+    def test_rejects_bad_args(self, corpus):
+        with pytest.raises(ValueError):
+            corpus.sample_documents(-1, 8)
+        with pytest.raises(ValueError):
+            corpus.sample_documents(1, 0)
+
+
+class TestValidation:
+    def test_rejects_non_stochastic_topic_word(self):
+        with pytest.raises(ValueError):
+            TopicCorpus("x", np.ones((2, 4)), np.array([0.5, 0.5]))
+
+    def test_rejects_bad_prior(self):
+        tw = np.full((2, 4), 0.25)
+        with pytest.raises(ValueError):
+            TopicCorpus("x", tw, np.array([0.9, 0.9]))

@@ -1,0 +1,98 @@
+"""Unit tests for repro.trace.markov."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.markov import MarkovRoutingModel, make_affinity_transitions
+
+
+class TestTransitions:
+    def test_row_stochastic(self):
+        t = make_affinity_transitions(8, 4, affinity=0.7)
+        assert t.shape == (3, 8, 8)
+        assert np.allclose(t.sum(axis=2), 1.0)
+
+    def test_zero_affinity_uniform(self):
+        t = make_affinity_transitions(8, 3, affinity=0.0)
+        assert np.allclose(t, 1.0 / 8)
+
+    def test_full_affinity_concentrated(self):
+        t = make_affinity_transitions(8, 3, affinity=1.0, successors=1)
+        # each row is a one-hot permutation row
+        assert np.allclose(t.max(axis=2), 1.0)
+        # columns balanced: each expert is someone's successor exactly once
+        assert np.allclose(t.sum(axis=1), 1.0)
+
+    def test_successor_count_controls_spread(self):
+        t1 = make_affinity_transitions(16, 2, affinity=1.0, successors=1)
+        t4 = make_affinity_transitions(16, 2, affinity=1.0, successors=4)
+        assert t1.max() > t4.max()
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            make_affinity_transitions(8, 3, affinity=1.5)
+        with pytest.raises(ValueError):
+            make_affinity_transitions(8, 3, affinity=0.5, successors=0)
+        with pytest.raises(ValueError):
+            make_affinity_transitions(8, 1, affinity=0.5)
+
+
+class TestMarkovModel:
+    def test_sample_shape(self):
+        model = MarkovRoutingModel.with_affinity(8, 5, 0.8)
+        trace = model.sample(100)
+        assert trace.num_tokens == 100
+        assert trace.num_layers == 5
+        assert trace.num_experts == 8
+
+    def test_sample_deterministic(self):
+        model = MarkovRoutingModel.with_affinity(8, 4, 0.8)
+        a = model.sample(50, np.random.default_rng(3))
+        b = model.sample(50, np.random.default_rng(3))
+        assert np.array_equal(a.paths, b.paths)
+
+    def test_empirical_matches_transitions(self):
+        """Sampled conditional frequencies converge to the model."""
+        model = MarkovRoutingModel.with_affinity(4, 2, 0.9, rng=np.random.default_rng(1))
+        trace = model.sample(60000, np.random.default_rng(2))
+        est = trace.conditional_matrix(0)
+        assert np.abs(est - model.transitions[0]).max() < 0.03
+
+    def test_prior_respected(self):
+        prior = np.array([1.0, 0.0, 0.0, 0.0])
+        t = make_affinity_transitions(4, 2, 0.0)
+        model = MarkovRoutingModel(t, prior=prior)
+        trace = model.sample(200, np.random.default_rng(0))
+        assert (trace.paths[:, 0] == 0).all()
+
+    def test_stationary_distribution(self):
+        model = MarkovRoutingModel.with_affinity(4, 3, 0.5, rng=np.random.default_rng(5))
+        d0 = model.stationary_distribution(0)
+        d2 = model.stationary_distribution(2)
+        assert d0.sum() == pytest.approx(1.0)
+        assert d2.sum() == pytest.approx(1.0)
+
+    def test_validation(self):
+        bad = np.ones((2, 3, 3))  # rows sum to 3
+        with pytest.raises(ValueError):
+            MarkovRoutingModel(bad)
+        with pytest.raises(ValueError):
+            MarkovRoutingModel(np.ones((3, 3)) / 3)  # wrong ndim
+        t = make_affinity_transitions(3, 2, 0.5)
+        with pytest.raises(ValueError):
+            MarkovRoutingModel(t, prior=np.array([0.5, 0.5]))  # wrong size
+
+    def test_zero_tokens(self):
+        model = MarkovRoutingModel.with_affinity(4, 3, 0.5)
+        assert model.sample(0).num_tokens == 0
+
+    def test_affinity_dial_orders_concentration(self):
+        """Higher affinity -> more concentrated conditional matrices."""
+        rng = np.random.default_rng(0)
+        weak = MarkovRoutingModel.with_affinity(8, 3, 0.2, rng=np.random.default_rng(1))
+        strong = MarkovRoutingModel.with_affinity(8, 3, 0.9, rng=np.random.default_rng(1))
+        tw = weak.sample(5000, rng).conditional_matrix(0).max(axis=1).mean()
+        ts = strong.sample(5000, rng).conditional_matrix(0).max(axis=1).mean()
+        assert ts > tw

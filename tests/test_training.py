@@ -1,0 +1,116 @@
+"""Unit tests for repro.training (trainer, balance, evolution)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.training.balance import (
+    entropy_balance,
+    expert_share,
+    load_imbalance,
+    trace_balance_series,
+)
+from repro.training.evolution import track_affinity_evolution
+from repro.training.trainer import GateStackTrainer, TrainerConfig
+from repro.trace.datasets import make_corpus
+from repro.trace.events import RoutingTrace
+
+
+class TestBalanceMetrics:
+    def test_expert_share_sums_to_one(self):
+        share = expert_share(np.array([0, 1, 1, 2]), 4)
+        assert share.sum() == pytest.approx(1.0)
+        assert share.tolist() == [0.25, 0.5, 0.25, 0.0]
+
+    def test_empty_share(self):
+        assert expert_share(np.array([], dtype=int), 4).tolist() == [0.0] * 4
+
+    def test_imbalance_uniform(self):
+        assert load_imbalance(np.arange(8), 8) == pytest.approx(1.0)
+
+    def test_imbalance_collapsed(self):
+        assert load_imbalance(np.zeros(100, dtype=int), 8) == pytest.approx(8.0)
+
+    def test_entropy_balance_bounds(self):
+        assert entropy_balance(np.arange(8), 8) == pytest.approx(1.0)
+        assert entropy_balance(np.zeros(10, dtype=int), 8) == 0.0
+
+    def test_trace_balance_series(self):
+        trace = RoutingTrace(np.zeros((10, 3), dtype=int), num_experts=4)
+        series = trace_balance_series(trace)
+        assert series.shape == (3,)
+        assert (series == 4.0).all()
+
+
+@pytest.fixture
+def trainer() -> GateStackTrainer:
+    corpus = make_corpus("pile", vocab_size=128, num_topics=8)
+    config = TrainerConfig(num_experts=8, num_layers=3, batch_tokens=128, seed=1)
+    return GateStackTrainer(config, corpus)
+
+
+class TestTrainer:
+    def test_step_returns_diagnostics(self, trainer):
+        out = trainer.step()
+        assert set(out) == {"iteration", "balance_loss", "confidence"}
+        assert out["iteration"] == 1.0
+
+    def test_train_advances_iteration(self, trainer):
+        trainer.train(5)
+        assert trainer.iteration == 5
+
+    def test_probe_trace_shape(self, trainer):
+        trace = trainer.probe_trace(256)
+        assert trace.num_tokens == 256
+        assert trace.num_layers == 3
+        assert trace.num_experts == 8
+
+    def test_early_collapse_then_balance(self, trainer):
+        """The paper's Fig 11 narrative: routing becomes strongly skewed in
+        the first iterations, then the balance loss spreads load."""
+        imbalances = []
+        for _ in range(20):
+            trainer.train(10)
+            imbalances.append(load_imbalance(trainer.probe_trace(512).paths[:, -1], 8))
+        early_peak = max(imbalances[:5])  # iterations 10-50
+        late = min(imbalances[-3:])  # iterations 180-200
+        assert early_peak > 2.0  # pronounced early skew
+        assert late < early_peak  # balance recovers
+
+    def test_hidden_states_deterministic(self, trainer):
+        tokens = np.arange(10)
+        a = trainer.hidden_states(tokens)
+        b = trainer.hidden_states(tokens)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(num_experts=1, num_layers=3)
+        with pytest.raises(ValueError):
+            TrainerConfig(num_experts=4, num_layers=3, lr=0.0)
+
+    def test_negative_iterations_rejected(self, trainer):
+        with pytest.raises(ValueError):
+            trainer.train(-1)
+
+
+class TestEvolution:
+    def test_timeline_shapes(self):
+        timeline = track_affinity_evolution(
+            num_experts=8, num_layers=3, total_iterations=40, checkpoints=5,
+            probe_tokens=256,
+        )
+        assert timeline.num_checkpoints >= 2
+        assert timeline.iterations[0] == 0
+        assert timeline.iterations[-1] == 40
+        assert timeline.last_layer_share.shape[1] == 8
+        assert ((timeline.affinity >= 0) & (timeline.affinity <= 1)).all()
+
+    def test_affinity_recovers(self):
+        """Fig 12's claim: after the balancing dip, affinity climbs again."""
+        timeline = track_affinity_evolution(
+            num_experts=8, num_layers=3, total_iterations=150, checkpoints=8,
+            probe_tokens=512, seed=2,
+        )
+        assert timeline.affinity_increased_overall()
