@@ -1,0 +1,100 @@
+"""Engine micro-benchmark — vectorized batched executor vs loop oracle.
+
+Times both executors on the Fig 10 end-to-end configuration (the largest
+panel: MoE-GPT-M-350M-E64 on 16 nodes x 4 GPUs) under all three execution
+modes, and records the wall-time speedup of the batched engine.  The
+acceptance bar is a >= 5x geometric-mean speedup; the equivalence suite
+separately guarantees both engines produce identical results, so this
+table is pure performance accounting.
+
+Runnable directly (``python benchmarks/bench_engine_speed.py``) or through
+pytest (``pytest benchmarks/bench_engine_speed.py -s``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from pathlib import Path
+
+from repro import InferenceConfig, paper_model, wilkes3
+from repro.analysis.report import format_table
+from repro.config import ExecutionMode, geometric_mean
+from repro.core.placement.vanilla import vanilla_placement
+from repro.engine.executor import simulate_inference
+from repro.engine.reference import simulate_inference_reference
+from repro.engine.workload import make_decode_workload
+
+
+def _best_of(fn, rounds: int) -> float:
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def run_speed_comparison(rounds: int = 3):
+    """Return (table rows, per-mode speedups) for the Fig 10 configuration."""
+    model = paper_model("gpt-m-350m-e64")
+    cluster = wilkes3(16)  # 64 GPUs — the paper's largest expert-parallel size
+    infer = InferenceConfig(requests_per_gpu=8, prompt_len=64, generate_len=8)
+    placement = vanilla_placement(
+        model.num_moe_layers, model.num_experts, cluster.num_gpus
+    )
+    workload = make_decode_workload(model, cluster, infer)
+
+    rows = []
+    speedups = []
+    for mode in ExecutionMode:
+        cfg = dataclasses.replace(infer, mode=mode)
+        t_vec = _best_of(
+            lambda: simulate_inference(model, cluster, cfg, placement, workload),
+            rounds,
+        )
+        t_ref = _best_of(
+            lambda: simulate_inference_reference(
+                model, cluster, cfg, placement, workload
+            ),
+            rounds,
+        )
+        speedups.append(t_ref / t_vec)
+        rows.append([mode.value, t_ref * 1e3, t_vec * 1e3, t_ref / t_vec])
+    return rows, speedups
+
+
+def _format(rows) -> str:
+    return format_table(
+        ["mode", "loop engine ms", "batched engine ms", "speedup"],
+        rows,
+        title="Engine speed — Fig 10 config (MoE-350M-E64, 16x4 GPUs, 8 iters)",
+    )
+
+
+def test_engine_speed(benchmark, results_dir):
+    from conftest import publish
+
+    rows, speedups = run_speed_comparison()
+    benchmark.pedantic(lambda: run_speed_comparison(rounds=1), rounds=1, iterations=1)
+    publish(results_dir, "engine_speed", _format(rows))
+
+    # acceptance: >= 5x on the Fig 10 end-to-end configuration
+    assert geometric_mean(speedups) >= 5.0
+    assert all(s > 1.0 for s in speedups)
+
+
+def main() -> int:
+    rows, speedups = run_speed_comparison()
+    table = _format(rows)
+    print(table)
+    gm = geometric_mean(speedups)
+    print(f"\ngeometric-mean speedup: {gm:.1f}x (target >= 5x)")
+    results = Path(__file__).parent / "results"
+    results.mkdir(exist_ok=True)
+    (results / "engine_speed.txt").write_text(table + "\n")
+    return 0 if gm >= 5.0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

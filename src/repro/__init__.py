@@ -39,6 +39,7 @@ from repro.config import (
     LinkSpec,
     ModelConfig,
     PAPER_MODELS,
+    ServingConfig,
     paper_model,
     scaled_proxy,
     wilkes3,
@@ -59,10 +60,16 @@ from repro.core import (
 from repro.engine import (
     CostModel,
     DecodeWorkload,
+    LatencyStats,
     RunResult,
+    ServingResult,
     compare_modes,
+    make_arrivals,
     make_decode_workload,
+    simulate_cluster_serving,
     simulate_inference,
+    simulate_inference_reference,
+    simulate_serving,
 )
 from repro.model import MoETransformer, generate
 from repro.trace import (
@@ -85,6 +92,7 @@ __all__ = [
     "LinkSpec",
     "ModelConfig",
     "PAPER_MODELS",
+    "ServingConfig",
     "paper_model",
     "scaled_proxy",
     "wilkes3",
@@ -106,10 +114,16 @@ __all__ = [
     # engine
     "CostModel",
     "DecodeWorkload",
+    "LatencyStats",
     "RunResult",
+    "ServingResult",
     "compare_modes",
+    "make_arrivals",
     "make_decode_workload",
+    "simulate_cluster_serving",
     "simulate_inference",
+    "simulate_inference_reference",
+    "simulate_serving",
     # model
     "MoETransformer",
     "generate",

@@ -6,6 +6,8 @@ Wraps the common workflows so the library is usable without writing Python:
 * ``profile`` — sample a routing trace (Markov router) to an ``.npz`` file.
 * ``place`` — solve an expert placement from a trace file.
 * ``simulate`` — run the three-way serving comparison and print the table.
+* ``serve`` — request-level serving with continuous batching and tail-latency
+  metrics (Poisson or bursty arrivals).
 * ``heatmap`` — render a trace's layer-pair affinity heatmap.
 
 Every command takes ``--seed`` and prints deterministic output.
@@ -21,11 +23,19 @@ import numpy as np
 
 from repro.analysis.heatmap import ascii_heatmap
 from repro.analysis.report import format_table
-from repro.config import PAPER_MODELS, ClusterConfig, InferenceConfig, paper_model
+from repro.config import (
+    PAPER_MODELS,
+    ClusterConfig,
+    ExecutionMode,
+    InferenceConfig,
+    ServingConfig,
+    paper_model,
+)
 from repro.core.affinity import affinity_matrix, scaled_affinity
 from repro.core.placement.base import Placement, placement_locality
 from repro.core.placement.registry import SOLVERS, solve_placement
 from repro.engine.comparison import compare_modes
+from repro.engine.serving import simulate_cluster_serving
 from repro.trace.events import RoutingTrace
 from repro.trace.markov import MarkovRoutingModel
 
@@ -64,6 +74,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prompt-len", type=int, default=64)
     p.add_argument("--generate-len", type=int, default=8)
     p.add_argument("--affinity", type=float, default=0.85)
+    p.add_argument("--strategy", default="staged", choices=SOLVERS)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "serve", help="request-level serving simulation (continuous batching)"
+    )
+    p.add_argument("--model", default="gpt-m-350m-e32")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--gpus-per-node", type=int, default=4)
+    p.add_argument("--arrival", default="poisson", choices=["poisson", "bursty"])
+    p.add_argument("--rate", type=float, default=64.0, help="mean arrivals per second")
+    p.add_argument("--requests", type=int, default=512)
+    p.add_argument("--burst-factor", type=float, default=4.0)
+    p.add_argument("--burst-fraction", type=float, default=0.25)
+    p.add_argument("--burst-persistence", type=float, default=0.9)
+    p.add_argument("--max-batch", type=int, default=64)
+    p.add_argument("--prompt-len", type=int, default=64)
+    p.add_argument("--generate-len", type=int, default=32)
+    p.add_argument(
+        "--mode",
+        default="exflow",
+        choices=[m.value for m in ExecutionMode],
+        help="execution strategy used to calibrate step cost",
+    )
     p.add_argument("--strategy", default="staged", choices=SOLVERS)
     p.add_argument("--seed", type=int, default=0)
 
@@ -161,6 +195,63 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    model = paper_model(args.model)
+    cluster = ClusterConfig(num_nodes=args.nodes, gpus_per_node=args.gpus_per_node)
+    serving = ServingConfig(
+        arrival=args.arrival,
+        arrival_rate_rps=args.rate,
+        num_requests=args.requests,
+        burst_factor=args.burst_factor,
+        burst_fraction=args.burst_fraction,
+        burst_persistence=args.burst_persistence,
+        max_batch_requests=args.max_batch,
+        prompt_len=args.prompt_len,
+        generate_len=args.generate_len,
+        seed=args.seed,
+    )
+    res = simulate_cluster_serving(
+        model,
+        cluster,
+        serving,
+        mode=ExecutionMode(args.mode),
+        placement_strategy=args.strategy,
+    )
+    rows = [
+        [
+            args.arrival,
+            len(res.completed),
+            res.latency.p50_s * 1e3,
+            res.latency.p95_s * 1e3,
+            res.latency.p99_s * 1e3,
+            res.throughput_tokens_per_s,
+            res.mean_batch_size,
+            res.utilization,
+        ]
+    ]
+    print(
+        format_table(
+            [
+                "arrival",
+                "served",
+                "p50 ms",
+                "p95 ms",
+                "p99 ms",
+                "tokens/s",
+                "mean batch",
+                "util",
+            ],
+            rows,
+            title=(
+                f"{model.name} serving on {cluster.num_nodes}x"
+                f"{cluster.gpus_per_node} GPUs — {args.rate:g} req/s, "
+                f"{args.mode} engine"
+            ),
+        )
+    )
+    return 0
+
+
 def _cmd_heatmap(args: argparse.Namespace) -> int:
     trace = RoutingTrace.load(args.trace)
     if not 0 <= args.layer < trace.num_layers - 1:
@@ -183,6 +274,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "place": _cmd_place,
     "simulate": _cmd_simulate,
+    "serve": _cmd_serve,
     "heatmap": _cmd_heatmap,
 }
 

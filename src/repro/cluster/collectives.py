@@ -15,6 +15,15 @@ alpha-beta link model, evaluated per-round with the *slowest participating
 link* gating each round — the same synchronisation structure NCCL/MPI
 implementations exhibit.  Everything is vectorised; no Python loop touches
 individual ranks inside a round.
+
+:func:`alltoall_matrix` and :func:`allgather_cost` additionally accept a
+*stacked* batch of inputs — a (T, G, G) traffic tensor or a (T, G)
+contribution matrix — and return one :class:`CollectiveResult` per slice.
+The batched path shares its arithmetic with the single-collective path
+(round loops run once across the whole batch), which is what lets the
+vectorized engine cost every (iteration, layer) Alltoall of a run in a
+handful of numpy passes while remaining bit-identical to costing them one
+at a time.
 """
 
 from __future__ import annotations
@@ -98,7 +107,44 @@ def _validate_traffic(topo: Topology, traffic: np.ndarray) -> np.ndarray:
     return traffic
 
 
-def alltoall_matrix(topo: Topology, traffic: np.ndarray) -> CollectiveResult:
+def _alltoall_batched(
+    topo: Topology, stack: np.ndarray
+) -> tuple[np.ndarray, list[dict[Tier, float]], int]:
+    """Cost a (T, G, G) traffic stack; returns (times, per-slice tier bytes, rounds).
+
+    One pairwise-exchange round loop covers the whole batch: round ``r``
+    gathers every slice's (rank, (rank + r) mod G) payloads into a (T, G)
+    matrix and reduces over the rank axis.  Inactive rounds (zero payload)
+    contribute exactly 0.0, matching the single-collective skip.
+    """
+    g = topo.num_gpus
+    t_count = stack.shape[0]
+    if g == 1:
+        times = np.zeros(t_count)
+        tier_bytes = [{Tier.LOCAL: float(stack[i].sum())} for i in range(t_count)]
+        return times, tier_bytes, 0
+
+    lat = topo.latency_matrix
+    inv_bw = topo.inv_bandwidth_matrix
+    ranks = np.arange(g)
+
+    times = np.zeros(t_count)
+    for r in range(1, g):
+        dst = (ranks + r) % g
+        nbytes = stack[:, ranks, dst]  # (T, G)
+        per_pair = lat[ranks, dst][None, :] + nbytes * inv_bw[ranks, dst][None, :]
+        round_t = np.where(nbytes > 0, per_pair, -np.inf).max(axis=1)
+        times += np.where(np.isfinite(round_t), round_t, 0.0)
+
+    tiers = topo.tier_matrix
+    per_tier = {t: stack[:, tiers == t].sum(axis=1) for t in Tier}
+    tier_bytes = [{t: float(per_tier[t][i]) for t in Tier} for i in range(t_count)]
+    return times, tier_bytes, g - 1
+
+
+def alltoall_matrix(
+    topo: Topology, traffic: np.ndarray
+) -> CollectiveResult | list[CollectiveResult]:
     """Personalised Alltoall with an arbitrary (G, G) byte matrix.
 
     ``traffic[a, b]`` = payload bytes rank ``a`` must deliver to rank ``b``.
@@ -109,29 +155,30 @@ def alltoall_matrix(topo: Topology, traffic: np.ndarray) -> CollectiveResult:
     Algorithm: G-1 pairwise-exchange rounds.  In round ``r`` every rank ``i``
     sends to ``(i + r) mod G`` and receives from ``(i - r) mod G``; the round
     completes when the slowest transfer finishes.
+
+    A stacked (T, G, G) input costs T independent Alltoalls in one batched
+    pass and returns a list of T results, one per slice, each identical to
+    what the corresponding single (G, G) call would produce.
     """
-    traffic = _validate_traffic(topo, traffic)
+    arr = np.asarray(traffic, dtype=np.float64)
     g = topo.num_gpus
-    if g == 1:
-        return CollectiveResult("alltoall", 0.0, {Tier.LOCAL: float(traffic.sum())}, 0)
-
-    lat = topo.latency_matrix
-    inv_bw = topo.inv_bandwidth_matrix
-    ranks = np.arange(g)
-
-    total = 0.0
-    for r in range(1, g):
-        dst = (ranks + r) % g
-        nbytes = traffic[ranks, dst]
-        # a round with zero payload everywhere is skipped entirely
-        active = nbytes > 0
-        if not active.any():
-            continue
-        per_pair = lat[ranks, dst] + nbytes * inv_bw[ranks, dst]
-        total += float(per_pair[active].max())
-
-    bytes_by_tier = topo.classify_bytes(traffic)
-    return CollectiveResult("alltoall", total, bytes_by_tier, rounds=g - 1)
+    if arr.ndim == 2:
+        arr = _validate_traffic(topo, arr)
+        times, tier_bytes, rounds = _alltoall_batched(topo, arr[None])
+        return CollectiveResult("alltoall", float(times[0]), tier_bytes[0], rounds)
+    if arr.ndim == 3:
+        if arr.shape[1:] != (g, g):
+            raise ValueError(
+                f"stacked traffic must be (T, {g}, {g}), got {arr.shape}"
+            )
+        if (arr < 0).any():
+            raise ValueError("traffic bytes must be non-negative")
+        times, tier_bytes, rounds = _alltoall_batched(topo, arr)
+        return [
+            CollectiveResult("alltoall", float(times[i]), tier_bytes[i], rounds)
+            for i in range(arr.shape[0])
+        ]
+    raise ValueError(f"traffic must be (G, G) or (T, G, G), got shape {arr.shape}")
 
 
 def alltoall_cost(topo: Topology, bytes_per_pair: float) -> CollectiveResult:
@@ -148,41 +195,73 @@ def alltoall_cost(topo: Topology, bytes_per_pair: float) -> CollectiveResult:
     return alltoall_matrix(topo, traffic)
 
 
-def allgather_cost(topo: Topology, bytes_per_rank: np.ndarray | float) -> CollectiveResult:
-    """Ring AllGather where rank ``i`` contributes ``bytes_per_rank[i]``.
-
-    G-1 steps; in step ``s`` rank ``i`` forwards the chunk that originated
-    at rank ``(i - s) mod G`` to rank ``(i + 1) mod G``.  Heterogeneous
-    contributions are supported because ExFlow's per-iteration context
-    AllGather carries each GPU's newly generated tokens, which can differ.
-    """
+def _allgather_batched(
+    topo: Topology, contrib: np.ndarray
+) -> tuple[np.ndarray, list[dict[Tier, float]], int]:
+    """Cost a (T, G) contribution stack; returns (times, per-slice tier bytes, rounds)."""
     g = topo.num_gpus
-    contrib = np.broadcast_to(np.asarray(bytes_per_rank, dtype=np.float64), (g,)).copy()
-    if (contrib < 0).any():
-        raise ValueError("bytes_per_rank must be non-negative")
+    t_count = contrib.shape[0]
     if g == 1:
-        return CollectiveResult("allgather", 0.0, {Tier.LOCAL: float(contrib.sum())}, 0)
+        times = np.zeros(t_count)
+        tier_bytes = [{Tier.LOCAL: float(contrib[i].sum())} for i in range(t_count)]
+        return times, tier_bytes, 0
 
     ranks = np.arange(g)
     nxt = (ranks + 1) % g
     lat = topo.latency_matrix[ranks, nxt]
     inv_bw = topo.inv_bandwidth_matrix[ranks, nxt]
     tiers = topo.tier_matrix[ranks, nxt]
+    tier_sel = {t: tiers == t for t in Tier}
 
-    total = 0.0
-    bytes_by_tier: dict[Tier, float] = {t: 0.0 for t in Tier}
+    times = np.zeros(t_count)
+    acc = {t: np.zeros(t_count) for t in Tier}
     for s in range(g - 1):
-        chunk = contrib[(ranks - s) % g]
-        active = chunk > 0
-        if active.any():
-            total += float((lat[active] + chunk[active] * inv_bw[active]).max())
+        chunk = contrib[:, (ranks - s) % g]  # (T, G)
+        per_link = lat[None, :] + chunk * inv_bw[None, :]
+        step_t = np.where(chunk > 0, per_link, -np.inf).max(axis=1)
+        times += np.where(np.isfinite(step_t), step_t, 0.0)
         for t in Tier:
-            sel = tiers == t
-            if sel.any():
-                bytes_by_tier[Tier(t)] += float(chunk[sel].sum())
+            if tier_sel[t].any():
+                acc[t] += chunk[:, tier_sel[t]].sum(axis=1)
 
-    bytes_by_tier = {t: b for t, b in bytes_by_tier.items() if b > 0}
-    return CollectiveResult("allgather", total, bytes_by_tier, rounds=g - 1)
+    tier_bytes = [
+        {t: float(acc[t][i]) for t in Tier if acc[t][i] > 0} for i in range(t_count)
+    ]
+    return times, tier_bytes, g - 1
+
+
+def allgather_cost(
+    topo: Topology, bytes_per_rank: np.ndarray | float
+) -> CollectiveResult | list[CollectiveResult]:
+    """Ring AllGather where rank ``i`` contributes ``bytes_per_rank[i]``.
+
+    G-1 steps; in step ``s`` rank ``i`` forwards the chunk that originated
+    at rank ``(i - s) mod G`` to rank ``(i + 1) mod G``.  Heterogeneous
+    contributions are supported because ExFlow's per-iteration context
+    AllGather carries each GPU's newly generated tokens, which can differ.
+
+    A stacked (T, G) input costs T independent AllGathers in one batched
+    pass and returns a list of T results.
+    """
+    g = topo.num_gpus
+    arr = np.asarray(bytes_per_rank, dtype=np.float64)
+    if arr.ndim <= 1:
+        contrib = np.broadcast_to(arr, (g,)).copy()
+        if (contrib < 0).any():
+            raise ValueError("bytes_per_rank must be non-negative")
+        times, tier_bytes, rounds = _allgather_batched(topo, contrib[None])
+        return CollectiveResult("allgather", float(times[0]), tier_bytes[0], rounds)
+    if arr.ndim == 2:
+        if arr.shape[1] != g:
+            raise ValueError(f"stacked contributions must be (T, {g}), got {arr.shape}")
+        if (arr < 0).any():
+            raise ValueError("bytes_per_rank must be non-negative")
+        times, tier_bytes, rounds = _allgather_batched(topo, arr)
+        return [
+            CollectiveResult("allgather", float(times[i]), tier_bytes[i], rounds)
+            for i in range(arr.shape[0])
+        ]
+    raise ValueError(f"bytes_per_rank must be scalar, (G,) or (T, G), got {arr.shape}")
 
 
 def allreduce_cost(topo: Topology, nbytes: float) -> CollectiveResult:

@@ -30,6 +30,7 @@ __all__ = [
     "LinkSpec",
     "ClusterConfig",
     "InferenceConfig",
+    "ServingConfig",
     "paper_model",
     "wilkes3",
     "PAPER_MODELS",
@@ -297,6 +298,79 @@ class InferenceConfig:
     def total_context_len(self) -> int:
         """Final context length of each request after generation."""
         return self.prompt_len + self.generate_len
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """A request-level serving scenario for the continuous-batching layer.
+
+    Where :class:`InferenceConfig` describes one lockstep batch,
+    ``ServingConfig`` describes an *open* system: requests arrive over time
+    (Poisson or bursty), join the running decode batch as slots free up,
+    and leave when their generation finishes.
+
+    Parameters
+    ----------
+    arrival:
+        ``"poisson"`` — memoryless arrivals at ``arrival_rate_rps`` — or
+        ``"bursty"`` — a two-state Markov-modulated Poisson process whose
+        burst state multiplies the rate by ``burst_factor`` while the calm
+        state is slowed so the long-run mean rate stays
+        ``arrival_rate_rps``.
+    burst_fraction:
+        Long-run fraction of requests drawn in the burst state.
+    burst_persistence:
+        Probability the arrival process stays in its current state from one
+        request to the next (higher = longer bursts).
+    max_batch_requests:
+        Continuous-batching admission cap — the serving analogue of the
+        engine's total request count.
+    """
+
+    arrival: str = "poisson"
+    arrival_rate_rps: float = 64.0
+    num_requests: int = 512
+    burst_factor: float = 4.0
+    burst_fraction: float = 0.25
+    burst_persistence: float = 0.9
+    max_batch_requests: int = 64
+    prompt_len: int = 64
+    generate_len: int = 32
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arrival not in ("poisson", "bursty"):
+            raise ValueError(
+                f"arrival must be 'poisson' or 'bursty', got {self.arrival!r}"
+            )
+        if self.arrival_rate_rps <= 0:
+            raise ValueError("arrival_rate_rps must be positive")
+        if self.num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        if self.burst_factor < 1.0:
+            raise ValueError("burst_factor must be >= 1")
+        if not 0.0 <= self.burst_fraction < 1.0:
+            raise ValueError("burst_fraction must be in [0, 1)")
+        if not 0.0 <= self.burst_persistence < 1.0:
+            raise ValueError("burst_persistence must be in [0, 1)")
+        # the two-state chain needs a calm-state stay probability in [0, 1):
+        # pi_burst = burst_fraction requires burst_fraction * (1 - persistence)
+        # <= (1 - burst_fraction), else no valid chain exists and the realized
+        # burst fraction (and mean rate) would silently drift from the config
+        if self.burst_fraction * (1.0 - self.burst_persistence) > (
+            1.0 - self.burst_fraction
+        ):
+            raise ValueError(
+                f"infeasible burst shape: burst_fraction={self.burst_fraction} "
+                f"with burst_persistence={self.burst_persistence} admits no "
+                "two-state chain; raise burst_persistence or lower burst_fraction"
+            )
+        if self.max_batch_requests <= 0:
+            raise ValueError("max_batch_requests must be positive")
+        if self.prompt_len <= 0:
+            raise ValueError("prompt_len must be positive")
+        if self.generate_len <= 0:
+            raise ValueError("generate_len must be positive")
 
 
 def _paper_models() -> dict[str, ModelConfig]:

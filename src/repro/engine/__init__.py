@@ -15,21 +15,52 @@ per-layer traffic matrices, prices them with
 :mod:`repro.cluster.collectives`, prices compute with
 :mod:`repro.engine.costs`, and accumulates a
 :class:`~repro.cluster.traffic.TrafficLedger`.
+
+Two executors share one contract: the vectorized batched engine in
+:mod:`repro.engine.executor` (the fast default) and the step-by-step loop
+oracle in :mod:`repro.engine.reference` (kept for equivalence testing).
+On top of the batch engine, :mod:`repro.engine.serving` adds request-level
+serving: Poisson/bursty arrivals, continuous batching and tail-latency
+metrics.
 """
 
 from repro.engine.costs import CostModel
-from repro.engine.metrics import RunResult, OpBreakdown
+from repro.engine.metrics import RunResult, OpBreakdown, LatencyStats
 from repro.engine.workload import DecodeWorkload, make_decode_workload
-from repro.engine.executor import simulate_inference
+from repro.engine.executor import simulate_inference, validate_inference_inputs
+from repro.engine.reference import simulate_inference_reference
 from repro.engine.comparison import compare_modes, ComparisonRow
+from repro.engine.serving import (
+    Request,
+    CompletedRequest,
+    ServingResult,
+    make_arrivals,
+    poisson_arrivals,
+    bursty_arrivals,
+    simulate_serving,
+    engine_step_time,
+    simulate_cluster_serving,
+)
 
 __all__ = [
     "CostModel",
     "RunResult",
     "OpBreakdown",
+    "LatencyStats",
     "DecodeWorkload",
     "make_decode_workload",
     "simulate_inference",
+    "simulate_inference_reference",
+    "validate_inference_inputs",
     "compare_modes",
     "ComparisonRow",
+    "Request",
+    "CompletedRequest",
+    "ServingResult",
+    "make_arrivals",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "simulate_serving",
+    "engine_step_time",
+    "simulate_cluster_serving",
 ]

@@ -21,6 +21,7 @@ from repro.core.placement.vanilla import vanilla_placement
 from repro.engine.costs import CostModel
 from repro.engine.executor import simulate_inference
 from repro.engine.metrics import RunResult
+from repro.engine.reference import simulate_inference_reference
 from repro.engine.workload import DecodeWorkload, make_decode_workload
 from repro.trace.events import RoutingTrace
 
@@ -52,6 +53,7 @@ def compare_modes(
     affinity: float = 0.85,
     cost_model: CostModel | None = None,
     seed: int = 0,
+    engine: str = "vectorized",
 ) -> dict[str, ComparisonRow]:
     """Run vanilla / context-coherent / ExFlow on one frozen workload.
 
@@ -73,11 +75,22 @@ def compare_modes(
     placement_strategy:
         Solver for the ExFlow row (see
         :data:`repro.core.placement.SOLVERS`).
+    engine:
+        ``"vectorized"`` (default, the batched fast path) or
+        ``"reference"`` (the step-by-step oracle) — both produce identical
+        results; the switch exists for cross-checking and benchmarking.
 
     Returns
     -------
     dict with keys ``"deepspeed"``, ``"exflow-noaff"``, ``"exflow"``.
     """
+    engines = {
+        "vectorized": simulate_inference,
+        "reference": simulate_inference_reference,
+    }
+    if engine not in engines:
+        raise ValueError(f"engine must be one of {sorted(engines)}, got {engine!r}")
+    run_engine = engines[engine]
     rng = np.random.default_rng(seed)
     from repro.trace.markov import MarkovRoutingModel
 
@@ -107,7 +120,7 @@ def compare_modes(
     results: dict[str, RunResult] = {}
     for label, (mode, placement) in runs.items():
         cfg = dataclasses.replace(infer, mode=mode)
-        results[label] = simulate_inference(
+        results[label] = run_engine(
             model, cluster, cfg, placement, workload, cost_model
         )
 

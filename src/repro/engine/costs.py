@@ -95,6 +95,25 @@ class CostModel:
             raise ValueError("tokens must be >= 0")
         return tokens * self.gating_flops() / (self.gpu_flops * self.gating_efficiency)
 
+    def decode_step_time(self, tokens: int, context_len: int, k: int = 1) -> float:
+        """Compute floor of one decode iteration for ``tokens`` on one GPU.
+
+        Attention + gating across all decoder blocks plus ``k`` expert FFNs
+        per MoE layer, with no communication.  Serving step pricing does
+        *not* flow through here (it is calibrated by
+        :func:`repro.engine.serving.engine_step_time`); this is the
+        analytic lower bound a calibrated curve must dominate, used for
+        sanity checks and back-of-envelope analyses.
+        """
+        if tokens < 0 or context_len < 0:
+            raise ValueError("tokens and context_len must be >= 0")
+        per_layer = (
+            self.attention_time(tokens, context_len)
+            + self.gating_time(tokens)
+            + self.ffn_time(tokens, k)
+        )
+        return self.model.num_moe_layers * per_layer
+
     def token_bytes(self, dtype_bytes: int = 2) -> int:
         """Wire size of one token's activation (the Alltoall payload unit)."""
         return self.model.d_model * dtype_bytes

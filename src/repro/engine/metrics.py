@@ -3,17 +3,64 @@
 A :class:`RunResult` is the engine's complete account of one simulated
 serving run: wall-clock decomposition per operation (the slices of Fig 9),
 communication ledger, token-locality statistics (Figs 7/8) and throughput
-(Fig 10's y-axis).
+(Fig 10's y-axis).  :class:`LatencyStats` summarises a sample of per-request
+latencies with the tail percentiles the serving layer reports.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
 
 from repro.cluster.traffic import TrafficLedger
 from repro.config import ExecutionMode
 
-__all__ = ["OpBreakdown", "RunResult"]
+__all__ = ["OpBreakdown", "RunResult", "LatencyStats"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics of a latency sample (seconds).
+
+    ``p50_s``/``p95_s``/``p99_s`` use numpy's linear-interpolation
+    percentiles; an empty sample yields all-zero stats with ``count == 0``.
+    """
+
+    count: int
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    max_s: float
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "LatencyStats":
+        arr = np.asarray(list(samples), dtype=np.float64)
+        if arr.size == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        if (arr < 0).any():
+            raise ValueError("latency samples must be non-negative")
+        p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+        return cls(
+            count=int(arr.size),
+            mean_s=float(arr.mean()),
+            p50_s=float(p50),
+            p95_s=float(p95),
+            p99_s=float(p99),
+            max_s=float(arr.max()),
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean_s": self.mean_s,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "p99_s": self.p99_s,
+            "max_s": self.max_s,
+        }
 
 
 @dataclass(frozen=True)

@@ -49,6 +49,8 @@ class DecodeWorkload:
             raise ValueError(f"paths must be (iters, requests, layers), got {paths.shape}")
         if home.shape != (paths.shape[1],):
             raise ValueError("home_gpu must have one entry per request")
+        if home.size and home.min() < 0:
+            raise ValueError(f"home_gpu ranks must be >= 0, got {int(home.min())}")
         if paths.size and (paths.min() < 0 or paths.max() >= self.num_experts):
             raise ValueError("expert id out of range")
         if self.prompt_len < 1:

@@ -84,6 +84,64 @@ class TestSimulate:
         assert "exflow" in out
 
 
+class TestServe:
+    def test_prints_tail_latency(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--model",
+                "gpt-m-350m-e8",
+                "--nodes",
+                "2",
+                "--gpus-per-node",
+                "2",
+                "--requests",
+                "32",
+                "--rate",
+                "300",
+                "--generate-len",
+                "4",
+                "--max-batch",
+                "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p99 ms" in out
+        assert "tokens/s" in out
+
+    def test_bursty_arrival(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--model",
+                "gpt-m-350m-e8",
+                "--nodes",
+                "1",
+                "--gpus-per-node",
+                "2",
+                "--arrival",
+                "bursty",
+                "--requests",
+                "16",
+                "--rate",
+                "200",
+                "--generate-len",
+                "4",
+                "--max-batch",
+                "4",
+                "--mode",
+                "vanilla",
+            ]
+        )
+        assert code == 0
+        assert "bursty" in capsys.readouterr().out
+
+    def test_unknown_arrival_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--arrival", "uniform"])
+
+
 class TestHeatmap:
     def test_renders(self, tmp_path, capsys):
         trace_path = tmp_path / "trace.npz"

@@ -1,0 +1,259 @@
+"""Property tests for the request-level serving layer."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig, ExecutionMode, ModelConfig, ServingConfig
+from repro.engine.metrics import LatencyStats
+from repro.engine.serving import (
+    Request,
+    bursty_arrivals,
+    engine_step_time,
+    make_arrivals,
+    poisson_arrivals,
+    simulate_cluster_serving,
+    simulate_serving,
+)
+
+
+@pytest.fixture
+def cfg() -> ServingConfig:
+    return ServingConfig(
+        arrival_rate_rps=100.0, num_requests=200, generate_len=8, max_batch_requests=16
+    )
+
+
+def constant_step(seconds: float):
+    return lambda batch: seconds
+
+
+class TestLatencyStats:
+    def test_empty_sample(self):
+        s = LatencyStats.from_samples([])
+        assert s.count == 0 and s.mean_s == 0.0 and s.p99_s == 0.0
+
+    def test_percentiles_ordered(self, rng):
+        s = LatencyStats.from_samples(rng.exponential(1.0, size=500))
+        assert s.p50_s <= s.p95_s <= s.p99_s <= s.max_s
+        assert s.count == 500
+
+    def test_constant_sample(self):
+        s = LatencyStats.from_samples([2.0] * 10)
+        assert s.p50_s == s.p95_s == s.p99_s == s.max_s == s.mean_s == 2.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LatencyStats.from_samples([1.0, -0.5])
+
+
+class TestArrivals:
+    def test_poisson_shape_and_order(self, cfg):
+        reqs = poisson_arrivals(cfg)
+        assert len(reqs) == cfg.num_requests
+        times = [q.arrival_s for q in reqs]
+        assert times == sorted(times)
+        assert all(q.generate_len == cfg.generate_len for q in reqs)
+
+    def test_poisson_deterministic(self, cfg):
+        a = poisson_arrivals(cfg)
+        b = poisson_arrivals(cfg)
+        assert a == b
+
+    def test_poisson_mean_rate(self):
+        cfg = ServingConfig(arrival_rate_rps=50.0, num_requests=4000)
+        reqs = poisson_arrivals(cfg)
+        measured = len(reqs) / reqs[-1].arrival_s
+        assert 0.8 * 50.0 < measured < 1.25 * 50.0
+
+    def test_bursty_mean_rate_preserved(self):
+        cfg = ServingConfig(
+            arrival="bursty", arrival_rate_rps=50.0, num_requests=4000,
+            burst_factor=5.0, burst_fraction=0.3,
+        )
+        reqs = bursty_arrivals(cfg)
+        measured = len(reqs) / reqs[-1].arrival_s
+        # the MMPP calm rate is solved to preserve the long-run mean
+        assert 0.7 * 50.0 < measured < 1.4 * 50.0
+
+    def test_bursty_has_fatter_gap_tail(self):
+        base = ServingConfig(arrival_rate_rps=100.0, num_requests=3000, seed=5)
+        burst = dataclasses.replace(
+            base, arrival="bursty", burst_factor=8.0, burst_fraction=0.3
+        )
+        gaps = lambda reqs: np.diff([q.arrival_s for q in reqs])
+        g_pois, g_burst = gaps(make_arrivals(base)), gaps(make_arrivals(burst))
+        # same mean scale, but modulated arrivals have higher variance
+        assert g_burst.var() > g_pois.var()
+
+    def test_dispatch_by_name(self, cfg):
+        assert make_arrivals(cfg) == poisson_arrivals(cfg)
+        bc = dataclasses.replace(cfg, arrival="bursty")
+        assert make_arrivals(bc) == bursty_arrivals(bc)
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            Request(0, -1.0, 8, 8)
+        with pytest.raises(ValueError):
+            Request(0, 0.0, 0, 8)
+
+
+class TestServingConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"arrival": "uniform"},
+            {"arrival_rate_rps": 0.0},
+            {"num_requests": 0},
+            {"burst_factor": 0.5},
+            {"burst_fraction": 1.0},
+            {"burst_persistence": 1.0},
+            {"max_batch_requests": 0},
+            {"prompt_len": 0},
+            {"generate_len": -1},
+            # infeasible two-state chain: no calm-state stay probability
+            # can realize this burst fraction at this persistence
+            {"burst_fraction": 0.95, "burst_persistence": 0.0},
+        ],
+    )
+    def test_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            ServingConfig(**kwargs)
+
+
+class TestContinuousBatching:
+    def test_all_requests_complete(self, cfg):
+        res = simulate_serving(poisson_arrivals(cfg), constant_step(1e-3), 16)
+        assert len(res.completed) == cfg.num_requests
+        assert res.generated_tokens == cfg.num_requests * cfg.generate_len
+
+    def test_empty_input(self):
+        res = simulate_serving([], constant_step(1e-3))
+        assert res.completed == () and res.decode_steps == 0
+
+    def test_unloaded_latency_is_pure_service(self):
+        req = Request(0, 1.0, 8, 10)
+        res = simulate_serving([req], constant_step(2e-3), 4)
+        c = res.completed[0]
+        assert c.queue_s == 0.0
+        assert c.latency_s == pytest.approx(10 * 2e-3)
+
+    def test_latency_lower_bound(self, cfg):
+        """No request can finish faster than generate_len decode steps."""
+        res = simulate_serving(poisson_arrivals(cfg), constant_step(1e-3), 16)
+        for c in res.completed:
+            assert c.latency_s >= cfg.generate_len * 1e-3 - 1e-12
+            assert c.queue_s >= 0.0
+
+    def test_percentiles_ordered(self, cfg):
+        res = simulate_serving(poisson_arrivals(cfg), constant_step(1e-3), 16)
+        s = res.latency
+        assert s.p50_s <= s.p95_s <= s.p99_s <= s.max_s
+
+    def test_batching_beats_serial(self, cfg):
+        """With a flat step cost, continuous batching must raise throughput."""
+        reqs = poisson_arrivals(cfg)
+        batched = simulate_serving(reqs, constant_step(1e-3), 16)
+        serial = simulate_serving(reqs, constant_step(1e-3), 1)
+        assert batched.throughput_tokens_per_s > serial.throughput_tokens_per_s
+        assert batched.latency.mean_s < serial.latency.mean_s
+
+    def test_more_load_more_latency(self):
+        lo = ServingConfig(arrival_rate_rps=20.0, num_requests=200, generate_len=8)
+        hi = dataclasses.replace(lo, arrival_rate_rps=2000.0)
+        res_lo = simulate_serving(poisson_arrivals(lo), constant_step(1e-3), 8)
+        res_hi = simulate_serving(poisson_arrivals(hi), constant_step(1e-3), 8)
+        assert res_hi.latency.mean_s >= res_lo.latency.mean_s
+        assert res_hi.queue.mean_s >= res_lo.queue.mean_s
+
+    def test_batch_cap_respected(self, cfg):
+        res = simulate_serving(poisson_arrivals(cfg), constant_step(1e-3), 4)
+        assert res.mean_batch_size <= 4.0 + 1e-9
+
+    def test_mean_batch_and_utilization_bounds(self, cfg):
+        res = simulate_serving(poisson_arrivals(cfg), constant_step(1e-3), 16)
+        assert 0.0 < res.mean_batch_size <= 16.0
+        assert 0.0 < res.utilization <= 1.0
+
+    def test_rejects_bad_step_time(self, cfg):
+        with pytest.raises(ValueError):
+            simulate_serving(poisson_arrivals(cfg), constant_step(0.0), 16)
+        with pytest.raises(ValueError):
+            simulate_serving(poisson_arrivals(cfg), constant_step(1e-3), 0)
+
+    def test_deterministic(self, cfg):
+        a = simulate_serving(poisson_arrivals(cfg), constant_step(1e-3), 16)
+        b = simulate_serving(poisson_arrivals(cfg), constant_step(1e-3), 16)
+        assert a.latency == b.latency and a.makespan_s == b.makespan_s
+
+
+class TestEngineCalibration:
+    @pytest.fixture
+    def tiny(self, small_model, small_cluster):
+        return small_model, small_cluster
+
+    def test_step_time_positive_and_monotone_probes(self, tiny):
+        model, cluster = tiny
+        step = engine_step_time(
+            model, cluster, mode=ExecutionMode.VANILLA,
+            probe_requests_per_gpu=(1, 4), calibration_generate_len=2,
+        )
+        assert step(1) > 0
+        # more tokens per step can never be cheaper under lockstep maxima
+        assert step(4 * cluster.num_gpus) >= step(cluster.num_gpus)
+
+    def test_interpolates_between_probes(self, tiny):
+        model, cluster = tiny
+        step = engine_step_time(
+            model, cluster, mode=ExecutionMode.VANILLA,
+            probe_requests_per_gpu=(1, 4), calibration_generate_len=2,
+        )
+        lo, hi = step(cluster.num_gpus), step(4 * cluster.num_gpus)
+        mid = step(2 * cluster.num_gpus)
+        assert min(lo, hi) - 1e-15 <= mid <= max(lo, hi) + 1e-15
+
+    def test_rejects_bad_probes(self, tiny):
+        model, cluster = tiny
+        with pytest.raises(ValueError):
+            engine_step_time(model, cluster, probe_requests_per_gpu=(0,))
+
+    def test_compute_floor_dominated(self, tiny):
+        """Calibrated step time must exceed the single-GPU compute floor
+        divided by the GPU count (communication and imbalance only add)."""
+        from repro.engine.costs import CostModel
+
+        model, cluster = tiny
+        step = engine_step_time(
+            model, cluster, mode=ExecutionMode.VANILLA,
+            probe_requests_per_gpu=(2,), calibration_generate_len=2, prompt_len=16,
+        )
+        cost = CostModel(model, gpu_flops=cluster.gpu_flops)
+        floor = cost.decode_step_time(2, 16) / cluster.num_gpus
+        assert step(2 * cluster.num_gpus) > floor
+
+
+class TestClusterServing:
+    def test_end_to_end_tiny(self, small_model, small_cluster):
+        serving = ServingConfig(
+            arrival_rate_rps=500.0, num_requests=40, generate_len=4,
+            max_batch_requests=8, prompt_len=8, seed=3,
+        )
+        res = simulate_cluster_serving(
+            small_model, small_cluster, serving, mode=ExecutionMode.EXFLOW
+        )
+        assert len(res.completed) == 40
+        assert res.latency.p50_s <= res.latency.p99_s
+        assert res.throughput_tokens_per_s > 0
+
+    def test_deterministic_given_seed(self, small_model, small_cluster):
+        serving = ServingConfig(
+            arrival="bursty", arrival_rate_rps=300.0, num_requests=30,
+            generate_len=4, max_batch_requests=8, prompt_len=8, seed=9,
+        )
+        a = simulate_cluster_serving(small_model, small_cluster, serving)
+        b = simulate_cluster_serving(small_model, small_cluster, serving)
+        assert a.latency == b.latency
+        assert a.makespan_s == b.makespan_s
