@@ -48,8 +48,11 @@ from repro.cluster import Topology, Tier, TrafficLedger
 from repro.core import (
     ExFlowOptimizer,
     ExFlowPlan,
+    OnlineReplacer,
     Placement,
+    ReplacementPolicy,
     SOLVERS,
+    StreamingAffinityEstimator,
     affinity_matrix,
     multi_hop_affinity,
     scaled_affinity,
@@ -61,14 +64,17 @@ from repro.engine import (
     CostModel,
     DecodeWorkload,
     LatencyStats,
+    OnlineServingResult,
     RunResult,
     ServingResult,
     compare_modes,
     make_arrivals,
     make_decode_workload,
+    make_drift_scenario,
     simulate_cluster_serving,
     simulate_inference,
     simulate_inference_reference,
+    simulate_online_cluster_serving,
     simulate_serving,
 )
 from repro.model import MoETransformer, generate
@@ -103,8 +109,11 @@ __all__ = [
     # core
     "ExFlowOptimizer",
     "ExFlowPlan",
+    "OnlineReplacer",
     "Placement",
+    "ReplacementPolicy",
     "SOLVERS",
+    "StreamingAffinityEstimator",
     "affinity_matrix",
     "multi_hop_affinity",
     "scaled_affinity",
@@ -115,14 +124,17 @@ __all__ = [
     "CostModel",
     "DecodeWorkload",
     "LatencyStats",
+    "OnlineServingResult",
     "RunResult",
     "ServingResult",
     "compare_modes",
     "make_arrivals",
     "make_decode_workload",
+    "make_drift_scenario",
     "simulate_cluster_serving",
     "simulate_inference",
     "simulate_inference_reference",
+    "simulate_online_cluster_serving",
     "simulate_serving",
     # model
     "MoETransformer",

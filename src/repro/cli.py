@@ -32,10 +32,15 @@ from repro.config import (
     paper_model,
 )
 from repro.core.affinity import affinity_matrix, scaled_affinity
+from repro.core.online import ReplacementPolicy
 from repro.core.placement.base import Placement, placement_locality
 from repro.core.placement.registry import SOLVERS, solve_placement
 from repro.engine.comparison import compare_modes
-from repro.engine.serving import simulate_cluster_serving
+from repro.engine.serving import (
+    simulate_cluster_serving,
+    simulate_online_cluster_serving,
+)
+from repro.engine.workload import DRIFT_KINDS
 from repro.trace.events import RoutingTrace
 from repro.trace.markov import MarkovRoutingModel
 
@@ -100,6 +105,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--strategy", default="staged", choices=SOLVERS)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--drift",
+        default="none",
+        choices=DRIFT_KINDS,
+        help="routing drift scenario over the serving horizon",
+    )
+    p.add_argument(
+        "--replace",
+        action="store_true",
+        help="enable online re-placement (kept-mass degradation trigger)",
+    )
+    p.add_argument(
+        "--replace-every",
+        type=int,
+        default=0,
+        metavar="STEPS",
+        help="also force a re-solve every N decode steps (implies --replace)",
+    )
+    p.add_argument(
+        "--replace-threshold",
+        type=float,
+        default=0.15,
+        help="relative kept-mass drop that triggers a re-solve",
+    )
+    p.add_argument(
+        "--halflife",
+        type=float,
+        default=2048.0,
+        metavar="TOKENS",
+        help="streaming affinity estimator halflife in tokens",
+    )
 
     p = sub.add_parser("heatmap", help="render a trace's affinity heatmap")
     p.add_argument("--trace", required=True)
@@ -210,13 +246,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         generate_len=args.generate_len,
         seed=args.seed,
     )
-    res = simulate_cluster_serving(
-        model,
-        cluster,
-        serving,
-        mode=ExecutionMode(args.mode),
-        placement_strategy=args.strategy,
-    )
+    online_mode = args.drift != "none" or args.replace or args.replace_every > 0
+    events = None
+    if online_mode:
+        policy = None
+        if args.replace or args.replace_every > 0:
+            policy = ReplacementPolicy(
+                kept_mass_drop=args.replace_threshold,
+                replace_every_steps=args.replace_every or None,
+            )
+        online = simulate_online_cluster_serving(
+            model,
+            cluster,
+            serving,
+            drift=args.drift,
+            policy=policy,
+            mode=ExecutionMode(args.mode),
+            placement_strategy=args.strategy,
+            halflife_tokens=args.halflife,
+        )
+        res = online.serving
+        events = online
+    else:
+        res = simulate_cluster_serving(
+            model,
+            cluster,
+            serving,
+            mode=ExecutionMode(args.mode),
+            placement_strategy=args.strategy,
+        )
     rows = [
         [
             args.arrival,
@@ -249,6 +307,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if events is not None:
+        timeline = events.kept_timeline
+        print(
+            f"drift={args.drift}: kept transition mass "
+            f"{timeline[0].true_kept:.1%} -> {timeline[-1].true_kept:.1%} "
+            f"over {res.decode_steps} steps"
+        )
+        if events.events:
+            event_rows = [
+                [
+                    e.step,
+                    f"{e.kept_before:.1%}",
+                    f"{e.kept_after:.1%}",
+                    e.moved_experts,
+                    e.stall_s * 1e3,
+                    "forced" if e.forced else "drop",
+                ]
+                for e in events.events
+            ]
+            print(
+                format_table(
+                    ["step", "kept before", "kept after", "moved", "stall ms", "trigger"],
+                    event_rows,
+                    title=(
+                        f"online re-placements — total stall "
+                        f"{events.migration_stall_s * 1e3:.3f} ms"
+                    ),
+                )
+            )
+        elif policy is not None:
+            print("online re-placement enabled: no migration was triggered")
     return 0
 
 

@@ -11,6 +11,9 @@ This package implements the paper's primary contribution:
   formulas 8–12 and its staged (node-first) variant.
 * :mod:`repro.core.context` — token context coherence management (the
   design that removes the second Alltoall of every MoE layer).
+* :mod:`repro.core.online` — online drift-aware re-placement: streaming
+  kept-mass monitoring, the replacement trigger policy, warm-started
+  re-solves and the explicit expert-migration cost model.
 * :mod:`repro.core.exflow` — the :class:`ExFlowOptimizer` facade tying it
   all together: trace in, placement + engine configuration out.
 """
@@ -22,6 +25,7 @@ from repro.core.affinity import (
     staged_set_affinity,
     scaled_affinity,
     affinity_concentration,
+    StreamingAffinityEstimator,
 )
 from repro.core.placement import (
     Placement,
@@ -34,6 +38,14 @@ from repro.core.placement import (
     SOLVERS,
 )
 from repro.core.context import ContextStore
+from repro.core.online import (
+    OnlineReplacer,
+    ReplacementEvent,
+    ReplacementPolicy,
+    kept_mass_fraction,
+    model_kept_mass,
+    plan_migration,
+)
 from repro.core.exflow import ExFlowOptimizer, ExFlowPlan
 
 __all__ = [
@@ -43,6 +55,7 @@ __all__ = [
     "staged_set_affinity",
     "scaled_affinity",
     "affinity_concentration",
+    "StreamingAffinityEstimator",
     "Placement",
     "vanilla_placement",
     "greedy_placement",
@@ -52,6 +65,12 @@ __all__ = [
     "solve_placement",
     "SOLVERS",
     "ContextStore",
+    "OnlineReplacer",
+    "ReplacementEvent",
+    "ReplacementPolicy",
+    "kept_mass_fraction",
+    "model_kept_mass",
+    "plan_migration",
     "ExFlowOptimizer",
     "ExFlowPlan",
 ]

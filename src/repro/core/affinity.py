@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.trace.events import RoutingTrace
+from repro.trace.events import CountTrace, RoutingTrace
 
 __all__ = [
     "affinity_matrix",
@@ -25,6 +25,7 @@ __all__ = [
     "scaled_affinity",
     "affinity_concentration",
     "most_affiliated",
+    "StreamingAffinityEstimator",
 ]
 
 
@@ -139,3 +140,130 @@ def scaled_affinity(trace: RoutingTrace, top: int = 2) -> float:
     if floor >= 1.0:
         return 1.0
     return max(0.0, (raw - floor) / (1.0 - floor))
+
+
+class StreamingAffinityEstimator:
+    """Exponentially-decayed transition counts updated per serving step.
+
+    The paper estimates affinity once, from an offline profiling trace; a
+    live serving system instead sees routing decisions *streaming* past and
+    must keep the estimate current as the workload drifts.  This estimator
+    maintains, for every consecutive layer pair, a transition-count matrix
+    where each observed transition is weighted ``0.5 ** (age_tokens /
+    halflife_tokens)`` — recent traffic dominates, a regime switch fades the
+    stale counts away within a few halflives, and a stationary workload
+    converges to (a scaled copy of) its true transition matrix.
+
+    Decay is applied per :meth:`update` batch (all tokens of one decode step
+    share one timestamp), which keeps the hot path to one scale + one
+    batched ``bincount`` per call.
+
+    ``effective_tokens`` is the decayed token mass currently in the window —
+    the "sample size" behind the estimate; consumers should not trust the
+    estimate (nor re-solve placements from it) before it clears a floor.
+    """
+
+    def __init__(
+        self,
+        num_experts: int,
+        num_layers: int,
+        halflife_tokens: float = 2048.0,
+    ) -> None:
+        if num_experts < 1:
+            raise ValueError("num_experts must be >= 1")
+        if num_layers < 2:
+            raise ValueError("need at least 2 layers to track transitions")
+        if halflife_tokens <= 0:
+            raise ValueError("halflife_tokens must be positive")
+        self.num_experts = int(num_experts)
+        self.num_layers = int(num_layers)
+        self.halflife_tokens = float(halflife_tokens)
+        self._decay_per_token = 0.5 ** (1.0 / self.halflife_tokens)
+        self._counts = np.zeros(
+            (self.num_layers - 1, self.num_experts, self.num_experts), dtype=np.float64
+        )
+        self._effective_tokens = 0.0
+        self._total_tokens = 0
+
+    # -- observation ---------------------------------------------------------
+
+    def update(self, paths: np.ndarray) -> None:
+        """Fold one batch of token paths into the decayed counts.
+
+        ``paths`` is (N, L) expert ids — e.g. one decode step's routing
+        decisions for the whole active batch.  Existing counts are decayed
+        by ``N`` tokens' worth of age, then the batch's transitions are
+        added at full weight.
+        """
+        paths = np.asarray(paths, dtype=np.int64)
+        if paths.ndim != 2 or paths.shape[1] != self.num_layers:
+            raise ValueError(
+                f"paths must be (tokens, {self.num_layers}), got {paths.shape}"
+            )
+        n = paths.shape[0]
+        if n == 0:
+            return
+        if paths.min() < 0 or paths.max() >= self.num_experts:
+            raise ValueError(f"expert ids must be in [0, {self.num_experts})")
+
+        decay = self._decay_per_token**n
+        self._counts *= decay
+        self._effective_tokens *= decay
+
+        e = self.num_experts
+        pairs = self.num_layers - 1
+        # one flattened bincount over the (layer-pair, src, dst) key space
+        offsets = np.arange(pairs, dtype=np.int64) * (e * e)
+        keys = offsets[None, :] + paths[:, :-1] * e + paths[:, 1:]
+        batch = np.bincount(keys.ravel(), minlength=pairs * e * e)
+        self._counts += batch.reshape(pairs, e, e)
+        self._effective_tokens += n
+        self._total_tokens += n
+
+    # -- estimates -----------------------------------------------------------
+
+    @property
+    def effective_tokens(self) -> float:
+        """Decayed token mass in the current window (estimate sample size)."""
+        return self._effective_tokens
+
+    @property
+    def total_tokens(self) -> int:
+        """Undecayed count of all tokens ever observed."""
+        return self._total_tokens
+
+    def transition_counts(self, layer: int) -> np.ndarray:
+        """(E, E) decayed counts between ``layer`` and ``layer + 1``."""
+        if not 0 <= layer < self.num_layers - 1:
+            raise IndexError(f"layer {layer} out of range [0, {self.num_layers - 1})")
+        return self._counts[layer].copy()
+
+    def counts_stack(self) -> np.ndarray:
+        """(L-1, E, E) copy of the full decayed count stack."""
+        return self._counts.copy()
+
+    def conditional_matrix(self, layer: int) -> np.ndarray:
+        """Formula (1) over the decayed window; unobserved rows are uniform.
+
+        Delegates to :class:`CountTrace` so the streaming and snapshot
+        views of the same counts can never disagree on the normalisation.
+        """
+        return CountTrace(self._counts).conditional_matrix(layer)
+
+    def as_trace(self) -> CountTrace:
+        """Snapshot the decayed counts as a solver-consumable trace.
+
+        The returned :class:`~repro.trace.events.CountTrace` presents the
+        exact interface the placement solver family reads from a profiled
+        :class:`~repro.trace.events.RoutingTrace`, so an online re-solve is
+        ``solve(estimator.as_trace(), ...)`` — no synthetic path sampling.
+        """
+        return CountTrace(
+            self._counts.copy(),
+            source=f"streaming(h={self.halflife_tokens:g},n={self._effective_tokens:.0f})",
+        )
+
+    def reset(self) -> None:
+        """Drop all accumulated counts (e.g. after a known workload change)."""
+        self._counts[:] = 0.0
+        self._effective_tokens = 0.0

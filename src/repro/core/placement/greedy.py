@@ -35,8 +35,11 @@ def greedy_placement(trace: RoutingTrace, num_gpus: int) -> Placement:
         remaining = np.full(num_gpus, cap, dtype=np.int64)
         assigned = np.full(e, -1, dtype=np.int64)
 
-        # visit (expert, gpu) pairs by descending benefit
-        order = np.argsort(-benefit, axis=None)
+        # visit (expert, gpu) pairs by descending benefit; the stable sort
+        # pins tie order to ascending flat (expert, gpu) index — the default
+        # introsort breaks equal-benefit ties differently across numpy
+        # versions, which made tied placements non-reproducible
+        order = np.argsort(-benefit, axis=None, kind="stable")
         for flat in order:
             i, p = divmod(int(flat), num_gpus)
             if assigned[i] >= 0 or remaining[p] == 0:

@@ -16,6 +16,8 @@ Both stages reuse the chained-assignment machinery from
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from repro.config import ClusterConfig
@@ -42,8 +44,12 @@ def staged_placement(
         raise ValueError(f"{e} experts not divisible across {g} GPUs")
 
     if cluster.num_nodes == 1 or cluster.gpus_per_node == 1:
+        # relabel the provenance only: dataclasses.replace keeps every other
+        # Placement field (num_gpus, gpu_of, and anything added later)
+        # intact, where a hand-rebuilt Placement(...) would silently drop
+        # new metadata fields on this fallback path
         flat = ilp_placement(trace, g, sweeps=sweeps)
-        return Placement(flat.gpu_of, g, strategy="staged")
+        return dataclasses.replace(flat, strategy="staged")
 
     # -- stage 1: experts -> nodes (capacity C2 per layer) -------------------
     node_level = ilp_placement(trace, g, sweeps=sweeps, groups=cluster.num_nodes)

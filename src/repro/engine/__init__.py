@@ -26,7 +26,17 @@ metrics.
 
 from repro.engine.costs import CostModel
 from repro.engine.metrics import RunResult, OpBreakdown, LatencyStats
-from repro.engine.workload import DecodeWorkload, make_decode_workload
+from repro.engine.workload import (
+    DecodeWorkload,
+    make_decode_workload,
+    DriftScenario,
+    StaticRouting,
+    GradualDrift,
+    AbruptDrift,
+    DiurnalDrift,
+    DRIFT_KINDS,
+    make_drift_scenario,
+)
 from repro.engine.executor import simulate_inference, validate_inference_inputs
 from repro.engine.reference import simulate_inference_reference
 from repro.engine.comparison import compare_modes, ComparisonRow
@@ -40,6 +50,11 @@ from repro.engine.serving import (
     simulate_serving,
     engine_step_time,
     simulate_cluster_serving,
+    PlacementStepTimer,
+    KeptSample,
+    OnlineServingResult,
+    simulate_online_serving,
+    simulate_online_cluster_serving,
 )
 
 __all__ = [
@@ -49,6 +64,13 @@ __all__ = [
     "LatencyStats",
     "DecodeWorkload",
     "make_decode_workload",
+    "DriftScenario",
+    "StaticRouting",
+    "GradualDrift",
+    "AbruptDrift",
+    "DiurnalDrift",
+    "DRIFT_KINDS",
+    "make_drift_scenario",
     "simulate_inference",
     "simulate_inference_reference",
     "validate_inference_inputs",
@@ -63,4 +85,9 @@ __all__ = [
     "simulate_serving",
     "engine_step_time",
     "simulate_cluster_serving",
+    "PlacementStepTimer",
+    "KeptSample",
+    "OnlineServingResult",
+    "simulate_online_serving",
+    "simulate_online_cluster_serving",
 ]

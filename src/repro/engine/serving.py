@@ -34,6 +34,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.cluster.collectives import allgather_cost, alltoall_matrix
+from repro.cluster.topology import Topology
 from repro.config import (
     ClusterConfig,
     ExecutionMode,
@@ -41,12 +43,24 @@ from repro.config import (
     ModelConfig,
     ServingConfig,
 )
+from repro.core.online import (
+    OnlineReplacer,
+    ReplacementEvent,
+    ReplacementPolicy,
+    model_kept_mass,
+)
+from repro.core.placement.base import Placement
 from repro.core.placement.registry import solve_placement
 from repro.core.placement.vanilla import vanilla_placement
 from repro.engine.costs import CostModel
 from repro.engine.executor import simulate_inference
 from repro.engine.metrics import LatencyStats
-from repro.engine.workload import DecodeWorkload, make_decode_workload
+from repro.engine.workload import (
+    DecodeWorkload,
+    DriftScenario,
+    make_decode_workload,
+    make_drift_scenario,
+)
 from repro.trace.markov import MarkovRoutingModel
 
 __all__ = [
@@ -59,6 +73,11 @@ __all__ = [
     "simulate_serving",
     "engine_step_time",
     "simulate_cluster_serving",
+    "PlacementStepTimer",
+    "KeptSample",
+    "OnlineServingResult",
+    "simulate_online_serving",
+    "simulate_online_cluster_serving",
 ]
 
 
@@ -399,4 +418,464 @@ def simulate_cluster_serving(
     requests = make_arrivals(serving, rng)
     return simulate_serving(
         requests, step, max_batch_requests=serving.max_batch_requests
+    )
+
+
+# -- online drift-aware serving -----------------------------------------------
+
+
+class PlacementStepTimer:
+    """Price one continuous-batching decode step from that step's routing.
+
+    :func:`engine_step_time` calibrates a ``step_time(batch_size)`` curve
+    against one frozen routing model and one frozen placement — exactly
+    right for a closed-loop benchmark, structurally wrong for the online
+    setting where both the routing *and* the placement change mid-run.
+    This timer instead prices each step directly: given the step's (B, L)
+    expert paths, each request's home GPU and context length, and the
+    *current* placement, it reproduces the batched engine's per-step
+    arithmetic (lockstep per-GPU maxima for compute, pairwise-exchange
+    Alltoall for dispatch, ring AllGather for context coherence) for a
+    single decode iteration.  On a one-iteration workload it matches
+    :func:`repro.engine.executor.simulate_inference` up to the one-time
+    prompt AllGather, which :meth:`admission_time` prices separately (the
+    online loop charges it when requests join the batch).
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        cluster: ClusterConfig,
+        mode: ExecutionMode = ExecutionMode.EXFLOW,
+        dtype_bytes: int = 2,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        self.model = model
+        self.cluster = cluster
+        self.mode = mode
+        self.topo = Topology(cluster)
+        self.cost = cost_model or CostModel(model, gpu_flops=cluster.gpu_flops)
+        self.token_bytes = self.cost.token_bytes(dtype_bytes)
+        self.coherent = mode.uses_context_coherence
+
+    def _check_inputs(
+        self, paths: np.ndarray, home_gpu: np.ndarray, context_lens: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        paths = np.asarray(paths, dtype=np.int64)
+        home = np.asarray(home_gpu, dtype=np.int64)
+        ctx = np.asarray(context_lens, dtype=np.int64)
+        L = self.model.num_moe_layers
+        if paths.ndim != 2 or paths.shape[1] != L:
+            raise ValueError(f"paths must be (batch, {L}), got {paths.shape}")
+        if paths.shape[0] == 0:
+            raise ValueError("step needs at least one active request")
+        if home.shape != (paths.shape[0],) or ctx.shape != (paths.shape[0],):
+            raise ValueError("home_gpu and context_lens must have one entry per request")
+        if paths.min() < 0 or paths.max() >= self.model.num_experts:
+            raise ValueError("expert id out of range")
+        if home.min() < 0 or home.max() >= self.cluster.num_gpus:
+            raise ValueError("home GPU rank out of range")
+        if ctx.min() < 1:
+            raise ValueError("context lengths must be >= 1")
+        return paths, home, ctx
+
+    def step_time(
+        self,
+        paths: np.ndarray,
+        home_gpu: np.ndarray,
+        context_lens: np.ndarray,
+        placement: Placement,
+        secondary_paths: np.ndarray | None = None,
+    ) -> float:
+        """Seconds for one decode iteration of the given batch.
+
+        ``paths`` is (B, L) expert ids for the active batch, ``home_gpu``
+        (B,) data-parallel homes, ``context_lens`` (B,) per-request context
+        lengths (continuous batching means they differ — attention is
+        priced per token, not per lockstep iteration).
+        """
+        paths, home, ctx = self._check_inputs(paths, home_gpu, context_lens)
+        if placement.num_layers != self.model.num_moe_layers:
+            raise ValueError("placement layer count does not match model")
+        if placement.num_experts != self.model.num_experts:
+            raise ValueError("placement expert count does not match model")
+        if placement.num_gpus != self.cluster.num_gpus:
+            raise ValueError("placement GPU count does not match cluster")
+
+        b, L = paths.shape
+        g = self.cluster.num_gpus
+        cost = self.cost
+        layer_idx = np.arange(L, dtype=np.int64)
+        gpu_path = placement.gpu_of[layer_idx[None, :], paths]  # (B, L)
+        top2 = secondary_paths is not None and self.model.gating.k == 2
+        if top2:
+            sec = np.asarray(secondary_paths, dtype=np.int64)
+            if sec.shape != paths.shape:
+                raise ValueError("secondary_paths must match paths shape")
+            sec_path = placement.gpu_of[layer_idx[None, :], sec]
+
+        if self.coherent:
+            loc = np.empty((b, L), dtype=np.int64)
+            loc[:, 0] = home
+            loc[:, 1:] = gpu_path[:, :-1]
+        else:
+            loc = np.broadcast_to(home[:, None], (b, L))
+
+        keys = layer_idx[None, :] * g + loc  # (B, L) flattened (layer, gpu)
+
+        # compute: lockstep per-GPU maxima per layer, attention priced per
+        # token at its own context length (weighted bincount); attention_flops
+        # is plain arithmetic, so one broadcast call covers the whole batch
+        att_flops = np.asarray(cost.attention_flops(ctx), dtype=np.float64)
+        att_per = np.bincount(
+            keys.ravel(),
+            weights=np.broadcast_to(att_flops[:, None], (b, L)).ravel(),
+            minlength=L * g,
+        ).reshape(L, g)
+        attention_s = float(
+            att_per.max(axis=1).sum() / (cost.gpu_flops * cost.attention_efficiency)
+        )
+
+        resident = np.bincount(keys.ravel(), minlength=L * g).reshape(L, g)
+        gating_s = float(
+            resident.max(axis=1).sum()
+            * cost.gating_flops()
+            / (cost.gpu_flops * cost.gating_efficiency)
+        )
+
+        ffn_counts = np.bincount(
+            (layer_idx[None, :] * g + gpu_path).ravel(), minlength=L * g
+        ).reshape(L, g)
+        if top2:
+            ffn_counts = ffn_counts + np.bincount(
+                (layer_idx[None, :] * g + sec_path).ravel(), minlength=L * g
+            ).reshape(L, g)
+        ffn_s = float(
+            ffn_counts.max(axis=1).sum()
+            * cost.ffn_flops()
+            / (cost.gpu_flops * cost.ffn_efficiency)
+        )
+
+        # communication: per-layer dispatch Alltoall (+ combine for vanilla),
+        # plus the coherent modes' one per-iteration context AllGather
+        def stacks(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+            base = layer_idx[None, :] * (g * g)
+            counts = np.bincount(
+                (base + src * g + dst).ravel(), minlength=L * g * g
+            ).reshape(L, g, g)
+            out = counts.astype(np.float64) * self.token_bytes
+            diag = np.arange(g)
+            out[:, diag, diag] = 0.0
+            return out
+
+        dispatch = stacks(loc, gpu_path)
+        if top2:
+            dispatch += stacks(loc, sec_path)
+            dispatch += stacks(sec_path, gpu_path)
+        comm_s = sum(res.time_s for res in alltoall_matrix(self.topo, dispatch))
+        if self.coherent:
+            payload = np.bincount(home, minlength=g).astype(np.float64) * self.token_bytes
+            comm_s += allgather_cost(self.topo, payload).time_s
+        else:
+            combine = stacks(gpu_path, np.broadcast_to(home[:, None], (b, L)))
+            comm_s += sum(res.time_s for res in alltoall_matrix(self.topo, combine))
+
+        return attention_s + gating_s + ffn_s + float(comm_s)
+
+    def admission_time(self, home_gpu: np.ndarray, prompt_lens: np.ndarray) -> float:
+        """One-time cost of admitting requests into the running batch.
+
+        Coherent modes must replicate each new request's prompt context to
+        all ranks (the before-inference AllGather); vanilla keeps contexts
+        home-resident, so admission is free.
+        """
+        home = np.asarray(home_gpu, dtype=np.int64)
+        plen = np.asarray(prompt_lens, dtype=np.int64)
+        if home.shape != plen.shape:
+            raise ValueError("home_gpu and prompt_lens must align")
+        if home.size == 0 or not self.coherent:
+            return 0.0
+        payload = np.bincount(
+            home, weights=plen.astype(np.float64), minlength=self.cluster.num_gpus
+        )
+        return float(allgather_cost(self.topo, payload * self.token_bytes).time_s)
+
+
+@dataclass(frozen=True)
+class KeptSample:
+    """One point of the kept-transition-mass timeline.
+
+    ``true_kept`` scores the then-current placement against the *true*
+    instantaneous routing regime (analytic, estimator-free);
+    ``estimated_kept`` is the same placement scored on the streaming
+    estimator's decayed window — the signal the policy actually sees.
+    """
+
+    step: int
+    time_s: float
+    true_kept: float
+    estimated_kept: float | None = None
+
+
+@dataclass(frozen=True)
+class OnlineServingResult:
+    """Outcome of one drift-aware serving simulation."""
+
+    serving: ServingResult
+    events: tuple[ReplacementEvent, ...]
+    kept_timeline: tuple[KeptSample, ...]
+    final_placement: Placement
+    migration_stall_s: float
+
+    @property
+    def num_replacements(self) -> int:
+        return len(self.events)
+
+
+def simulate_online_serving(
+    requests: Iterable[Request],
+    model: ModelConfig,
+    cluster: ClusterConfig,
+    drift: DriftScenario,
+    placement: Placement,
+    mode: ExecutionMode = ExecutionMode.EXFLOW,
+    max_batch_requests: int = 64,
+    replacer: OnlineReplacer | None = None,
+    timer: PlacementStepTimer | None = None,
+    dtype_bytes: int = 2,
+    sample_every_steps: int = 4,
+    rng: np.random.Generator | None = None,
+) -> OnlineServingResult:
+    """Continuous batching under drifting routing, with live re-placement.
+
+    The loop is :func:`simulate_serving`'s scheduler with the step-cost
+    abstraction opened up: each decode step samples the active batch's
+    expert paths from ``drift.model_at(now)``, prices the step with a
+    :class:`PlacementStepTimer` under the *current* placement, streams the
+    routing into ``replacer``'s estimator, and lets the replacer migrate
+    experts at step boundaries — charging the migration stall to the
+    timeline, where every queued and running request pays for it.  Pass
+    ``replacer=None`` for the static arm (same drift, same scheduler,
+    placement frozen).
+
+    ``sample_every_steps`` sets the cadence of the kept-mass timeline (the
+    observability surface benchmarks and dashboards read).
+    """
+    if max_batch_requests <= 0:
+        raise ValueError("max_batch_requests must be positive")
+    if sample_every_steps < 1:
+        raise ValueError("sample_every_steps must be >= 1")
+    if drift.num_experts != model.num_experts or drift.num_layers != model.num_moe_layers:
+        raise ValueError("drift scenario shape does not match model architecture")
+    rng = rng or np.random.default_rng(0)
+    timer = timer or PlacementStepTimer(model, cluster, mode=mode, dtype_bytes=dtype_bytes)
+    top2 = model.gating.k == 2
+    g = cluster.num_gpus
+
+    pending = deque(sorted(requests, key=lambda q: (q.arrival_s, q.req_id)))
+    empty_stats = LatencyStats.from_samples([])
+    if not pending:
+        empty = ServingResult((), empty_stats, empty_stats, 0.0, 0.0, 0, 0, 0.0)
+        return OnlineServingResult(empty, (), (), placement, 0.0)
+
+    first_arrival = pending[0].arrival_s
+    now = first_arrival
+    busy = 0.0
+    stall_total = 0.0
+    steps = 0
+    weighted_batch = 0.0
+    admit_counter = 0
+    active: list[list] = []  # [request, tokens_remaining, admitted_s, home, generated]
+    completed: list[CompletedRequest] = []
+    events: list[ReplacementEvent] = []
+    timeline: list[KeptSample] = []
+
+    def record_sample() -> None:
+        routing = drift.model_at(now)
+        timeline.append(
+            KeptSample(
+                step=steps,
+                time_s=now,
+                true_kept=model_kept_mass(placement, routing),
+                estimated_kept=(
+                    replacer.current_kept_mass(placement) if replacer else None
+                ),
+            )
+        )
+
+    while pending or active:
+        if not active and pending and pending[0].arrival_s > now:
+            now = pending[0].arrival_s  # idle: jump to the next arrival
+        newly_admitted: list[list] = []
+        while (
+            pending
+            and pending[0].arrival_s <= now
+            and len(active) < max_batch_requests
+        ):
+            req = pending.popleft()
+            entry = [req, req.generate_len, now, admit_counter % g, 0]
+            admit_counter += 1
+            active.append(entry)
+            newly_admitted.append(entry)
+
+        if newly_admitted:
+            adm = timer.admission_time(
+                np.array([e[3] for e in newly_admitted], dtype=np.int64),
+                np.array([e[0].prompt_len for e in newly_admitted], dtype=np.int64),
+            )
+            now += adm
+            busy += adm
+            weighted_batch += len(active) * adm
+
+        routing = drift.model_at(now)
+        b = len(active)
+        paths = routing.sample(b, rng).paths
+        secondary = routing.sample(b, rng).paths if top2 else None
+        home = np.array([e[3] for e in active], dtype=np.int64)
+        ctx = np.array([e[0].prompt_len + e[4] for e in active], dtype=np.int64)
+
+        dt = timer.step_time(paths, home, ctx, placement, secondary)
+        if not dt > 0:
+            raise ValueError(f"step_time must be positive seconds, got {dt}")
+        now += dt
+        busy += dt
+        steps += 1
+        weighted_batch += b * dt
+
+        if replacer is not None:
+            replacer.observe(paths)
+
+        still_running: list[list] = []
+        for entry in active:
+            entry[1] -= 1
+            entry[4] += 1
+            if entry[1] == 0:
+                completed.append(CompletedRequest(entry[0], entry[2], now))
+            else:
+                still_running.append(entry)
+        active = still_running
+
+        sampled = steps % sample_every_steps == 0
+        if sampled:
+            record_sample()
+
+        if replacer is not None:
+            result = replacer.maybe_replace(steps, now, placement)
+            if result is not None:
+                placement, event = result
+                now += event.stall_s  # everyone in flight pays for the move
+                stall_total += event.stall_s
+                events.append(event)
+                record_sample()  # post-migration point, new placement
+
+    if not timeline or timeline[-1].step != steps:
+        record_sample()
+
+    makespan = now - first_arrival
+    tokens = sum(c.request.generate_len for c in completed)
+    serving = ServingResult(
+        completed=tuple(completed),
+        latency=LatencyStats.from_samples([c.latency_s for c in completed]),
+        queue=LatencyStats.from_samples([c.queue_s for c in completed]),
+        makespan_s=makespan,
+        busy_s=busy,
+        decode_steps=steps,
+        generated_tokens=tokens,
+        mean_batch_size=weighted_batch / busy if busy > 0 else 0.0,
+    )
+    return OnlineServingResult(
+        serving=serving,
+        events=tuple(events),
+        kept_timeline=tuple(timeline),
+        final_placement=placement,
+        migration_stall_s=stall_total,
+    )
+
+
+def simulate_online_cluster_serving(
+    model: ModelConfig,
+    cluster: ClusterConfig,
+    serving: ServingConfig,
+    drift: DriftScenario | str = "abrupt",
+    policy: ReplacementPolicy | None = None,
+    mode: ExecutionMode = ExecutionMode.EXFLOW,
+    affinity: float = 0.85,
+    placement_strategy: str = "staged",
+    profile_tokens: int = 2048,
+    halflife_tokens: float | None = None,
+    cost_model: CostModel | None = None,
+) -> OnlineServingResult:
+    """End-to-end online serving scenario from a :class:`ServingConfig`.
+
+    Mirrors the deploy sequence of a real cluster: profile the *initial*
+    regime offline (``profile_tokens`` sampled from the drift scenario at
+    t=0), solve the placement once with ``placement_strategy``, then serve
+    under the drifting workload — statically when ``policy`` is ``None``,
+    or with online re-placement when a :class:`ReplacementPolicy` is given.
+
+    ``drift`` is either a ready :class:`DriftScenario` or a kind name for
+    :func:`make_drift_scenario` over the expected serving horizon
+    (``num_requests / arrival_rate_rps``).
+
+    Seed layout (all derived from ``serving.seed``, all disjoint): arrivals
+    use ``seed``, the offline profile ``seed + 1``, the per-step routing
+    draws ``seed + 2``, and the replacer's solver ``seed + 3`` — the live
+    token stream must never replay the profile stream, or the placement
+    would be scored on the data it was fit to.
+    """
+    if isinstance(drift, str):
+        horizon = serving.num_requests / serving.arrival_rate_rps
+        drift = make_drift_scenario(
+            drift,
+            model.num_experts,
+            model.num_moe_layers,
+            horizon_s=horizon,
+            affinity=affinity,
+            seed=serving.seed,
+        )
+
+    if mode.uses_affinity_placement:
+        profile = drift.model_at(0.0).sample(
+            profile_tokens, np.random.default_rng(serving.seed + 1)
+        )
+        placement = solve_placement(placement_strategy, profile, cluster)
+    else:
+        placement = vanilla_placement(
+            model.num_moe_layers, model.num_experts, cluster.num_gpus
+        )
+
+    replacer = None
+    if policy is not None:
+        from repro.core.affinity import StreamingAffinityEstimator
+
+        estimator = (
+            StreamingAffinityEstimator(
+                model.num_experts, model.num_moe_layers, halflife_tokens
+            )
+            if halflife_tokens is not None
+            else None
+        )
+        replacer = OnlineReplacer(
+            model,
+            cluster,
+            policy=policy,
+            estimator=estimator,
+            dtype_bytes=2,
+            rng=np.random.default_rng(serving.seed + 3),
+        )
+
+    requests = make_arrivals(serving, np.random.default_rng(serving.seed))
+    timer = PlacementStepTimer(model, cluster, mode=mode, cost_model=cost_model)
+    return simulate_online_serving(
+        requests,
+        model,
+        cluster,
+        drift,
+        placement,
+        mode=mode,
+        max_batch_requests=serving.max_batch_requests,
+        replacer=replacer,
+        timer=timer,
+        sample_every_steps=4,
+        rng=np.random.default_rng(serving.seed + 2),
     )

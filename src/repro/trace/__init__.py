@@ -15,13 +15,14 @@ Traces come from three sources:
   for the Pile / C4 / Dolma / Yelp token streams.
 """
 
-from repro.trace.events import RoutingTrace
+from repro.trace.events import RoutingTrace, CountTrace
 from repro.trace.collector import collect_trace, trace_from_generation
 from repro.trace.markov import MarkovRoutingModel, make_affinity_transitions
 from repro.trace.datasets import TopicCorpus, make_corpus, CORPUS_NAMES
 
 __all__ = [
     "RoutingTrace",
+    "CountTrace",
     "collect_trace",
     "trace_from_generation",
     "MarkovRoutingModel",

@@ -18,7 +18,7 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["RoutingTrace"]
+__all__ = ["RoutingTrace", "CountTrace"]
 
 
 @dataclass(frozen=True)
@@ -188,3 +188,69 @@ class RoutingTrace:
                 num_experts=int(data["num_experts"]),
                 source=bytes(data["source"]).decode(),
             )
+
+
+@dataclass(frozen=True)
+class CountTrace:
+    """Trace stand-in built from transition-count matrices instead of paths.
+
+    The placement solvers never look at individual token paths — they only
+    consume consecutive-layer transition counts (``transition_counts``) and
+    the trace shape.  A :class:`CountTrace` provides exactly that interface
+    from an (L-1, E, E) count stack, which lets count-native producers (the
+    streaming affinity estimator, analytic Markov models) feed the solver
+    family without synthesising fake token paths.  Counts may be fractional:
+    exponential decay and probability-mass weighting both produce non-integer
+    "tokens", and every solver consumes the counts as float64 anyway.
+
+    Operations that genuinely need token paths (``subsample``, locality
+    replay) are deliberately absent.
+    """
+
+    counts: np.ndarray
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        counts = np.asarray(self.counts, dtype=np.float64)
+        if counts.ndim != 3 or counts.shape[1] != counts.shape[2]:
+            raise ValueError(
+                f"counts must be (layers-1, experts, experts), got {counts.shape}"
+            )
+        if counts.shape[0] < 1:
+            raise ValueError("need at least one layer pair of counts")
+        if counts.size and counts.min() < 0:
+            raise ValueError("transition counts must be non-negative")
+        object.__setattr__(self, "counts", counts)
+
+    @property
+    def num_layers(self) -> int:
+        return self.counts.shape[0] + 1
+
+    @property
+    def num_experts(self) -> int:
+        return self.counts.shape[1]
+
+    @property
+    def total_mass(self) -> float:
+        """Summed transition mass across all layer pairs."""
+        return float(self.counts.sum())
+
+    def transition_counts(self, layer: int, next_layer: int | None = None) -> np.ndarray:
+        """(E, E) counts between ``layer`` and ``layer + 1``.
+
+        Only consecutive pairs are stored; asking for a multi-hop pair
+        raises (unlike :class:`RoutingTrace`, the paths needed to estimate
+        higher-order dependence were never kept).
+        """
+        nxt = layer + 1 if next_layer is None else next_layer
+        if not 0 <= layer < self.num_layers - 1:
+            raise IndexError(f"layer {layer} out of range [0, {self.num_layers - 1})")
+        if nxt != layer + 1:
+            raise ValueError("CountTrace only stores consecutive-layer transitions")
+        return self.counts[layer]
+
+    def conditional_matrix(self, layer: int, next_layer: int | None = None) -> np.ndarray:
+        """Formula (1) from the stored counts; unobserved rows are uniform."""
+        counts = self.transition_counts(layer, next_layer)
+        row = counts.sum(axis=1, keepdims=True)
+        return np.where(row > 0, counts / np.where(row > 0, row, 1.0), 1.0 / self.num_experts)

@@ -141,6 +141,68 @@ class TestServe:
         with pytest.raises(SystemExit):
             main(["serve", "--arrival", "uniform"])
 
+    def test_drift_prints_kept_mass(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--model",
+                "gpt-m-350m-e8",
+                "--nodes",
+                "2",
+                "--gpus-per-node",
+                "2",
+                "--requests",
+                "24",
+                "--rate",
+                "500",
+                "--generate-len",
+                "4",
+                "--max-batch",
+                "8",
+                "--drift",
+                "abrupt",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kept transition mass" in out
+        assert "drift=abrupt" in out
+
+    def test_replace_every_reports_events_or_none(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--model",
+                "gpt-m-350m-e8",
+                "--nodes",
+                "2",
+                "--gpus-per-node",
+                "2",
+                "--requests",
+                "48",
+                "--rate",
+                "1000",
+                "--generate-len",
+                "6",
+                "--max-batch",
+                "16",
+                "--drift",
+                "abrupt",
+                "--replace",
+                "--replace-every",
+                "16",
+                "--halflife",
+                "128",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "online re-placement" in out
+
+    def test_unknown_drift_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--drift", "sideways"])
+
 
 class TestHeatmap:
     def test_renders(self, tmp_path, capsys):

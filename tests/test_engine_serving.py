@@ -7,7 +7,13 @@ import dataclasses
 import numpy as np
 import pytest
 
-from repro.config import ClusterConfig, ExecutionMode, ModelConfig, ServingConfig
+from repro.config import (
+    ClusterConfig,
+    ExecutionMode,
+    InferenceConfig,
+    ModelConfig,
+    ServingConfig,
+)
 from repro.engine.metrics import LatencyStats
 from repro.engine.serving import (
     Request,
@@ -78,6 +84,56 @@ class TestArrivals:
         measured = len(reqs) / reqs[-1].arrival_s
         # the MMPP calm rate is solved to preserve the long-run mean
         assert 0.7 * 50.0 < measured < 1.4 * 50.0
+
+    @pytest.mark.parametrize(
+        "shape",
+        [
+            # boundary: burst state at the base rate (denom -> (1-p)/rate)
+            {"burst_factor": 1.0, "burst_fraction": 0.5, "burst_persistence": 0.5},
+            # extreme rate multiplier with near-permanent dwell
+            {"burst_factor": 100.0, "burst_fraction": 0.25, "burst_persistence": 0.99},
+            # almost-always-bursting regime
+            {"burst_factor": 8.0, "burst_fraction": 0.9, "burst_persistence": 0.95},
+            # boundary: zero burst fraction degenerates to pure Poisson
+            {"burst_factor": 50.0, "burst_fraction": 0.0, "burst_persistence": 0.0},
+            # memoryless state switching (persistence 0)
+            {"burst_factor": 4.0, "burst_fraction": 0.5, "burst_persistence": 0.0},
+            # pathological multiplier
+            {"burst_factor": 1000.0, "burst_fraction": 0.7, "burst_persistence": 0.8},
+        ],
+    )
+    def test_bursty_long_run_rate_preserved(self, shape):
+        """Property: the MMPP calm-rate solve must keep the long-run mean
+        arrival rate at cfg.arrival_rate_rps for *every* feasible burst
+        shape, including the boundary cases.  Averaged over seeds so the
+        tolerance can be tight without flaking on one heavy-tailed draw."""
+        rate = 50.0
+        ratios = []
+        for seed in range(8):
+            cfg = ServingConfig(
+                arrival="bursty",
+                arrival_rate_rps=rate,
+                num_requests=8000,
+                seed=seed,
+                **shape,
+            )
+            reqs = bursty_arrivals(cfg)
+            ratios.append(len(reqs) / reqs[-1].arrival_s / rate)
+        assert 0.95 < np.mean(ratios) < 1.05
+
+    def test_bursty_gap_mean_matches_analytic(self):
+        """The per-gap expectation itself is exact: E[gap] = 1/rate."""
+        cfg = ServingConfig(
+            arrival="bursty",
+            arrival_rate_rps=200.0,
+            num_requests=30000,
+            burst_factor=6.0,
+            burst_fraction=0.4,
+            burst_persistence=0.9,
+            seed=1,
+        )
+        gaps = np.diff([0.0] + [q.arrival_s for q in bursty_arrivals(cfg)])
+        assert gaps.mean() == pytest.approx(1.0 / 200.0, rel=0.05)
 
     def test_bursty_has_fatter_gap_tail(self):
         base = ServingConfig(arrival_rate_rps=100.0, num_requests=3000, seed=5)
@@ -219,6 +275,41 @@ class TestEngineCalibration:
         model, cluster = tiny
         with pytest.raises(ValueError):
             engine_step_time(model, cluster, probe_requests_per_gpu=(0,))
+        with pytest.raises(ValueError):
+            engine_step_time(model, cluster, probe_requests_per_gpu=(-999,))
+        with pytest.raises(ValueError):
+            engine_step_time(model, cluster, probe_requests_per_gpu=())
+
+    def test_probe_streams_disjoint_from_placement_profile(self, tiny):
+        """Audit: the probe workloads (seed + 1000 + b) must never replay
+        the placement-profile stream (seed + 1) or the routing-build stream
+        (seed) — otherwise the smallest probe would be scored on the very
+        token paths the affinity placement was fit to.  Probes are
+        validated >= 1, so the offsets are disjoint for every b; this pins
+        the contract across the whole admissible probe range."""
+        seed = 0
+        reserved = {seed, seed + 1}
+        for b in range(1, 4097):
+            assert seed + 1000 + b not in reserved
+
+        # behavioural check for the smallest probe: its workload draws a
+        # different token stream than the profile the placement was fit to
+        model, cluster = tiny
+        from repro.engine.workload import make_decode_workload
+        from repro.trace.markov import MarkovRoutingModel
+
+        routing = MarkovRoutingModel.with_affinity(
+            model.num_experts, model.num_moe_layers, 0.85,
+            rng=np.random.default_rng(seed),
+        )
+        profile = routing.sample(2048, np.random.default_rng(seed + 1))
+        infer = InferenceConfig(requests_per_gpu=1, prompt_len=16, generate_len=8)
+        probe_wl = make_decode_workload(
+            model, cluster, infer, routing=routing,
+            rng=np.random.default_rng(seed + 1000 + 1),
+        )
+        flat = probe_wl.paths.reshape(-1, model.num_moe_layers)
+        assert not np.array_equal(flat, profile.paths[: len(flat)])
 
     def test_compute_floor_dominated(self, tiny):
         """Calibrated step time must exceed the single-GPU compute floor

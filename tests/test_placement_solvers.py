@@ -144,6 +144,27 @@ class TestJointILP:
 
 
 class TestGreedy:
+    def test_tied_benefits_assign_deterministically(self):
+        """Regression: equal-benefit (expert, gpu) pairs must resolve by
+        ascending flat index (stable sort), not by whatever order numpy's
+        default introsort happens to produce on this version.
+
+        The trace visits every (layer-0, layer-1) expert pair exactly once,
+        so with the contiguous layer-0 seed every layer-1 expert receives
+        identical mass from every GPU — all benefits tie.  Stable order then
+        assigns expert i to GPU i // cap, i.e. the contiguous blocks."""
+        e = 4
+        pairs = np.array([(i, p) for i in range(e) for p in range(e)])
+        trace = RoutingTrace(pairs, num_experts=e)
+        placement = greedy_placement(trace, num_gpus=2)
+        assert placement.gpu_of[0].tolist() == [0, 0, 1, 1]
+        assert placement.gpu_of[1].tolist() == [0, 0, 1, 1]
+
+    def test_deterministic_across_calls(self, affinity_trace):
+        a = greedy_placement(affinity_trace, num_gpus=4)
+        b = greedy_placement(affinity_trace, num_gpus=4)
+        assert np.array_equal(a.gpu_of, b.gpu_of)
+
     def test_valid_and_better_than_vanilla(self, affinity_trace):
         g = greedy_placement(affinity_trace, num_gpus=4)
         v = vanilla_placement(affinity_trace.num_layers, affinity_trace.num_experts, 4)
@@ -205,6 +226,25 @@ class TestStaged:
         cluster = ClusterConfig(num_nodes=4, gpus_per_node=1)
         p = staged_placement(affinity_trace, cluster)
         assert p.num_gpus == 4
+
+    @pytest.mark.parametrize(
+        "shape", [(1, 4), (4, 1)], ids=["single-node", "one-gpu-per-node"]
+    )
+    def test_fallback_preserves_placement_metadata(self, affinity_trace, shape):
+        """Both degenerate hierarchies must return a placement whose
+        metadata matches the normal staged path: strategy provenance
+        relabelled to 'staged', GPU count taken from the cluster, and the
+        solved assignment identical to the flat chained solver's."""
+        nodes, gpn = shape
+        cluster = ClusterConfig(num_nodes=nodes, gpus_per_node=gpn)
+        p = staged_placement(affinity_trace, cluster, sweeps=2)
+        flat = ilp_placement(affinity_trace, cluster.num_gpus, sweeps=2)
+        assert p.strategy == "staged"
+        assert p.num_gpus == cluster.num_gpus
+        assert np.array_equal(p.gpu_of, flat.gpu_of)
+        # the relabel must not cost objective: same solve, different label
+        w = _weights(affinity_trace)
+        assert chain_objective(p.gpu_of, w) == chain_objective(flat.gpu_of, w)
 
 
 class TestRegistry:
