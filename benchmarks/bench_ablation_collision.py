@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import ClusterConfig, MarkovRoutingModel
+from repro import MarkovRoutingModel
 from repro.analysis.report import format_table
 from repro.core.placement.base import placement_locality
 from repro.core.placement.ilp import ilp_placement

@@ -9,7 +9,6 @@ communication time, even if its raw GPU locality is slightly lower.
 
 from __future__ import annotations
 
-import dataclasses
 
 import numpy as np
 

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import dataclasses
 
-import numpy as np
 
 from repro import GatingKind, InferenceConfig, compare_modes, paper_model, wilkes3
 from repro.analysis.report import format_table

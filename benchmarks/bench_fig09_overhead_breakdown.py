@@ -9,9 +9,7 @@ requires the steep single-node -> multi-node jump and monotone growth.
 
 from __future__ import annotations
 
-import dataclasses
 
-import numpy as np
 
 from repro import (
     ExecutionMode,

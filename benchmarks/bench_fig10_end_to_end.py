@@ -12,7 +12,6 @@ performance gain" when Alltoall is NVLink-only).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import InferenceConfig, compare_modes, paper_model, wilkes3
 from repro.analysis.report import format_table

@@ -8,7 +8,6 @@ the GShard balance loss then produces a far more uniform distribution.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.report import format_series
 from repro.training.evolution import track_affinity_evolution

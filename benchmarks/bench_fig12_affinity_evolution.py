@@ -7,7 +7,6 @@ steadily increases"), ending well above the memoryless floor.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.report import format_series
 from repro.training.evolution import track_affinity_evolution

@@ -7,7 +7,6 @@ so the table's ``p`` and ``p*`` are empirical, not assumed.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import InferenceConfig, compare_modes, paper_model, wilkes3
 from repro.analysis.report import format_table

@@ -44,7 +44,7 @@ def main() -> None:
     plan = opt.fit(profile)
     print(f"profiling trace: {plan.profile_tokens} tokens, "
           f"scaled affinity {plan.profile_affinity:.3f}")
-    print(f"expected locality under placement: "
+    print("expected locality under placement: "
           f"{plan.expected_locality.gpu_stay_fraction:.1%} same-GPU, "
           f"{plan.expected_locality.node_stay_fraction:.1%} same-node\n")
 

@@ -34,6 +34,7 @@ Quickstart::
 from repro.config import (
     ClusterConfig,
     ExecutionMode,
+    FleetConfig,
     GatingKind,
     InferenceConfig,
     LinkSpec,
@@ -51,13 +52,17 @@ from repro.core import (
     OnlineReplacer,
     Placement,
     ReplacementPolicy,
+    ReplicatedPlacement,
     SOLVERS,
     StreamingAffinityEstimator,
     affinity_matrix,
     multi_hop_affinity,
+    popularity_replication,
+    replicated_locality,
     scaled_affinity,
     solve_placement,
     staged_placement,
+    validate_replication_memory,
     vanilla_placement,
 )
 from repro.engine import (
@@ -77,6 +82,14 @@ from repro.engine import (
     simulate_online_cluster_serving,
     simulate_serving,
 )
+from repro.fleet import (
+    FleetRequest,
+    FleetResult,
+    flash_crowd_arrivals,
+    make_router,
+    simulate_fleet_cluster_serving,
+    simulate_fleet_serving,
+)
 from repro.model import MoETransformer, generate
 from repro.trace import (
     MarkovRoutingModel,
@@ -93,6 +106,7 @@ __all__ = [
     # config
     "ClusterConfig",
     "ExecutionMode",
+    "FleetConfig",
     "GatingKind",
     "InferenceConfig",
     "LinkSpec",
@@ -112,13 +126,17 @@ __all__ = [
     "OnlineReplacer",
     "Placement",
     "ReplacementPolicy",
+    "ReplicatedPlacement",
     "SOLVERS",
     "StreamingAffinityEstimator",
     "affinity_matrix",
     "multi_hop_affinity",
+    "popularity_replication",
+    "replicated_locality",
     "scaled_affinity",
     "solve_placement",
     "staged_placement",
+    "validate_replication_memory",
     "vanilla_placement",
     # engine
     "CostModel",
@@ -136,6 +154,13 @@ __all__ = [
     "simulate_inference_reference",
     "simulate_online_cluster_serving",
     "simulate_serving",
+    # fleet
+    "FleetRequest",
+    "FleetResult",
+    "flash_crowd_arrivals",
+    "make_router",
+    "simulate_fleet_cluster_serving",
+    "simulate_fleet_serving",
     # model
     "MoETransformer",
     "generate",

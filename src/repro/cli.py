@@ -8,6 +8,8 @@ Wraps the common workflows so the library is usable without writing Python:
 * ``simulate`` — run the three-way serving comparison and print the table.
 * ``serve`` — request-level serving with continuous batching and tail-latency
   metrics (Poisson or bursty arrivals).
+* ``fleet`` — multi-replica serving behind a request router: SLO-aware
+  admission, pluggable routing policies and reactive autoscaling.
 * ``heatmap`` — render a trace's layer-pair affinity heatmap.
 
 Every command takes ``--seed`` and prints deterministic output.
@@ -17,7 +19,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-from pathlib import Path
 
 import numpy as np
 
@@ -25,15 +26,17 @@ from repro.analysis.heatmap import ascii_heatmap
 from repro.analysis.report import format_table
 from repro.config import (
     PAPER_MODELS,
+    ROUTER_KINDS,
     ClusterConfig,
     ExecutionMode,
+    FleetConfig,
     InferenceConfig,
     ServingConfig,
     paper_model,
 )
 from repro.core.affinity import affinity_matrix, scaled_affinity
 from repro.core.online import ReplacementPolicy
-from repro.core.placement.base import Placement, placement_locality
+from repro.core.placement.base import placement_locality
 from repro.core.placement.registry import SOLVERS, solve_placement
 from repro.engine.comparison import compare_modes
 from repro.engine.serving import (
@@ -135,6 +138,55 @@ def build_parser() -> argparse.ArgumentParser:
         default=2048.0,
         metavar="TOKENS",
         help="streaming affinity estimator halflife in tokens",
+    )
+
+    p = sub.add_parser(
+        "fleet", help="multi-replica serving: router + SLO admission + autoscaling"
+    )
+    p.add_argument("--model", default="gpt-m-350m-e32")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--gpus-per-node", type=int, default=4)
+    p.add_argument("--arrival", default="poisson", choices=["poisson", "bursty"])
+    p.add_argument("--rate", type=float, default=256.0, help="mean arrivals per second")
+    p.add_argument("--requests", type=int, default=512)
+    p.add_argument("--burst-factor", type=float, default=4.0)
+    p.add_argument("--burst-fraction", type=float, default=0.25)
+    p.add_argument("--burst-persistence", type=float, default=0.9)
+    p.add_argument("--max-batch", type=int, default=64)
+    p.add_argument("--prompt-len", type=int, default=64)
+    p.add_argument("--generate-len", type=int, default=32)
+    p.add_argument(
+        "--mode",
+        default="exflow",
+        choices=[m.value for m in ExecutionMode],
+        help="execution strategy pricing each replica's decode steps",
+    )
+    p.add_argument("--strategy", default="staged", choices=SOLVERS)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--replicas", type=int, default=4, help="replicas at t=0")
+    p.add_argument(
+        "--router",
+        default="p2c",
+        choices=ROUTER_KINDS,
+        help="request routing policy",
+    )
+    p.add_argument(
+        "--regimes", type=int, default=2, help="routing regimes in the traffic mix"
+    )
+    p.add_argument(
+        "--slo-ms", type=float, default=400.0, help="interactive-class latency SLO"
+    )
+    p.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="enable reactive queue-depth autoscaling",
+    )
+    p.add_argument("--min-replicas", type=int, default=1)
+    p.add_argument("--max-replicas", type=int, default=8)
+    p.add_argument(
+        "--replace",
+        action="store_true",
+        help="run each replica's online re-placement loop",
     )
 
     p = sub.add_parser("heatmap", help="render a trace's affinity heatmap")
@@ -331,13 +383,125 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     ["step", "kept before", "kept after", "moved", "stall ms", "trigger"],
                     event_rows,
                     title=(
-                        f"online re-placements — total stall "
+                        "online re-placements — total stall "
                         f"{events.migration_stall_s * 1e3:.3f} ms"
                     ),
                 )
             )
         elif policy is not None:
             print("online re-placement enabled: no migration was triggered")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import simulate_fleet_cluster_serving
+
+    model = paper_model(args.model)
+    cluster = ClusterConfig(num_nodes=args.nodes, gpus_per_node=args.gpus_per_node)
+    serving = ServingConfig(
+        arrival=args.arrival,
+        arrival_rate_rps=args.rate,
+        num_requests=args.requests,
+        burst_factor=args.burst_factor,
+        burst_fraction=args.burst_fraction,
+        burst_persistence=args.burst_persistence,
+        max_batch_requests=args.max_batch,
+        prompt_len=args.prompt_len,
+        generate_len=args.generate_len,
+        seed=args.seed,
+    )
+    fleet = FleetConfig(
+        num_replicas=args.replicas,
+        router=args.router,
+        num_regimes=args.regimes,
+        slo_ms=args.slo_ms,
+        batch_slo_ms=10.0 * args.slo_ms,
+        autoscale=args.autoscale,
+        # with autoscaling on, FleetConfig validates min <= replicas <= max
+        # and conflicting flags must error, not silently widen the user's
+        # bounds; without it the bounds are inert, so any static size runs
+        min_replicas=(
+            args.min_replicas if args.autoscale else min(args.min_replicas, args.replicas)
+        ),
+        max_replicas=(
+            args.max_replicas if args.autoscale else max(args.max_replicas, args.replicas)
+        ),
+        replace=args.replace,
+    )
+    res = simulate_fleet_cluster_serving(
+        model,
+        cluster,
+        serving,
+        fleet,
+        mode=ExecutionMode(args.mode),
+        placement_strategy=args.strategy,
+    )
+    rows = [
+        [
+            args.router,
+            res.served,
+            len(res.shed),
+            f"{res.shed_fraction:.2%}",
+            res.latency.p50_s * 1e3,
+            res.latency.p95_s * 1e3,
+            res.latency.p99_s * 1e3,
+            f"{res.slo_attainment.get('interactive', 1.0):.1%}",
+            res.throughput_rps,
+        ]
+    ]
+    print(
+        format_table(
+            [
+                "router",
+                "served",
+                "shed",
+                "shed %",
+                "p50 ms",
+                "p95 ms",
+                "p99 ms",
+                "SLO ok",
+                "req/s",
+            ],
+            rows,
+            title=(
+                f"{model.name} fleet — {args.replicas} replica(s) of "
+                f"{cluster.num_nodes}x{cluster.gpus_per_node} GPUs, "
+                f"{args.rate:g} req/s offered"
+            ),
+        )
+    )
+    per_replica = [
+        [
+            s.replica_id,
+            s.regime,
+            s.final_state,
+            s.served,
+            s.decode_steps,
+            s.mean_batch_size,
+            s.replacements,
+        ]
+        for s in res.replicas
+    ]
+    print(
+        format_table(
+            ["replica", "regime", "state", "served", "steps", "mean batch", "replacements"],
+            per_replica,
+            title="per-replica",
+        )
+    )
+    if res.scale_events:
+        events = [
+            [e.kind, e.time_s, f"{e.queue_per_replica:.1f}",
+             e.replicas_before, e.replicas_after, e.cold_start_s * 1e3]
+            for e in res.scale_events
+        ]
+        print(
+            format_table(
+                ["action", "t (s)", "queue/replica", "before", "after", "cold start ms"],
+                events,
+                title="autoscaler actions",
+            )
+        )
     return 0
 
 
@@ -364,6 +528,7 @@ _COMMANDS = {
     "place": _cmd_place,
     "simulate": _cmd_simulate,
     "serve": _cmd_serve,
+    "fleet": _cmd_fleet,
     "heatmap": _cmd_heatmap,
 }
 

@@ -28,7 +28,6 @@ at a time.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 import numpy as np

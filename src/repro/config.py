@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Iterator
 
@@ -31,6 +31,8 @@ __all__ = [
     "ClusterConfig",
     "InferenceConfig",
     "ServingConfig",
+    "FleetConfig",
+    "ROUTER_KINDS",
     "paper_model",
     "wilkes3",
     "PAPER_MODELS",
@@ -371,6 +373,135 @@ class ServingConfig:
             raise ValueError("prompt_len must be positive")
         if self.generate_len <= 0:
             raise ValueError("generate_len must be positive")
+
+
+# request-router policies the fleet layer implements; kept here so
+# FleetConfig can validate without importing repro.fleet (config sits at
+# the bottom of the layering)
+ROUTER_KINDS: tuple[str, ...] = ("round-robin", "jsq", "p2c", "affinity")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """A multi-replica serving deployment for the fleet layer.
+
+    Where :class:`ServingConfig` describes the traffic offered to *one*
+    replica, ``FleetConfig`` describes the deployment that absorbs it: how
+    many independent replicas run behind the router, which routing policy
+    assigns requests, what SLOs admission enforces, and how the reactive
+    autoscaler may grow or shrink the fleet.
+
+    Parameters
+    ----------
+    num_replicas:
+        Replicas serving at t=0 (each a full expert-parallel cluster).
+    router:
+        One of :data:`ROUTER_KINDS` — ``round-robin``, ``jsq``
+        (join-shortest-queue), ``p2c`` (power-of-two-choices) or
+        ``affinity`` (placement-aware kept-mass scoring).
+    num_regimes:
+        Distinct routing regimes in the traffic mix; replica placements are
+        fit round-robin across regimes, so with more than one regime the
+        fleet is heterogeneous and affinity routing has signal to exploit.
+    slo_ms / batch_slo_ms:
+        Latency deadlines of the interactive (priority 0) and batch
+        (priority 1) classes.
+    interactive_fraction:
+        Fraction of offered requests in the interactive class.
+    shed_slack:
+        Admission sheds a request when its predicted latency exceeds
+        ``slack * slo``; values > 1 admit optimistically, < 1 shed early.
+    max_queue_per_replica:
+        Hard cap on any one replica's wait queue; arrivals beyond it are
+        shed regardless of predicted latency.
+    autoscale:
+        Enable the reactive autoscaler (otherwise the fleet is static).
+    min_replicas / max_replicas:
+        Autoscaler bounds on the live replica count.
+    scale_up_queue_per_replica / scale_down_queue_per_replica:
+        Queue-depth-per-replica thresholds triggering scale-up/down.
+    autoscale_check_every_s:
+        Autoscaler evaluation cadence on the simulation clock.
+    scale_dwell_checks:
+        Consecutive over/under-threshold checks required before acting
+        (hysteresis against reacting to one bursty tick).
+    boot_overhead_s:
+        Fixed per-replica boot cost (process start, CUDA context, …) added
+        on top of the modelled weight-load + placement-migration time.
+    replace:
+        Run each replica's own PR-2 online re-placement loop.
+    affinity_load_weight:
+        Congestion penalty subtracted from the affinity router's kept-mass
+        score per unit of relative replica load (0 = pure affinity).  The
+        default 1.0 trades one full batch of backlog against one unit of
+        kept mass — enough to spill traffic off a matched-but-congested
+        replica instead of herding.
+    """
+
+    num_replicas: int = 4
+    router: str = "p2c"
+    num_regimes: int = 2
+    slo_ms: float = 400.0
+    batch_slo_ms: float = 4000.0
+    interactive_fraction: float = 0.8
+    shed_slack: float = 1.0
+    max_queue_per_replica: int = 256
+    autoscale: bool = False
+    min_replicas: int = 1
+    max_replicas: int = 8
+    scale_up_queue_per_replica: float = 6.0
+    scale_down_queue_per_replica: float = 0.5
+    autoscale_check_every_s: float = 0.2
+    scale_dwell_checks: int = 2
+    boot_overhead_s: float = 0.0
+    replace: bool = False
+    affinity_load_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_replicas <= 0:
+            raise ValueError("num_replicas must be positive")
+        if self.router not in ROUTER_KINDS:
+            raise ValueError(
+                f"unknown router {self.router!r}; choose from {ROUTER_KINDS}"
+            )
+        if self.num_regimes < 1:
+            raise ValueError("num_regimes must be >= 1")
+        if self.slo_ms <= 0:
+            raise ValueError("slo_ms must be positive")
+        if self.batch_slo_ms < self.slo_ms:
+            raise ValueError("batch_slo_ms must be >= slo_ms (batch is the laxer class)")
+        if not 0.0 <= self.interactive_fraction <= 1.0:
+            raise ValueError("interactive_fraction must be in [0, 1]")
+        if self.shed_slack <= 0:
+            raise ValueError("shed_slack must be positive")
+        if self.max_queue_per_replica <= 0:
+            raise ValueError("max_queue_per_replica must be positive")
+        if not 1 <= self.min_replicas <= self.max_replicas:
+            raise ValueError("need 1 <= min_replicas <= max_replicas")
+        if not self.min_replicas <= self.num_replicas <= self.max_replicas:
+            raise ValueError("num_replicas must lie in [min_replicas, max_replicas]")
+        if self.scale_down_queue_per_replica < 0:
+            raise ValueError("scale_down_queue_per_replica must be >= 0")
+        if self.scale_up_queue_per_replica <= self.scale_down_queue_per_replica:
+            raise ValueError(
+                "scale_up_queue_per_replica must exceed scale_down_queue_per_replica"
+            )
+        if self.autoscale_check_every_s <= 0:
+            raise ValueError("autoscale_check_every_s must be positive")
+        if self.scale_dwell_checks < 1:
+            raise ValueError("scale_dwell_checks must be >= 1")
+        if self.boot_overhead_s < 0:
+            raise ValueError("boot_overhead_s must be >= 0")
+        if self.affinity_load_weight < 0:
+            raise ValueError("affinity_load_weight must be >= 0")
+
+    @property
+    def slo_s(self) -> float:
+        return self.slo_ms / 1e3
+
+    @property
+    def batch_slo_s(self) -> float:
+        return self.batch_slo_ms / 1e3
 
 
 def _paper_models() -> dict[str, ModelConfig]:

@@ -29,12 +29,16 @@ from repro.core.affinity import (
 )
 from repro.core.placement import (
     Placement,
+    ReplicatedPlacement,
     vanilla_placement,
     greedy_placement,
     ilp_placement,
     staged_placement,
     local_search_placement,
+    popularity_replication,
+    replicated_locality,
     solve_placement,
+    validate_replication_memory,
     SOLVERS,
 )
 from repro.core.context import ContextStore
@@ -57,12 +61,16 @@ __all__ = [
     "affinity_concentration",
     "StreamingAffinityEstimator",
     "Placement",
+    "ReplicatedPlacement",
     "vanilla_placement",
     "greedy_placement",
     "ilp_placement",
     "staged_placement",
     "local_search_placement",
+    "popularity_replication",
+    "replicated_locality",
     "solve_placement",
+    "validate_replication_memory",
     "SOLVERS",
     "ContextStore",
     "OnlineReplacer",

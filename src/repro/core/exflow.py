@@ -17,7 +17,6 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.config import ClusterConfig, ExecutionMode, InferenceConfig, ModelConfig
 from repro.core.affinity import scaled_affinity

@@ -27,6 +27,7 @@ from repro.core.placement.replication import (
     ReplicatedPlacement,
     popularity_replication,
     replicated_locality,
+    validate_replication_memory,
 )
 from repro.core.placement.registry import solve_placement, SOLVERS
 
@@ -43,6 +44,7 @@ __all__ = [
     "ReplicatedPlacement",
     "popularity_replication",
     "replicated_locality",
+    "validate_replication_memory",
     "solve_placement",
     "SOLVERS",
 ]

@@ -28,7 +28,6 @@ from scipy.optimize import LinearConstraint, linear_sum_assignment, milp
 from scipy.optimize import Bounds
 
 from repro.core.placement.base import Placement
-from repro.core.placement.vanilla import vanilla_placement
 from repro.trace.events import RoutingTrace
 
 __all__ = ["assignment_solve", "ilp_placement", "joint_ilp_placement", "chain_objective"]

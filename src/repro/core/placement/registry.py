@@ -7,8 +7,6 @@ need the cluster hierarchy, some only the GPU count).
 
 from __future__ import annotations
 
-from typing import Callable
-
 from repro.config import ClusterConfig
 from repro.core.placement.base import Placement
 from repro.core.placement.greedy import greedy_placement

@@ -14,15 +14,21 @@ available on its current GPU either as the owned copy or as a replica.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.config import ClusterConfig, ModelConfig
 from repro.core.placement.base import LocalityStats, Placement
 from repro.core.placement.vanilla import vanilla_placement
 from repro.trace.events import RoutingTrace
 
-__all__ = ["ReplicatedPlacement", "popularity_replication", "replicated_locality"]
+__all__ = [
+    "ReplicatedPlacement",
+    "popularity_replication",
+    "replicated_locality",
+    "validate_replication_memory",
+]
 
 
 @dataclass(frozen=True)
@@ -68,6 +74,58 @@ class ReplicatedPlacement:
         if self.base.gpu_of[layer, expert] == gpu:
             return True
         return bool(np.isin(expert, self.replicated[layer]))
+
+    def memory_bytes_per_gpu(self, model: ModelConfig, dtype_bytes: int = 2) -> int:
+        """Worst-case expert weight bytes any one GPU must hold.
+
+        Every GPU stores its owned shard (``experts_per_gpu`` per layer —
+        formula 9 makes that uniform) plus a copy of each layer's replica
+        set *minus the replicas it already owns* (owning GPU and replica
+        share one resident copy).  The worst case is the GPU whose owned
+        experts overlap the replica sets least.
+        """
+        if (model.num_moe_layers, model.num_experts) != (
+            self.base.num_layers,
+            self.base.num_experts,
+        ):
+            raise ValueError("model architecture does not match placement shape")
+        g = self.base.num_gpus
+        overlap = np.zeros(g, dtype=np.int64)  # per GPU: replicas it owns anyway
+        total = 0
+        for j, ids in enumerate(self.replicated):
+            total += self.base.experts_per_gpu + ids.size
+            if ids.size:
+                overlap += np.bincount(self.base.gpu_of[j][ids], minlength=g)
+        resident = total - int(overlap.min())
+        return resident * model.expert_bytes(dtype_bytes)
+
+
+def validate_replication_memory(
+    rep: ReplicatedPlacement,
+    model: ModelConfig,
+    cluster: ClusterConfig,
+    dtype_bytes: int = 2,
+) -> None:
+    """Raise if the replica sets overflow a GPU's memory budget.
+
+    Replication trades memory for locality; this is the guard that keeps
+    the trade honest — a replica plan must still fit
+    ``cluster.gpu_memory_bytes`` once the owned shard and every layer's
+    replicated experts are resident.
+    """
+    if cluster.num_gpus != rep.base.num_gpus:
+        raise ValueError(
+            f"placement built for {rep.base.num_gpus} GPUs, cluster has "
+            f"{cluster.num_gpus}"
+        )
+    need = rep.memory_bytes_per_gpu(model, dtype_bytes)
+    if need > cluster.gpu_memory_bytes:
+        raise ValueError(
+            f"replicated expert shard needs {need / 2**30:.2f} GiB per GPU "
+            f"({rep.replicas_per_gpu_per_layer:.1f} replicas/layer on top of "
+            f"{rep.base.experts_per_gpu} owned experts) but the GPU has "
+            f"{cluster.gpu_memory_bytes / 2**30:.2f} GiB"
+        )
 
 
 def popularity_replication(

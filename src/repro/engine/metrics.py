@@ -9,7 +9,7 @@ latencies with the tail percentiles the serving layer reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 import numpy as np

@@ -131,14 +131,15 @@ class ServingResult:
 
     @property
     def throughput_rps(self) -> float:
+        # zero-span runs (no completed requests) have zero throughput, not inf
         if self.makespan_s <= 0:
-            return float("inf")
+            return 0.0
         return len(self.completed) / self.makespan_s
 
     @property
     def throughput_tokens_per_s(self) -> float:
         if self.makespan_s <= 0:
-            return float("inf")
+            return 0.0
         return self.generated_tokens / self.makespan_s
 
     @property

@@ -1,0 +1,123 @@
+"""SLO-aware admission control: deadlines, priority classes, load shedding.
+
+Under overload an open system has exactly two choices: queue (and blow
+every deadline) or shed (and keep the admitted traffic inside SLO).  The
+fleet admits per-request at routing time:
+
+* each request belongs to a :class:`PriorityClass` with a latency SLO;
+* the controller predicts the request's completion latency on the replica
+  the router chose — queueing delay from the replica's current backlog
+  plus service time, both priced with the replica's EWMA step-time
+  estimate (so the prediction tracks the *measured* speed of that
+  replica's placement under current traffic, not a static constant);
+* a request whose predicted latency exceeds ``shed_slack x SLO`` is shed
+  immediately (better a fast negative than a useless late answer), as is
+  anything arriving at a replica whose wait queue hit the hard cap.
+
+Priority enters twice: classes carry different SLOs (batch tolerates far
+more queueing before shedding), and replicas admit strictly by class, so
+interactive requests overtake queued batch work at every step boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import FleetConfig
+from repro.fleet.replica import Replica
+from repro.fleet.requests import FleetRequest
+
+__all__ = ["PriorityClass", "default_priority_classes", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class PriorityClass:
+    """One admission class: a name, an SLO, and its queueing rank (0 first)."""
+
+    name: str
+    slo_s: float
+    rank: int
+
+    def __post_init__(self) -> None:
+        if self.slo_s <= 0:
+            raise ValueError("slo_s must be positive")
+        if self.rank < 0:
+            raise ValueError("rank must be >= 0")
+
+
+def default_priority_classes(fleet: FleetConfig) -> tuple[PriorityClass, ...]:
+    """The fleet's two standard classes: interactive (0) and batch (1)."""
+    return (
+        PriorityClass("interactive", fleet.slo_s, 0),
+        PriorityClass("batch", fleet.batch_slo_s, 1),
+    )
+
+
+class AdmissionController:
+    """Decide admit-or-shed for each routed request."""
+
+    def __init__(
+        self,
+        classes: tuple[PriorityClass, ...],
+        shed_slack: float = 1.0,
+        max_queue_per_replica: int = 256,
+    ) -> None:
+        if not classes:
+            raise ValueError("need at least one priority class")
+        ranks = sorted(c.rank for c in classes)
+        if ranks != list(range(len(classes))):
+            raise ValueError("class ranks must be exactly 0..n-1")
+        if shed_slack <= 0:
+            raise ValueError("shed_slack must be positive")
+        if max_queue_per_replica <= 0:
+            raise ValueError("max_queue_per_replica must be positive")
+        self.classes = tuple(sorted(classes, key=lambda c: c.rank))
+        self.shed_slack = shed_slack
+        self.max_queue_per_replica = max_queue_per_replica
+
+    @classmethod
+    def from_config(cls, fleet: FleetConfig) -> "AdmissionController":
+        return cls(
+            default_priority_classes(fleet),
+            shed_slack=fleet.shed_slack,
+            max_queue_per_replica=fleet.max_queue_per_replica,
+        )
+
+    def class_of(self, request: FleetRequest) -> PriorityClass:
+        return self.classes[min(request.priority, len(self.classes) - 1)]
+
+    def predicted_latency_s(
+        self, replica: Replica, request: FleetRequest
+    ) -> float | None:
+        """Estimated completion latency if ``request`` joins ``replica`` now.
+
+        Continuous batching frees ``max_batch`` slots every
+        ``generate_len`` steps in steady state, so the backlog ahead drains
+        at roughly ``max_batch / (generate_len * step_s)`` requests per
+        second; service itself is ``generate_len`` steps.  Returns ``None``
+        until the replica has measured at least one step (a cold replica
+        admits optimistically — there is nothing to predict from).
+        """
+        est = replica.est_step_s
+        if est is None:
+            return None
+        gen = request.generate_len
+        wait_s = replica.queue_len * gen * est / replica.max_batch
+        service_s = gen * est
+        return wait_s + service_s
+
+    def assess(
+        self, request: FleetRequest, replica: Replica, now: float
+    ) -> str | None:
+        """Return a shed reason, or ``None`` to admit."""
+        if replica.queue_len >= self.max_queue_per_replica:
+            return "queue-full"
+        predicted = self.predicted_latency_s(replica, request)
+        if predicted is not None:
+            slo = self.class_of(request).slo_s
+            if predicted > self.shed_slack * slo:
+                return "deadline"
+        return None
+
+    def slo_met(self, request: FleetRequest, latency_s: float) -> bool:
+        return latency_s <= self.class_of(request).slo_s

@@ -1,0 +1,137 @@
+"""Reactive autoscaling on queue depth, with an explicit cold-start price.
+
+The scaling signal is queued-requests-per-routable-replica — the quantity
+admission control is already fighting: when it stays above
+``scale_up_queue_per_replica`` for ``scale_dwell_checks`` consecutive
+ticks, a replica boots; when it stays below the scale-down threshold the
+least-loaded replica drains.  Dwell counts are the hysteresis that keeps a
+single bursty tick from thrashing the fleet.
+
+Scaling up is not free, and the cost model is the point: a booting replica
+pays
+
+1. **weight load** — every GPU pulls its expert shard
+   (``experts_per_gpu x num_moe_layers x expert_bytes``) from the
+   checkpoint store over the inter-node link (alpha-beta transfer; pulls
+   run in parallel across GPUs, so the wall time is one shard's transfer);
+2. **placement shuffle** — checkpoints are stored rank-contiguous
+   (the vanilla layout), so reaching the replica's affinity-optimized
+   placement costs exactly :func:`~repro.core.online.plan_migration`
+   from vanilla to the target — the same cost model serving migrations pay;
+3. a fixed ``boot_overhead_s`` for everything the simulation does not
+   model (process spawn, CUDA context, allocator warm-up).
+
+During that window the new replica absorbs nothing — which is exactly why
+a reactive policy must trigger early enough, and what the fig16 flash
+crowd benchmark measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ClusterConfig, FleetConfig, ModelConfig
+from repro.core.online import plan_migration
+from repro.core.placement.base import Placement
+from repro.core.placement.vanilla import vanilla_placement
+
+__all__ = ["ColdStartCost", "price_cold_start", "ScaleEvent", "ReactiveAutoscaler"]
+
+
+@dataclass(frozen=True)
+class ColdStartCost:
+    """Seconds from scale-up decision to a servable replica."""
+
+    weight_load_s: float
+    placement_shuffle_s: float
+    overhead_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.weight_load_s + self.placement_shuffle_s + self.overhead_s
+
+
+def price_cold_start(
+    model: ModelConfig,
+    cluster: ClusterConfig,
+    placement: Placement,
+    dtype_bytes: int = 2,
+    boot_overhead_s: float = 0.0,
+) -> ColdStartCost:
+    """Price booting one replica that will serve ``placement``."""
+    if boot_overhead_s < 0:
+        raise ValueError("boot_overhead_s must be >= 0")
+    per_gpu = cluster.experts_per_gpu(model.num_experts)
+    shard_bytes = per_gpu * model.num_moe_layers * model.expert_bytes(dtype_bytes)
+    weight_load_s = cluster.inter_link.transfer_time(shard_bytes)
+    contiguous = vanilla_placement(
+        model.num_moe_layers, model.num_experts, cluster.num_gpus
+    )
+    shuffle = plan_migration(contiguous, placement, cluster, model, dtype_bytes)
+    return ColdStartCost(
+        weight_load_s=float(weight_load_s),
+        placement_shuffle_s=shuffle.stall_s,
+        overhead_s=boot_overhead_s,
+    )
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One autoscaler action on the fleet timeline."""
+
+    time_s: float
+    kind: str  # "up" | "down"
+    queue_per_replica: float
+    replicas_before: int
+    replicas_after: int
+    cold_start_s: float = 0.0
+
+
+class ReactiveAutoscaler:
+    """Queue-depth trigger with dwell-count hysteresis.
+
+    :meth:`decide` is called on a fixed cadence with the current fleet
+    view and returns ``"up"``, ``"down"`` or ``None``.  Booting replicas
+    count toward capacity for the *up* decision (their arrival is already
+    scheduled — scaling again would overshoot) but a pending boot blocks
+    scale-down entirely (the two actions contradict).
+    """
+
+    def __init__(self, fleet: FleetConfig) -> None:
+        self.fleet = fleet
+        self._over = 0
+        self._under = 0
+        #: queue-per-replica the most recent decide() call acted on —
+        #: the single source of truth for scale-event logging
+        self.last_queue_per_replica = 0.0
+
+    def decide(self, queued: int, live: int, booting: int) -> str | None:
+        """One tick: ``queued`` waiting requests, ``live`` routable replicas,
+        ``booting`` replicas already paying cold start."""
+        cfg = self.fleet
+        per = queued / max(1, live + booting)
+        self.last_queue_per_replica = per
+        if per > cfg.scale_up_queue_per_replica:
+            self._over += 1
+            self._under = 0
+        elif per < cfg.scale_down_queue_per_replica:
+            self._under += 1
+            self._over = 0
+        else:
+            self._over = 0
+            self._under = 0
+
+        if (
+            self._over >= cfg.scale_dwell_checks
+            and live + booting < cfg.max_replicas
+        ):
+            self._over = 0
+            return "up"
+        if (
+            self._under >= cfg.scale_dwell_checks
+            and booting == 0
+            and live > cfg.min_replicas
+        ):
+            self._under = 0
+            return "down"
+        return None

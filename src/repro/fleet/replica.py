@@ -1,0 +1,191 @@
+"""One model replica: a fully-priced cluster with queue and batch state.
+
+A :class:`Replica` is a complete expert-parallel deployment — its own
+placement (possibly fit to a different routing regime than its peers),
+priced per decode step by the shared
+:class:`~repro.engine.serving.PlacementStepTimer`, optionally running its
+own PR-2 online re-placement loop.  The fleet simulator drives replicas
+through a small state machine:
+
+``BOOTING`` (paying the cold-start cost) → ``ACTIVE`` (routable) →
+``DRAINING`` (scale-down: finishes queued work, receives nothing new) →
+``STOPPED``.
+
+The replica owns per-priority wait queues (admission is FCFS *within* a
+class, strict priority *across* classes) and the continuous-batching
+active set; all timing decisions stay in the simulator, which is the only
+place the clock lives.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.online import OnlineReplacer
+from repro.core.placement.base import Placement
+from repro.fleet.requests import FleetRequest
+
+__all__ = ["ReplicaState", "Replica", "ReplicaStats", "ActiveEntry"]
+
+# EWMA smoothing for the observed step-time estimate admission control
+# reads; one step contributes 25% so the estimate tracks load shifts within
+# a few steps without flapping on a single expensive iteration
+_STEP_EWMA_ALPHA = 0.25
+
+
+class ReplicaState(str, Enum):
+    BOOTING = "booting"
+    ACTIVE = "active"
+    DRAINING = "draining"
+    STOPPED = "stopped"
+
+
+class ActiveEntry:
+    """Mutable per-request decode state inside a replica's batch."""
+
+    __slots__ = ("request", "tokens_remaining", "admitted_s", "home_gpu", "generated")
+
+    def __init__(self, request: FleetRequest, admitted_s: float, home_gpu: int) -> None:
+        self.request = request
+        self.tokens_remaining = request.generate_len
+        self.admitted_s = admitted_s
+        self.home_gpu = home_gpu
+        self.generated = 0
+
+
+@dataclass(frozen=True)
+class ReplicaStats:
+    """Final per-replica account reported in a fleet result."""
+
+    replica_id: int
+    regime: int
+    final_state: str
+    served: int
+    decode_steps: int
+    busy_s: float
+    mean_batch_size: float
+    replacements: int
+    migration_stall_s: float
+    booted_at_s: float
+    stopped_at_s: float | None
+
+
+class Replica:
+    """Queue + batch + placement state of one fleet member."""
+
+    def __init__(
+        self,
+        replica_id: int,
+        placement: Placement,
+        regime: int,
+        max_batch_requests: int,
+        num_gpus: int,
+        num_priorities: int = 2,
+        state: ReplicaState = ReplicaState.ACTIVE,
+        booted_at_s: float = 0.0,
+        replacer: OnlineReplacer | None = None,
+    ) -> None:
+        if max_batch_requests <= 0:
+            raise ValueError("max_batch_requests must be positive")
+        if num_priorities < 1:
+            raise ValueError("num_priorities must be >= 1")
+        self.replica_id = replica_id
+        self.placement = placement
+        self.placement_version = 0
+        self.regime = regime
+        self.max_batch = max_batch_requests
+        self.num_gpus = num_gpus
+        self.state = state
+        self.booted_at_s = booted_at_s
+        self.stopped_at_s: float | None = None
+        self.replacer = replacer
+
+        self.queues: tuple[deque, ...] = tuple(deque() for _ in range(num_priorities))
+        self.active: list[ActiveEntry] = []
+        self.stepping = False
+
+        self.steps = 0
+        self.busy_s = 0.0
+        self.weighted_batch = 0.0
+        self.served = 0
+        self.migration_stall_s = 0.0
+        self.replacements = 0
+        self.est_step_s: float | None = None
+        self._admit_counter = 0
+
+    # -- load accounting -------------------------------------------------------
+
+    @property
+    def queue_len(self) -> int:
+        return sum(len(q) for q in self.queues)
+
+    @property
+    def load(self) -> int:
+        """Requests on this replica (waiting + decoding) — the JSQ signal."""
+        return self.queue_len + len(self.active)
+
+    @property
+    def routable(self) -> bool:
+        return self.state is ReplicaState.ACTIVE
+
+    # -- queue / batch transitions ---------------------------------------------
+
+    def enqueue(self, request: FleetRequest) -> None:
+        if self.state in (ReplicaState.STOPPED, ReplicaState.BOOTING):
+            raise RuntimeError(f"cannot enqueue on a {self.state.value} replica")
+        pri = min(request.priority, len(self.queues) - 1)
+        self.queues[pri].append(request)
+
+    def admit_up_to_capacity(self, now: float) -> list[ActiveEntry]:
+        """Move queued requests into the batch: priority order, FCFS within.
+
+        Home GPUs round-robin over the replica's data-parallel ranks, as in
+        the single-replica online loop.
+        """
+        admitted: list[ActiveEntry] = []
+        for q in self.queues:
+            while q and len(self.active) < self.max_batch:
+                req = q.popleft()
+                entry = ActiveEntry(req, now, self._admit_counter % self.num_gpus)
+                self._admit_counter += 1
+                self.active.append(entry)
+                admitted.append(entry)
+            if len(self.active) >= self.max_batch:
+                break
+        return admitted
+
+    def note_step(self, dt: float, batch_size: int) -> None:
+        """Account one completed decode step of ``batch_size`` requests."""
+        self.steps += 1
+        self.busy_s += dt
+        self.weighted_batch += batch_size * dt
+        if self.est_step_s is None:
+            self.est_step_s = dt
+        else:
+            self.est_step_s += _STEP_EWMA_ALPHA * (dt - self.est_step_s)
+
+    def note_admission(self, dt: float) -> None:
+        """Account the one-time admission charge (coherent prompt AllGather)."""
+        self.busy_s += dt
+        self.weighted_batch += len(self.active) * dt
+
+    @property
+    def drained(self) -> bool:
+        return not self.active and self.queue_len == 0
+
+    def stats(self) -> ReplicaStats:
+        return ReplicaStats(
+            replica_id=self.replica_id,
+            regime=self.regime,
+            final_state=self.state.value,
+            served=self.served,
+            decode_steps=self.steps,
+            busy_s=self.busy_s,
+            mean_batch_size=self.weighted_batch / self.busy_s if self.busy_s > 0 else 0.0,
+            replacements=self.replacements,
+            migration_stall_s=self.migration_stall_s,
+            booted_at_s=self.booted_at_s,
+            stopped_at_s=self.stopped_at_s,
+        )

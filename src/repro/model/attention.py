@@ -12,7 +12,7 @@ hidden states and routing, while communication is accounted separately.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

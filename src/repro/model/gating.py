@@ -19,7 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config import GatingKind
-from repro.model.tensors import normal_init, one_hot, softmax
+from repro.model.tensors import normal_init, softmax
 
 __all__ = ["GateOutput", "TopKGate", "gshard_balance_loss"]
 

@@ -20,7 +20,6 @@ import numpy as np
 
 from repro.config import ModelConfig
 from repro.model.attention import CausalSelfAttention, KVCache
-from repro.model.experts import ExpertBank
 from repro.model.gating import GateOutput
 from repro.model.moe_layer import MoELayer
 from repro.model.tensors import gelu, layer_norm, normal_init

@@ -27,14 +27,13 @@ class TestHeatmap:
 
     def test_hot_cells_darker(self):
         m = np.array([[1.0, 0.0], [0.0, 0.0]])
-        lines = [l for l in ascii_heatmap(m).splitlines() if l and l[0].isdigit() is False]
         body = ascii_heatmap(m).splitlines()
         row0 = body[0]
         assert "@" in row0  # peak cell uses the darkest ramp char
 
     def test_pooling_large_matrix(self):
         out = ascii_heatmap(np.random.default_rng(0).random((200, 200)), max_size=32)
-        data_rows = [l for l in out.splitlines() if l and not l.startswith("    ")]
+        data_rows = [ln for ln in out.splitlines() if ln and not ln.startswith("    ")]
         assert len(data_rows) <= 33
 
     def test_zero_matrix(self):

@@ -204,6 +204,71 @@ class TestServe:
             main(["serve", "--drift", "sideways"])
 
 
+class TestFleet:
+    _BASE = [
+        "fleet",
+        "--model",
+        "gpt-m-350m-e8",
+        "--nodes",
+        "2",
+        "--gpus-per-node",
+        "2",
+        "--requests",
+        "48",
+        "--rate",
+        "400",
+        "--generate-len",
+        "4",
+        "--max-batch",
+        "8",
+        "--replicas",
+        "2",
+    ]
+
+    def test_runs_each_router(self, capsys):
+        for router in ("round-robin", "jsq", "p2c", "affinity"):
+            code = main(self._BASE + ["--router", router])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert router in out
+            assert "per-replica" in out
+            assert "SLO ok" in out
+
+    def test_autoscale_flag(self, capsys):
+        code = main(
+            self._BASE
+            + ["--router", "jsq", "--autoscale", "--min-replicas", "1", "--max-replicas", "4"]
+        )
+        assert code == 0
+        # quiet traffic: the fleet may shrink but the command must succeed
+        assert "fleet" in capsys.readouterr().out
+
+    def test_slo_ms_flag_sheds_when_impossible(self, capsys):
+        # sub-microsecond SLO: every predicted latency violates it, so the
+        # shed % cell must be non-zero (the only percent-formatted zero)
+        code = main(self._BASE + ["--router", "jsq", "--slo-ms", "0.001"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0.00%" not in out
+
+    def test_rejects_unknown_router(self):
+        with pytest.raises(SystemExit):
+            main(self._BASE + ["--router", "alphabetical"])
+
+    def test_conflicting_replica_bounds_error(self):
+        # with autoscaling on, --replicas 2 above --max-replicas 1 must
+        # surface FleetConfig's ValueError, not silently widen the cap
+        with pytest.raises(ValueError):
+            main(self._BASE + ["--autoscale", "--max-replicas", "1"])
+
+    def test_static_fleet_ignores_autoscaler_bounds(self, capsys):
+        # without --autoscale the replica-count bounds are meaningless; a
+        # static fleet larger than the default max must just run
+        code = main(self._BASE + ["--replicas", "9", "--requests", "16"])
+        assert code == 0
+        assert "per-replica" in capsys.readouterr().out
+
+
 class TestHeatmap:
     def test_renders(self, tmp_path, capsys):
         trace_path = tmp_path / "trace.npz"

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cluster.traffic import TrafficLedger
-from repro.config import ExecutionMode, ModelConfig
+from repro.config import ExecutionMode
 from repro.engine.costs import CostModel
 from repro.engine.metrics import OpBreakdown, RunResult
 

@@ -6,14 +6,10 @@ import dataclasses
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.config import (
-    ClusterConfig,
-    ExecutionMode,
-    InferenceConfig,
-    ModelConfig,
-    ServingConfig,
-)
+from repro.config import ExecutionMode, InferenceConfig, ServingConfig
 from repro.engine.metrics import LatencyStats
 from repro.engine.serving import (
     Request,
@@ -140,7 +136,9 @@ class TestArrivals:
         burst = dataclasses.replace(
             base, arrival="bursty", burst_factor=8.0, burst_fraction=0.3
         )
-        gaps = lambda reqs: np.diff([q.arrival_s for q in reqs])
+        def gaps(reqs):
+            return np.diff([q.arrival_s for q in reqs])
+
         g_pois, g_burst = gaps(make_arrivals(base)), gaps(make_arrivals(burst))
         # same mean scale, but modulated arrivals have higher variance
         assert g_burst.var() > g_pois.var()
@@ -155,6 +153,60 @@ class TestArrivals:
             Request(0, -1.0, 8, 8)
         with pytest.raises(ValueError):
             Request(0, 0.0, 0, 8)
+
+
+class TestArrivalDeterminism:
+    """Property: arrivals are a pure function of ServingConfig.
+
+    The whole benchmark methodology leans on this — the same seed must
+    yield byte-identical arrival sequences for every process family, so
+    static/online (and fleet) arms serve literally the same traffic.
+    """
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        arrival=st.sampled_from(["poisson", "bursty"]),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        rate=st.floats(min_value=0.5, max_value=500.0),
+        n=st.integers(min_value=1, max_value=150),
+        burst_factor=st.floats(min_value=1.0, max_value=50.0),
+        burst_fraction=st.floats(min_value=0.0, max_value=0.6),
+    )
+    def test_same_seed_same_sequence(
+        self, arrival, seed, rate, n, burst_factor, burst_fraction
+    ):
+        cfg = ServingConfig(
+            arrival=arrival,
+            arrival_rate_rps=rate,
+            num_requests=n,
+            burst_factor=burst_factor,
+            burst_fraction=burst_fraction,
+            seed=seed,
+        )
+        a = make_arrivals(cfg)
+        b = make_arrivals(cfg)
+        assert a == b  # Request is frozen: equality is field-for-field
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        arrival=st.sampled_from(["poisson", "bursty"]),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        rate=st.floats(min_value=0.5, max_value=500.0),
+        n=st.integers(min_value=2, max_value=150),
+    )
+    def test_times_strictly_increasing_ids_sequential(self, arrival, seed, rate, n):
+        cfg = ServingConfig(
+            arrival=arrival, arrival_rate_rps=rate, num_requests=n, seed=seed
+        )
+        reqs = make_arrivals(cfg)
+        times = np.array([q.arrival_s for q in reqs])
+        assert (np.diff(times) > 0).all()
+        assert [q.req_id for q in reqs] == list(range(n))
+
+    def test_different_seeds_differ(self):
+        base = ServingConfig(arrival_rate_rps=100.0, num_requests=50, seed=0)
+        other = dataclasses.replace(base, seed=1)
+        assert make_arrivals(base) != make_arrivals(other)
 
 
 class TestServingConfigValidation:
@@ -189,6 +241,14 @@ class TestContinuousBatching:
     def test_empty_input(self):
         res = simulate_serving([], constant_step(1e-3))
         assert res.completed == () and res.decode_steps == 0
+
+    def test_zero_makespan_throughput_is_zero(self):
+        """Regression: zero-span results used to report inf throughput."""
+        res = simulate_serving([], constant_step(1e-3))
+        assert res.makespan_s == 0.0
+        assert res.throughput_rps == 0.0
+        assert res.throughput_tokens_per_s == 0.0
+        assert np.isfinite(res.throughput_rps)
 
     def test_unloaded_latency_is_pure_service(self):
         req = Request(0, 1.0, 8, 10)

@@ -7,7 +7,6 @@ reproduce the full-scale versions; these tests guard the mechanisms.
 
 from __future__ import annotations
 
-import dataclasses
 
 import numpy as np
 import pytest
@@ -21,7 +20,7 @@ from repro.config import (
     scaled_proxy,
     wilkes3,
 )
-from repro.core.affinity import affinity_concentration, scaled_affinity
+from repro.core.affinity import affinity_concentration
 from repro.core.exflow import ExFlowOptimizer
 from repro.core.placement.base import placement_locality
 from repro.core.placement.registry import solve_placement

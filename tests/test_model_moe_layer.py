@@ -65,7 +65,6 @@ class TestCapacity:
         x = np.random.default_rng(6).normal(size=(64, 8))
         _, routing = layer(x)
         counts = np.bincount(routing.top1, minlength=4)
-        cap = int(np.ceil(1.0 * 64 / 4))
         # capacity enforcement may still overflow when both choices are full,
         # but the spread must be no worse than ungated routing
         raw = layer.gate(x)

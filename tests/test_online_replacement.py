@@ -608,7 +608,9 @@ class TestOnlineServing:
         assert online.migration_stall_s == pytest.approx(
             sum(e.stall_s for e in online.events)
         )
-        tail = lambda r: np.mean([s.true_kept for s in r.kept_timeline[-5:]])
+        def tail(r):
+            return np.mean([s.true_kept for s in r.kept_timeline[-5:]])
+
         assert tail(online) > tail(static) + 0.05
 
     def test_migration_stall_charged_to_timeline(self, setup):

@@ -5,11 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.config import ClusterConfig, ModelConfig
 from repro.core.placement.base import placement_locality
 from repro.core.placement.replication import (
     ReplicatedPlacement,
     popularity_replication,
     replicated_locality,
+    validate_replication_memory,
 )
 from repro.core.placement.vanilla import vanilla_placement
 from repro.trace.events import RoutingTrace
@@ -98,6 +100,96 @@ class TestLocality:
         rep = ReplicatedPlacement(base, tuple(np.array([]) for _ in range(3)))
         with pytest.raises(ValueError):
             replicated_locality(rep, trace)
+
+
+class TestMemoryBudget:
+    @pytest.fixture
+    def model(self):
+        return ModelConfig(
+            name="rep-mem", num_layers=4, num_experts=8, d_model=32, num_heads=4
+        )
+
+    @pytest.fixture
+    def cluster(self):
+        return ClusterConfig(num_nodes=2, gpus_per_node=2)
+
+    def test_bytes_count_owned_plus_foreign_replicas(self):
+        # vanilla on 2 GPUs: both layers own gpu0={0,1}, gpu1={2,3}.
+        # layer-0 replica {0} is already owned by gpu0, layer-1 replica {2}
+        # by gpu1 — each GPU stores 5 experts, not the naive 6
+        small = ModelConfig(
+            name="rep-tiny", num_layers=2, num_experts=4, d_model=32, num_heads=4
+        )
+        base = vanilla_placement(2, 4, 2)
+        rep = ReplicatedPlacement(base, (np.array([0]), np.array([2])))
+        assert rep.memory_bytes_per_gpu(small) == 5 * small.expert_bytes()
+
+    def test_full_replication_not_double_counted(self):
+        # with every expert replicated everywhere, each GPU holds exactly
+        # num_experts per layer — owned copies must not be counted twice
+        small = ModelConfig(
+            name="rep-tiny", num_layers=2, num_experts=4, d_model=32, num_heads=4
+        )
+        base = vanilla_placement(2, 4, 2)
+        rep = ReplicatedPlacement(
+            base, (np.arange(4), np.arange(4))
+        )
+        assert rep.memory_bytes_per_gpu(small) == 2 * 4 * small.expert_bytes()
+
+    def test_worst_case_gpu_is_least_overlapping(self):
+        small = ModelConfig(
+            name="rep-tiny", num_layers=2, num_experts=4, d_model=32, num_heads=4
+        )
+        base = vanilla_placement(2, 4, 2)
+        # both layers replicate gpu0's experts: gpu1 stores 2 owned + 2
+        # foreign per layer (the worst case), gpu0 just its own shard
+        rep = ReplicatedPlacement(base, (np.array([0, 1]), np.array([0, 1])))
+        assert rep.memory_bytes_per_gpu(small) == 2 * 4 * small.expert_bytes()
+
+    def test_bytes_reject_model_mismatch(self, trace, model):
+        rep = popularity_replication(trace, 4, 1)
+        wrong = ModelConfig(
+            name="wrong", num_layers=6, num_experts=8, d_model=32, num_heads=4
+        )
+        with pytest.raises(ValueError):
+            rep.memory_bytes_per_gpu(wrong)
+
+    def test_fitting_plan_passes(self, trace, model, cluster):
+        rep = popularity_replication(trace, 4, 2)
+        validate_replication_memory(rep, model, cluster)  # must not raise
+
+    def test_overflowing_plan_raises(self, trace, model):
+        rep = popularity_replication(trace, 4, trace.num_experts)
+        tiny = ClusterConfig(
+            num_nodes=2,
+            gpus_per_node=2,
+            gpu_memory_bytes=rep.memory_bytes_per_gpu(model) - 1,
+        )
+        with pytest.raises(ValueError, match="GiB"):
+            validate_replication_memory(rep, model, tiny)
+
+    def test_budget_boundary_is_inclusive(self, trace, model):
+        rep = popularity_replication(trace, 4, 1)
+        exact = ClusterConfig(
+            num_nodes=2,
+            gpus_per_node=2,
+            gpu_memory_bytes=rep.memory_bytes_per_gpu(model),
+        )
+        validate_replication_memory(rep, model, exact)  # exactly full still fits
+
+    def test_rejects_cluster_mismatch(self, trace, model):
+        rep = popularity_replication(trace, 4, 1)
+        with pytest.raises(ValueError, match="GPUs"):
+            validate_replication_memory(
+                rep, model, ClusterConfig(num_nodes=4, gpus_per_node=2)
+            )
+
+    def test_public_api_reachable(self):
+        import repro
+
+        assert repro.ReplicatedPlacement is ReplicatedPlacement
+        assert repro.popularity_replication is popularity_replication
+        assert repro.validate_replication_memory is validate_replication_memory
 
 
 class TestVsExFlow:

@@ -14,10 +14,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cluster.collectives import allgather_cost, alltoall_matrix
-from repro.cluster.topology import Tier, Topology
+from repro.cluster.topology import Topology
 from repro.config import ClusterConfig
 from repro.core.affinity import scaled_affinity, set_affinity
-from repro.core.placement.base import Placement, placement_locality
+from repro.core.placement.base import placement_locality
 from repro.core.placement.greedy import greedy_placement
 from repro.core.placement.ilp import assignment_solve, ilp_placement
 from repro.core.placement.vanilla import vanilla_placement
@@ -196,8 +196,6 @@ class TestEngineProperties:
     def test_every_token_processed_once_per_layer(self, seed, mode_name):
         """FFN compute equals tokens x layers regardless of mode/placement:
         dispatch must neither drop nor duplicate tokens."""
-        import dataclasses
-
         from repro.config import ExecutionMode, InferenceConfig, ModelConfig
         from repro.engine.costs import CostModel
         from repro.engine.executor import simulate_inference

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.core",
     "repro.core.placement",
     "repro.engine",
+    "repro.fleet",
     "repro.training",
     "repro.analysis",
 ]
