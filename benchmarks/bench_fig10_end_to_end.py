@@ -4,6 +4,11 @@ For each pre-trained variant of Table II and each expert-parallel size the
 paper uses, runs DeepSpeed-style vanilla, ExFlow w/o affinity and full
 ExFlow on one frozen workload and reports normalised throughput.
 
+Every panel executes through the Scenario facade (``repro.run``); the
+headline panels are the registered ``fig10-*`` presets, the rest are
+inline :class:`~repro.Scenario` specs of the same shape — the
+``compare_modes`` comparison dict each run produced is on ``report.raw``.
+
 Shape checks: ExFlow w. affinity is the best strategy in every multi-node
 configuration; its advantage comes on top of context coherence; and the
 single-node (4 GPU) cases show little gain (the paper: "there is not much
@@ -13,7 +18,8 @@ performance gain" when Alltoall is NVLink-only).
 from __future__ import annotations
 
 
-from repro import InferenceConfig, compare_modes, paper_model, wilkes3
+from repro import Scenario, get_scenario, paper_model, run
+from repro.scenarios.registry import fig10_panel
 from repro.analysis.report import format_table
 
 from conftest import publish
@@ -29,12 +35,24 @@ PANELS = [
     ("gpt-xl-1.3b-e16", [8, 16]),
 ]
 
+# panels that are registered scenario presets; the rest build inline specs
+_REGISTERED = {
+    ("gpt-m-350m-e32", 16): "fig10-end-to-end",
+    ("gpt-xl-1.3b-e16", 8): "fig10-xl",
+    ("gpt-m-350m-e8", 4): "fig10-single-node",
+}
+
+
+def _panel_scenario(key: str, gpus: int) -> Scenario:
+    preset = _REGISTERED.get((key, gpus))
+    if preset is not None:
+        return get_scenario(preset)
+    # same builder the registry presets use — panels can't silently diverge
+    return fig10_panel(key, gpus)
+
 
 def _run_panel(key: str, gpus: int):
-    model = paper_model(key)
-    cluster = wilkes3(max(1, gpus // 4), gpus_per_node=min(4, gpus))
-    infer = InferenceConfig(requests_per_gpu=8, prompt_len=64, generate_len=8)
-    return compare_modes(model, cluster, infer, seed=gpus)
+    return run(_panel_scenario(key, gpus)).raw
 
 
 def test_fig10_end_to_end(benchmark, results_dir):

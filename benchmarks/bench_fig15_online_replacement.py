@@ -23,75 +23,33 @@ the reported p95.
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
-from repro.config import ClusterConfig, ModelConfig, ServingConfig
-from repro.core.online import ReplacementPolicy
-from repro.engine.serving import simulate_online_cluster_serving
+from repro.scenarios import get_scenario
+from repro.scenarios import run as run_scenario
 
 from conftest import publish
 
 DRIFTS = ("gradual", "abrupt", "diurnal")
 
 
-def _config(smoke: bool):
-    if smoke:
-        model = ModelConfig(
-            name="fig15-smoke", num_layers=4, num_experts=8, d_model=64, num_heads=4
-        )
-        cluster = ClusterConfig(num_nodes=2, gpus_per_node=2)
-        serving = ServingConfig(
-            arrival="bursty",
-            arrival_rate_rps=900.0,
-            num_requests=160,
-            generate_len=12,
-            max_batch_requests=24,
-            prompt_len=16,
-            seed=0,
-        )
-        policy = ReplacementPolicy(
-            check_every_steps=8,
-            kept_mass_drop=0.1,
-            min_effective_tokens=128,
-            cooldown_steps=16,
-            solver_passes=6,
-        )
-        halflife = 256.0
-    else:
-        model = ModelConfig(
-            name="fig15", num_layers=8, num_experts=16, d_model=512, num_heads=8
-        )
-        cluster = ClusterConfig(num_nodes=2, gpus_per_node=2)
-        serving = ServingConfig(
-            arrival="bursty",
-            arrival_rate_rps=900.0,
-            num_requests=480,
-            generate_len=16,
-            max_batch_requests=32,
-            prompt_len=32,
-            seed=0,
-        )
-        policy = ReplacementPolicy(
-            check_every_steps=8,
-            kept_mass_drop=0.1,
-            min_effective_tokens=256,
-            cooldown_steps=16,
-            solver_passes=6,
-        )
-        halflife = 512.0
-    return model, cluster, serving, policy, halflife
-
-
 def _run_pair(drift: str, smoke: bool = False):
-    """Serve one drift scenario with the placement frozen vs online."""
-    model, cluster, serving, policy, halflife = _config(smoke)
-    static = simulate_online_cluster_serving(
-        model, cluster, serving, drift=drift, policy=None
+    """Serve one drift scenario with the placement frozen vs online.
+
+    Both arms come from the registry: the online arm is the
+    ``fig15-<drift>`` preset itself; the static arm is the same spec with
+    the replacement section stripped (placement frozen, identical drift
+    and scheduling).
+    """
+    online_spec = get_scenario(f"fig15-{drift}" + ("-smoke" if smoke else ""))
+    static_spec = dataclasses.replace(
+        online_spec, name=f"{online_spec.name}-static", replacement=None
     )
-    online = simulate_online_cluster_serving(
-        model, cluster, serving, drift=drift, policy=policy, halflife_tokens=halflife
-    )
-    return serving, static, online
+    static = run_scenario(static_spec).raw
+    online = run_scenario(online_spec).raw
+    return online_spec.serving, static, online
 
 
 def _kept_phases(result, switch_t: float):

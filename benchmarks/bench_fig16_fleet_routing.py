@@ -26,154 +26,34 @@ sheds measurably more, and the autoscaled p95 stays below the static p95.
 
 from __future__ import annotations
 
-import dataclasses
-import math
-
-from repro.config import ClusterConfig, FleetConfig, ModelConfig, ServingConfig
-from repro.fleet.requests import flash_crowd_arrivals
-from repro.fleet.simulate import simulate_fleet_cluster_serving
+from repro.scenarios import get_scenario
+from repro.scenarios import run as run_scenario
 
 from conftest import publish
 
 ROUTERS = ("round-robin", "jsq", "p2c", "affinity")
-AFFINITY = 0.95  # regime concentration: strong, trained-checkpoint-like
-
-
-def _routing_setup(smoke: bool):
-    cluster = ClusterConfig(num_nodes=2, gpus_per_node=2)
-    if smoke:
-        model = ModelConfig(
-            name="fig16-smoke", num_layers=4, num_experts=8, d_model=64, num_heads=4
-        )
-        serving = ServingConfig(
-            arrival="bursty",
-            arrival_rate_rps=32000.0,
-            num_requests=240,
-            generate_len=8,
-            max_batch_requests=4,
-            prompt_len=16,
-            seed=0,
-        )
-    else:
-        model = ModelConfig(
-            name="fig16", num_layers=8, num_experts=16, d_model=512, num_heads=8
-        )
-        serving = ServingConfig(
-            arrival="bursty",
-            arrival_rate_rps=11000.0,
-            num_requests=400,
-            generate_len=16,
-            max_batch_requests=8,
-            prompt_len=32,
-            seed=0,
-        )
-    return model, cluster, serving
-
-
-def _flash_setup(smoke: bool):
-    cluster = ClusterConfig(num_nodes=2, gpus_per_node=2)
-    if smoke:
-        model = ModelConfig(
-            name="fig16-smoke", num_layers=4, num_experts=8, d_model=64, num_heads=4
-        )
-        serving = ServingConfig(
-            arrival_rate_rps=9000.0,
-            num_requests=500,
-            generate_len=8,
-            max_batch_requests=4,
-            prompt_len=16,
-            seed=0,
-        )
-        window = (0.015, 0.03)
-        fleet = FleetConfig(
-            num_replicas=2,
-            router="p2c",
-            autoscale=True,
-            min_replicas=2,
-            max_replicas=8,
-            slo_ms=15.0,
-            batch_slo_ms=150.0,
-            autoscale_check_every_s=0.0015,
-            scale_up_queue_per_replica=4.0,
-            scale_dwell_checks=2,
-        )
-    else:
-        model = ModelConfig(
-            name="fig16", num_layers=8, num_experts=16, d_model=512, num_heads=8
-        )
-        serving = ServingConfig(
-            arrival_rate_rps=6000.0,
-            num_requests=1200,
-            generate_len=16,
-            max_batch_requests=8,
-            prompt_len=32,
-            seed=0,
-        )
-        window = (0.05, 0.08)
-        fleet = FleetConfig(
-            num_replicas=2,
-            router="p2c",
-            autoscale=True,
-            min_replicas=2,
-            max_replicas=8,
-            slo_ms=60.0,
-            batch_slo_ms=600.0,
-            autoscale_check_every_s=0.004,
-            scale_up_queue_per_replica=4.0,
-            scale_dwell_checks=2,
-        )
-    return model, cluster, serving, window, fleet
-
-
-def _diurnal_mix(horizon_s: float):
-    """Two-regime mixture rotating once over the serving horizon."""
-
-    def weights(t: float):
-        w = 0.5 * (1.0 - math.cos(2.0 * math.pi * t / horizon_s))
-        return (1.0 - w, w)
-
-    return weights
 
 
 def _run_routing(smoke: bool):
-    model, cluster, serving, = _routing_setup(smoke)
-    horizon = serving.num_requests / serving.arrival_rate_rps
-    mix = _diurnal_mix(horizon)
+    """Part A through the registry: one ``fig16-routing-*`` preset per router."""
+    suffix = "-smoke" if smoke else ""
     results = {}
+    serving = None
     for router in ROUTERS:
-        fleet = FleetConfig(
-            num_replicas=4,
-            router=router,
-            # latency comparison, not a shedding study: SLOs out of the way
-            slo_ms=10000.0,
-            batch_slo_ms=100000.0,
-        )
-        results[router] = simulate_fleet_cluster_serving(
-            model,
-            cluster,
-            serving,
-            fleet,
-            affinity=AFFINITY,
-            regime_weight_at=mix,
-        )
+        spec = get_scenario(f"fig16-routing-{router}{suffix}")
+        serving = spec.serving
+        results[router] = run_scenario(spec).raw
     return serving, results
 
 
 def _run_flash(smoke: bool):
-    model, cluster, serving, window, fleet = _flash_setup(smoke)
-    arrivals = flash_crowd_arrivals(serving, 4.0, window[0], window[1])
-    auto = simulate_fleet_cluster_serving(
-        model, cluster, serving, fleet, affinity=AFFINITY, arrivals=arrivals
-    )
-    static = simulate_fleet_cluster_serving(
-        model,
-        cluster,
-        serving,
-        dataclasses.replace(fleet, autoscale=False),
-        affinity=AFFINITY,
-        arrivals=arrivals,
-    )
-    return serving, {"auto": auto, "static": static}
+    """Part B through the registry: the two ``fig16-flash-*`` presets."""
+    suffix = "-smoke" if smoke else ""
+    auto_spec = get_scenario(f"fig16-flash-autoscale{suffix}")
+    static_spec = get_scenario(f"fig16-flash-static{suffix}")
+    auto = run_scenario(auto_spec).raw
+    static = run_scenario(static_spec).raw
+    return auto_spec.serving, {"auto": auto, "static": static}
 
 
 def run(smoke: bool = False) -> tuple[str, dict]:
@@ -214,16 +94,20 @@ def run(smoke: bool = False) -> tuple[str, dict]:
             sum(1 for e in res.scale_events if e.kind == "up"),
             res.peak_replicas,
             f"{max((e.cold_start_s for e in res.scale_events), default=0.0) * 1e3:.2f}",
+            f"{res.gpu_hours * 3600:.3f}",
+            f"{res.usd_per_million_tokens:.3f}",
         ]
         for arm, res in (("static", flash["static"]), ("autoscaled", flash["auto"]))
     ]
     table_b = format_table(
-        ["fleet", "offered", "shed", "shed %", "p95 ms", "scale-ups", "peak", "cold start ms"],
+        ["fleet", "offered", "shed", "shed %", "p95 ms", "scale-ups", "peak",
+         "cold start ms", "GPU-s", "$/1Mtok"],
         rows_b,
         title=(
             "Fig 16b — 4x flash crowd on a 2-replica fleet, reactive "
             "autoscaling vs static (cold start = weight load + placement "
-            "shuffle, charged before the replica serves)"
+            "shuffle, charged before the replica serves; spend priced at "
+            "ClusterConfig.gpu_hour_usd)"
         ),
     )
 
@@ -262,6 +146,11 @@ def _assert_claims(checks: dict) -> None:
     assert ups and all(e.cold_start_s > 0 for e in ups)
     assert auto.peak_replicas > static.peak_replicas
     assert static.scale_events == ()
+    # cost accounting: both arms bill real GPU-hours and unit economics;
+    # the autoscaled fleet runs strictly more replica-hours per wall-second
+    assert auto.gpu_hours > 0 and static.gpu_hours > 0
+    assert auto.usd_per_million_tokens > 0 and static.usd_per_million_tokens > 0
+    assert (auto.gpu_hours / auto.makespan_s) > (static.gpu_hours / static.makespan_s)
 
 
 def test_fig16_fleet_routing(benchmark, results_dir):

@@ -1,77 +1,104 @@
-"""Quickstart: profile a MoE model, solve expert placement, compare serving.
+"""Quickstart: one declarative Scenario, one ``run()``, every simulator.
 
-This walks the ExFlow pipeline exactly as the paper deploys it:
+The Scenario API is the front door of the reproduction: a frozen spec
+names a model, a cluster and a workload; ``repro.run`` dispatches it to
+the right simulator (batch comparison, continuous-batching serving,
+online re-placement, or fleet) and returns one ``SimReport`` schema.
 
-1. pick a pre-trained model (Table II preset) and a cluster shape;
-2. collect an offline routing trace (here: from the Markov routing model
-   standing in for the pre-trained checkpoint's router);
-3. fit an affinity-aware expert placement (staged ILP);
-4. simulate serving under DeepSpeed-style vanilla expert parallelism,
-   ExFlow without affinity, and full ExFlow.
+This walks the same ExFlow pipeline as the paper, facade-first:
+
+1. enumerate the registered presets (every paper figure + the drift and
+   flash-crowd workloads, each with a CI-sized ``-smoke`` variant);
+2. run the end-to-end comparison preset and read the speedups;
+3. declare a custom serving scenario and sweep its arrival rate across a
+   multiprocessing pool;
+4. round-trip a scenario through JSON — the reproduction artifact that
+   ``repro run --scenario file.json`` replays.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-import numpy as np
+import dataclasses
 
 from repro import (
-    ExFlowOptimizer,
-    InferenceConfig,
-    MarkovRoutingModel,
-    compare_modes,
+    ClusterConfig,
+    Scenario,
+    ServingConfig,
+    get_scenario,
+    list_scenarios,
     paper_model,
-    wilkes3,
+    run,
+    run_sweep,
 )
 from repro.analysis.report import format_table
 
 
 def main() -> None:
-    model = paper_model("gpt-m-350m-e32")
-    cluster = wilkes3(num_nodes=4)  # 4 nodes x 4 GPUs, the paper's testbed shape
-    print(f"model: {model.name} ({model.num_moe_layers} MoE layers, {model.num_experts} experts)")
-    print(f"cluster: {cluster.num_nodes} nodes x {cluster.gpus_per_node} GPUs\n")
+    # --- the registry: scenarios are enumerable, not hand-wired ------------
+    names = list_scenarios(smoke=False)
+    print(f"{len(names)} full-size presets registered "
+          f"({len(list_scenarios())} incl. -smoke variants):")
+    for kind in ("batch", "serving", "online", "fleet"):
+        print(f"  {kind:8s} {', '.join(list_scenarios(kind=kind, smoke=False))}")
+    print()
 
-    # --- offline profiling -------------------------------------------------
-    routing = MarkovRoutingModel.with_affinity(
-        model.num_experts, model.num_moe_layers, affinity=0.85,
-        rng=np.random.default_rng(1),
+    # --- one call runs a paper figure --------------------------------------
+    report = run("fig10-end-to-end-smoke")
+    print(f"scenario `{report.scenario}` ({report.kind}): "
+          f"{report.throughput_tokens_per_s:,.0f} tokens/s, "
+          f"ExFlow speedup {report.extra['speedup_exflow']:.2f}x "
+          f"(w/o affinity {report.extra['speedup_noaff']:.2f}x)\n")
+
+    # --- declare your own scenario and sweep a parameter grid --------------
+    base = Scenario(
+        name="quickstart-serve",
+        model=paper_model("gpt-m-350m-e8"),
+        cluster=ClusterConfig(num_nodes=2, gpus_per_node=2),
+        serving=ServingConfig(
+            arrival="bursty",
+            arrival_rate_rps=200.0,
+            num_requests=64,
+            generate_len=8,
+            max_batch_requests=16,
+            prompt_len=32,
+        ),
     )
-    profile = routing.sample(3000, np.random.default_rng(2))  # Fig 13: 3k tokens suffice
-
-    opt = ExFlowOptimizer(model, cluster, strategy="staged")
-    plan = opt.fit(profile)
-    print(f"profiling trace: {plan.profile_tokens} tokens, "
-          f"scaled affinity {plan.profile_affinity:.3f}")
-    print("expected locality under placement: "
-          f"{plan.expected_locality.gpu_stay_fraction:.1%} same-GPU, "
-          f"{plan.expected_locality.node_stay_fraction:.1%} same-node\n")
-
-    # --- serving comparison ---------------------------------------------------
-    infer = InferenceConfig(requests_per_gpu=8, prompt_len=64, generate_len=16)
-    rows = compare_modes(
-        model, cluster, infer, routing=routing, profile_trace=profile, seed=3
-    )
-
-    table = [
+    grid = [
+        dataclasses.replace(
+            base,
+            name=f"quickstart-rate{int(rate)}",
+            serving=dataclasses.replace(base.serving, arrival_rate_rps=rate),
+        )
+        for rate in (100.0, 200.0, 400.0, 800.0)
+    ]
+    rows = [
         [
-            label,
-            row.result.throughput_tokens_per_s,
-            row.speedup,
-            row.comm_reduction,
-            row.result.alltoall_fraction,
-            row.result.gpu_stay_fraction,
+            rep.scenario,
+            rep.completed,
+            rep.latency_p50_s * 1e3,
+            rep.latency_p95_s * 1e3,
+            rep.throughput_tokens_per_s,
+            rep.usd_per_million_tokens,
         ]
-        for label, row in rows.items()
+        for rep in run_sweep(grid)  # multiprocessing over the grid
     ]
     print(
         format_table(
-            ["strategy", "tokens/s", "speedup", "comm reduction", "alltoall share", "GPU-stay"],
-            table,
-            title="End-to-end serving comparison",
+            ["scenario", "served", "p50 ms", "p95 ms", "tokens/s", "$/1Mtok"],
+            rows,
+            title="arrival-rate sweep (continuous batching, bursty arrivals)",
         )
     )
+
+    # --- scenarios serialize: the reproduction artifact --------------------
+    spec = get_scenario("fig15-abrupt-smoke")
+    restored = Scenario.from_json(spec.to_json())
+    assert restored == spec
+    print(f"\n`{spec.name}` round-trips through JSON "
+          f"({len(spec.to_json())} bytes); replay it with:\n"
+          "    python -m repro run fig15-abrupt-smoke")
 
 
 if __name__ == "__main__":

@@ -10,25 +10,41 @@ Model Inference" (Yao et al.), rebuilt as a self-contained simulation stack:
 * :mod:`repro.core` — the paper's contribution: affinity estimation,
   ILP-based expert placement, context coherence, the ExFlow facade.
 * :mod:`repro.engine` — distributed inference simulation + comparisons.
+* :mod:`repro.fleet` — multi-replica serving: router, admission, autoscaler.
 * :mod:`repro.training` — affinity/balance dynamics during training.
 * :mod:`repro.analysis` — heatmaps, Table I formulas, report formatting.
+* :mod:`repro.scenarios` — the front door: declarative :class:`Scenario`
+  specs, the :func:`run` facade, and the named-preset registry.
 
-Quickstart::
+Quickstart — everything runs through ``run()``::
 
-    import numpy as np
-    from repro import (
-        ExFlowOptimizer, InferenceConfig, paper_model, wilkes3,
-        MarkovRoutingModel, make_decode_workload,
-    )
+    from repro import run, list_scenarios, get_scenario, run_sweep
 
-    model = paper_model("gpt-m-350m-e32")
-    cluster = wilkes3(num_nodes=4)
-    routing = MarkovRoutingModel.with_affinity(32, model.num_moe_layers, 0.85)
-    trace = routing.sample(3000, np.random.default_rng(0))
+    # enumerate the registered presets (paper figures, drift, flash crowds)
+    print(list_scenarios())
 
-    opt = ExFlowOptimizer(model, cluster)
-    plan = opt.fit(trace)
-    print(plan.expected_locality)
+    # one call per experiment, one report schema for every kind
+    report = run("fig16-flash-autoscale-smoke")
+    print(report.latency_p95_s, report.shed_fraction, report.cost_usd)
+
+    # declare your own: a spec is just a frozen dataclass
+    import dataclasses
+    base = get_scenario("serve-bursty")
+    grid = [
+        dataclasses.replace(
+            base,
+            name=f"bursty-rate{rate}",
+            serving=dataclasses.replace(base.serving, arrival_rate_rps=rate),
+        )
+        for rate in (100.0, 300.0, 900.0)
+    ]
+    for rep in run_sweep(grid):          # multiprocessing over the grid
+        print(rep.scenario, rep.latency_p95_s)
+
+Scenarios serialize (``Scenario.to_dict`` / ``from_dict`` / ``save`` /
+``load``), so ``repro run --scenario file.json`` reproduces any run.  The
+older ``simulate_*`` entry points still work but are deprecated shims
+over this facade's implementations.
 """
 
 from repro.config import (
@@ -91,6 +107,18 @@ from repro.fleet import (
     simulate_fleet_serving,
 )
 from repro.model import MoETransformer, generate
+from repro.scenarios import (
+    DriftSpec,
+    FlashCrowdSpec,
+    ReplacementSpec,
+    Scenario,
+    SimReport,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    run,
+    run_sweep,
+)
 from repro.trace import (
     MarkovRoutingModel,
     RoutingTrace,
@@ -164,6 +192,17 @@ __all__ = [
     # model
     "MoETransformer",
     "generate",
+    # scenarios (the run() facade)
+    "Scenario",
+    "DriftSpec",
+    "ReplacementSpec",
+    "FlashCrowdSpec",
+    "SimReport",
+    "run",
+    "run_sweep",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
     # trace
     "MarkovRoutingModel",
     "RoutingTrace",

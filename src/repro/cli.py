@@ -2,14 +2,18 @@
 
 Wraps the common workflows so the library is usable without writing Python:
 
+* ``run`` — execute any scenario: a registered preset by name or a JSON
+  spec file (``--scenario``).  The one entry point that covers batch
+  comparisons, single-replica serving, online re-placement and fleets.
+* ``scenarios`` — enumerate the registered presets (``scenarios list``).
 * ``models`` — list the Table II model presets.
 * ``profile`` — sample a routing trace (Markov router) to an ``.npz`` file.
 * ``place`` — solve an expert placement from a trace file.
 * ``simulate`` — run the three-way serving comparison and print the table.
 * ``serve`` — request-level serving with continuous batching and tail-latency
-  metrics (Poisson or bursty arrivals).
-* ``fleet`` — multi-replica serving behind a request router: SLO-aware
-  admission, pluggable routing policies and reactive autoscaling.
+  metrics (a thin wrapper that builds a serving/online Scenario).
+* ``fleet`` — multi-replica serving behind a request router (a thin wrapper
+  that builds a fleet Scenario).
 * ``heatmap`` — render a trace's layer-pair affinity heatmap.
 
 Every command takes ``--seed`` and prints deterministic output.
@@ -18,6 +22,7 @@ Every command takes ``--seed`` and prints deterministic output.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -39,11 +44,16 @@ from repro.core.online import ReplacementPolicy
 from repro.core.placement.base import placement_locality
 from repro.core.placement.registry import SOLVERS, solve_placement
 from repro.engine.comparison import compare_modes
-from repro.engine.serving import (
-    simulate_cluster_serving,
-    simulate_online_cluster_serving,
-)
 from repro.engine.workload import DRIFT_KINDS
+from repro.scenarios import (
+    SCENARIO_KINDS,
+    DriftSpec,
+    ReplacementSpec,
+    Scenario,
+    get_scenario,
+    list_scenarios,
+)
+from repro.scenarios import run as run_scenario
 from repro.trace.events import RoutingTrace
 from repro.trace.markov import MarkovRoutingModel
 
@@ -56,6 +66,47 @@ def build_parser() -> argparse.ArgumentParser:
         description="ExFlow reproduction: MoE inference with inter-layer expert affinity",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser(
+        "run", help="run a scenario: registered preset name or JSON spec file"
+    )
+    p.add_argument(
+        "name",
+        nargs="?",
+        help="registered scenario name (see `repro scenarios list`)",
+    )
+    p.add_argument(
+        "--scenario",
+        metavar="FILE",
+        help="JSON scenario spec (written by Scenario.save / `run --out-spec`)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="print the SimReport as JSON"
+    )
+    p.add_argument("--out", metavar="FILE", help="also write the report JSON here")
+    p.add_argument(
+        "--out-spec",
+        metavar="FILE",
+        help="write the resolved scenario spec JSON here (for reproduction)",
+    )
+
+    p = sub.add_parser("scenarios", help="enumerate the registered scenario presets")
+    p.add_argument("action", nargs="?", default="list", choices=["list"])
+    p.add_argument(
+        "--kind",
+        choices=list(SCENARIO_KINDS),
+        help="only presets of this kind",
+    )
+    smoke_group = p.add_mutually_exclusive_group()
+    smoke_group.add_argument(
+        "--smoke-only", action="store_true", help="only CI-sized -smoke variants"
+    )
+    smoke_group.add_argument(
+        "--full-only", action="store_true", help="exclude -smoke variants"
+    )
+    p.add_argument(
+        "--names", action="store_true", help="bare names, one per line (for scripts)"
+    )
 
     sub.add_parser("models", help="list the paper's model presets")
 
@@ -196,6 +247,262 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+# -- result printers (shared by `run` and the legacy wrappers) ----------------
+
+
+def _print_batch_rows(rows, title: str) -> None:
+    table = [
+        [
+            label,
+            row.result.throughput_tokens_per_s,
+            row.speedup,
+            row.comm_reduction,
+            row.result.alltoall_fraction,
+            row.result.gpu_stay_fraction,
+        ]
+        for label, row in rows.items()
+    ]
+    print(
+        format_table(
+            ["strategy", "tokens/s", "speedup", "comm cut", "alltoall share", "GPU-stay"],
+            table,
+            title=title,
+        )
+    )
+
+
+def _print_serving_result(res, label: str, title: str) -> None:
+    rows = [
+        [
+            label,
+            len(res.completed),
+            res.latency.p50_s * 1e3,
+            res.latency.p95_s * 1e3,
+            res.latency.p99_s * 1e3,
+            res.throughput_tokens_per_s,
+            res.mean_batch_size,
+            res.utilization,
+        ]
+    ]
+    print(
+        format_table(
+            [
+                "arrival",
+                "served",
+                "p50 ms",
+                "p95 ms",
+                "p99 ms",
+                "tokens/s",
+                "mean batch",
+                "util",
+            ],
+            rows,
+            title=title,
+        )
+    )
+
+
+def _print_online_events(online, drift_label: str, had_policy: bool) -> None:
+    timeline = online.kept_timeline
+    res = online.serving
+    print(
+        f"drift={drift_label}: kept transition mass "
+        f"{timeline[0].true_kept:.1%} -> {timeline[-1].true_kept:.1%} "
+        f"over {res.decode_steps} steps"
+    )
+    if online.events:
+        event_rows = [
+            [
+                e.step,
+                f"{e.kept_before:.1%}",
+                f"{e.kept_after:.1%}",
+                e.moved_experts,
+                e.stall_s * 1e3,
+                "forced" if e.forced else "drop",
+            ]
+            for e in online.events
+        ]
+        print(
+            format_table(
+                ["step", "kept before", "kept after", "moved", "stall ms", "trigger"],
+                event_rows,
+                title=(
+                    "online re-placements — total stall "
+                    f"{online.migration_stall_s * 1e3:.3f} ms"
+                ),
+            )
+        )
+    elif had_policy:
+        print("online re-placement enabled: no migration was triggered")
+
+
+def _print_fleet_result(res, router_label: str, title: str) -> None:
+    rows = [
+        [
+            router_label,
+            res.served,
+            len(res.shed),
+            f"{res.shed_fraction:.2%}",
+            res.latency.p50_s * 1e3,
+            res.latency.p95_s * 1e3,
+            res.latency.p99_s * 1e3,
+            f"{res.slo_attainment.get('interactive', 1.0):.1%}",
+            res.throughput_rps,
+            res.gpu_hours,
+            res.usd_per_million_tokens,
+        ]
+    ]
+    print(
+        format_table(
+            [
+                "router",
+                "served",
+                "shed",
+                "shed %",
+                "p50 ms",
+                "p95 ms",
+                "p99 ms",
+                "SLO ok",
+                "req/s",
+                "GPU-h",
+                "$/1Mtok",
+            ],
+            rows,
+            title=title,
+        )
+    )
+    per_replica = [
+        [
+            s.replica_id,
+            s.regime,
+            s.final_state,
+            s.served,
+            s.decode_steps,
+            s.mean_batch_size,
+            s.replacements,
+        ]
+        for s in res.replicas
+    ]
+    print(
+        format_table(
+            ["replica", "regime", "state", "served", "steps", "mean batch", "replacements"],
+            per_replica,
+            title="per-replica",
+        )
+    )
+    if res.scale_events:
+        events = [
+            [e.kind, e.time_s, f"{e.queue_per_replica:.1f}",
+             e.replicas_before, e.replicas_after, e.cold_start_s * 1e3]
+            for e in res.scale_events
+        ]
+        print(
+            format_table(
+                ["action", "t (s)", "queue/replica", "before", "after", "cold start ms"],
+                events,
+                title="autoscaler actions",
+            )
+        )
+
+
+def _print_report(scenario: Scenario, report) -> None:
+    """Kind-appropriate tables plus the unified summary line."""
+    base_title = (
+        f"{scenario.model.name} — scenario `{scenario.name}` "
+        f"({report.kind}) on {scenario.cluster.num_nodes}x"
+        f"{scenario.cluster.gpus_per_node} GPUs"
+    )
+    if report.kind == "batch":
+        _print_batch_rows(report.raw, base_title)
+    elif report.kind == "serving":
+        _print_serving_result(report.raw, scenario.serving.arrival, base_title)
+    elif report.kind == "online":
+        _print_serving_result(report.raw.serving, scenario.serving.arrival, base_title)
+        drift_label = scenario.drift.kind if scenario.drift else "none"
+        _print_online_events(report.raw, drift_label, scenario.replacement is not None)
+    else:
+        _print_fleet_result(report.raw, scenario.fleet.router, base_title)
+    print(
+        f"summary: {report.completed} served, {report.generated_tokens} tokens, "
+        f"p95 {report.latency_p95_s * 1e3:.2f} ms, "
+        f"{report.throughput_tokens_per_s:.0f} tokens/s, "
+        f"{report.gpu_hours:.4f} GPU-h (${report.cost_usd:.4f}, "
+        f"${report.usd_per_million_tokens:.2f}/1M tokens)"
+    )
+
+
+# -- commands -----------------------------------------------------------------
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if (args.name is None) == (args.scenario is None):
+        print(
+            "error: give exactly one of a preset name or --scenario FILE",
+            file=sys.stderr,
+        )
+        return 2
+    spec_path = args.scenario
+    if spec_path is None and (args.name.endswith(".json") or os.path.sep in args.name):
+        spec_path = args.name
+    if spec_path is not None:
+        try:
+            scenario = Scenario.load(spec_path)
+        except (OSError, ValueError, TypeError, KeyError) as exc:
+            print(f"error: cannot load scenario {spec_path!r}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        try:
+            scenario = get_scenario(args.name)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    report = run_scenario(scenario)
+    if args.json:
+        print(report.to_json())
+    else:
+        _print_report(scenario, report)
+    # confirmations go to stderr so --json output stays machine-readable
+    try:
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(report.to_json() + "\n")
+            print(f"wrote report to {args.out}", file=sys.stderr)
+        if args.out_spec:
+            scenario.save(args.out_spec)
+            print(f"wrote scenario spec to {args.out_spec}", file=sys.stderr)
+    except OSError as exc:
+        print(f"error: cannot write output: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    smoke = None
+    if args.smoke_only:
+        smoke = True
+    elif args.full_only:
+        smoke = False
+    names = list_scenarios(kind=args.kind, smoke=smoke)
+    if args.names:
+        for name in names:
+            print(name)
+        return 0
+    rows = []
+    for name in names:
+        s = get_scenario(name)
+        rows.append(
+            [name, s.kind, s.model.name, s.cluster.num_gpus, s.description]
+        )
+    print(
+        format_table(
+            ["name", "kind", "model", "GPUs", "description"],
+            rows,
+            title=f"registered scenarios ({len(rows)})",
+        )
+    )
+    return 0
+
+
 def _cmd_models(_args: argparse.Namespace) -> int:
     rows = [
         [key, m.name, m.num_layers, m.num_experts, m.d_model, m.base_params]
@@ -262,31 +569,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         affinity=args.affinity,
         seed=args.seed,
     )
-    table = [
-        [
-            label,
-            row.result.throughput_tokens_per_s,
-            row.speedup,
-            row.comm_reduction,
-            row.result.alltoall_fraction,
-            row.result.gpu_stay_fraction,
-        ]
-        for label, row in rows.items()
-    ]
-    print(
-        format_table(
-            ["strategy", "tokens/s", "speedup", "comm cut", "alltoall share", "GPU-stay"],
-            table,
-            title=f"{model.name} on {cluster.num_nodes}x{cluster.gpus_per_node} GPUs",
-        )
+    _print_batch_rows(
+        rows,
+        title=f"{model.name} on {cluster.num_nodes}x{cluster.gpus_per_node} GPUs",
     )
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    model = paper_model(args.model)
-    cluster = ClusterConfig(num_nodes=args.nodes, gpus_per_node=args.gpus_per_node)
-    serving = ServingConfig(
+def _serving_config_from_args(args: argparse.Namespace) -> ServingConfig:
+    return ServingConfig(
         arrival=args.arrival,
         arrival_rate_rps=args.rate,
         num_requests=args.requests,
@@ -298,118 +589,51 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         generate_len=args.generate_len,
         seed=args.seed,
     )
-    online_mode = args.drift != "none" or args.replace or args.replace_every > 0
-    events = None
-    if online_mode:
-        policy = None
-        if args.replace or args.replace_every > 0:
-            policy = ReplacementPolicy(
-                kept_mass_drop=args.replace_threshold,
-                replace_every_steps=args.replace_every or None,
-            )
-        online = simulate_online_cluster_serving(
-            model,
-            cluster,
-            serving,
-            drift=args.drift,
-            policy=policy,
-            mode=ExecutionMode(args.mode),
-            placement_strategy=args.strategy,
-            halflife_tokens=args.halflife,
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Thin wrapper: build a serving/online Scenario, run it, print tables."""
+    model = paper_model(args.model)
+    cluster = ClusterConfig(num_nodes=args.nodes, gpus_per_node=args.gpus_per_node)
+    serving = _serving_config_from_args(args)
+    policy = None
+    if args.replace or args.replace_every > 0:
+        policy = ReplacementPolicy(
+            kept_mass_drop=args.replace_threshold,
+            replace_every_steps=args.replace_every or None,
         )
-        res = online.serving
-        events = online
-    else:
-        res = simulate_cluster_serving(
-            model,
-            cluster,
-            serving,
-            mode=ExecutionMode(args.mode),
-            placement_strategy=args.strategy,
-        )
-    rows = [
-        [
-            args.arrival,
-            len(res.completed),
-            res.latency.p50_s * 1e3,
-            res.latency.p95_s * 1e3,
-            res.latency.p99_s * 1e3,
-            res.throughput_tokens_per_s,
-            res.mean_batch_size,
-            res.utilization,
-        ]
-    ]
-    print(
-        format_table(
-            [
-                "arrival",
-                "served",
-                "p50 ms",
-                "p95 ms",
-                "p99 ms",
-                "tokens/s",
-                "mean batch",
-                "util",
-            ],
-            rows,
-            title=(
-                f"{model.name} serving on {cluster.num_nodes}x"
-                f"{cluster.gpus_per_node} GPUs — {args.rate:g} req/s, "
-                f"{args.mode} engine"
-            ),
-        )
+    online_mode = args.drift != "none" or policy is not None
+    scenario = Scenario(
+        name=f"cli-serve-{args.arrival}",
+        model=model,
+        cluster=cluster,
+        mode=ExecutionMode(args.mode),
+        placement_strategy=args.strategy,
+        serving=serving,
+        drift=DriftSpec(args.drift) if online_mode else None,
+        replacement=(
+            ReplacementSpec(policy, halflife_tokens=args.halflife) if policy else None
+        ),
     )
-    if events is not None:
-        timeline = events.kept_timeline
-        print(
-            f"drift={args.drift}: kept transition mass "
-            f"{timeline[0].true_kept:.1%} -> {timeline[-1].true_kept:.1%} "
-            f"over {res.decode_steps} steps"
-        )
-        if events.events:
-            event_rows = [
-                [
-                    e.step,
-                    f"{e.kept_before:.1%}",
-                    f"{e.kept_after:.1%}",
-                    e.moved_experts,
-                    e.stall_s * 1e3,
-                    "forced" if e.forced else "drop",
-                ]
-                for e in events.events
-            ]
-            print(
-                format_table(
-                    ["step", "kept before", "kept after", "moved", "stall ms", "trigger"],
-                    event_rows,
-                    title=(
-                        "online re-placements — total stall "
-                        f"{events.migration_stall_s * 1e3:.3f} ms"
-                    ),
-                )
-            )
-        elif policy is not None:
-            print("online re-placement enabled: no migration was triggered")
+    report = run_scenario(scenario)
+    title = (
+        f"{model.name} serving on {cluster.num_nodes}x"
+        f"{cluster.gpus_per_node} GPUs — {args.rate:g} req/s, "
+        f"{args.mode} engine"
+    )
+    if report.kind == "online":
+        _print_serving_result(report.raw.serving, args.arrival, title)
+        _print_online_events(report.raw, args.drift, policy is not None)
+    else:
+        _print_serving_result(report.raw, args.arrival, title)
     return 0
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
-    from repro.fleet import simulate_fleet_cluster_serving
-
+    """Thin wrapper: build a fleet Scenario, run it, print tables."""
     model = paper_model(args.model)
     cluster = ClusterConfig(num_nodes=args.nodes, gpus_per_node=args.gpus_per_node)
-    serving = ServingConfig(
-        arrival=args.arrival,
-        arrival_rate_rps=args.rate,
-        num_requests=args.requests,
-        burst_factor=args.burst_factor,
-        burst_fraction=args.burst_fraction,
-        burst_persistence=args.burst_persistence,
-        max_batch_requests=args.max_batch,
-        prompt_len=args.prompt_len,
-        generate_len=args.generate_len,
-        seed=args.seed,
-    )
+    serving = _serving_config_from_args(args)
     fleet = FleetConfig(
         num_replicas=args.replicas,
         router=args.router,
@@ -428,80 +652,25 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         ),
         replace=args.replace,
     )
-    res = simulate_fleet_cluster_serving(
-        model,
-        cluster,
-        serving,
-        fleet,
+    scenario = Scenario(
+        name=f"cli-fleet-{args.router}",
+        model=model,
+        cluster=cluster,
         mode=ExecutionMode(args.mode),
         placement_strategy=args.strategy,
+        serving=serving,
+        fleet=fleet,
     )
-    rows = [
-        [
-            args.router,
-            res.served,
-            len(res.shed),
-            f"{res.shed_fraction:.2%}",
-            res.latency.p50_s * 1e3,
-            res.latency.p95_s * 1e3,
-            res.latency.p99_s * 1e3,
-            f"{res.slo_attainment.get('interactive', 1.0):.1%}",
-            res.throughput_rps,
-        ]
-    ]
-    print(
-        format_table(
-            [
-                "router",
-                "served",
-                "shed",
-                "shed %",
-                "p50 ms",
-                "p95 ms",
-                "p99 ms",
-                "SLO ok",
-                "req/s",
-            ],
-            rows,
-            title=(
-                f"{model.name} fleet — {args.replicas} replica(s) of "
-                f"{cluster.num_nodes}x{cluster.gpus_per_node} GPUs, "
-                f"{args.rate:g} req/s offered"
-            ),
-        )
+    report = run_scenario(scenario)
+    _print_fleet_result(
+        report.raw,
+        args.router,
+        title=(
+            f"{model.name} fleet — {args.replicas} replica(s) of "
+            f"{cluster.num_nodes}x{cluster.gpus_per_node} GPUs, "
+            f"{args.rate:g} req/s offered"
+        ),
     )
-    per_replica = [
-        [
-            s.replica_id,
-            s.regime,
-            s.final_state,
-            s.served,
-            s.decode_steps,
-            s.mean_batch_size,
-            s.replacements,
-        ]
-        for s in res.replicas
-    ]
-    print(
-        format_table(
-            ["replica", "regime", "state", "served", "steps", "mean batch", "replacements"],
-            per_replica,
-            title="per-replica",
-        )
-    )
-    if res.scale_events:
-        events = [
-            [e.kind, e.time_s, f"{e.queue_per_replica:.1f}",
-             e.replicas_before, e.replicas_after, e.cold_start_s * 1e3]
-            for e in res.scale_events
-        ]
-        print(
-            format_table(
-                ["action", "t (s)", "queue/replica", "before", "after", "cold start ms"],
-                events,
-                title="autoscaler actions",
-            )
-        )
     return 0
 
 
@@ -523,6 +692,8 @@ def _cmd_heatmap(args: argparse.Namespace) -> int:
 
 
 _COMMANDS = {
+    "run": _cmd_run,
+    "scenarios": _cmd_scenarios,
     "models": _cmd_models,
     "profile": _cmd_profile,
     "place": _cmd_place,

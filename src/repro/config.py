@@ -209,6 +209,7 @@ class ClusterConfig:
     inter_link: LinkSpec = INFINIBAND
     gpu_flops: float = 150.0e12  # sustained fp16 FLOP/s of one simulated GPU
     gpu_memory_bytes: int = 80 * 1024**3
+    gpu_hour_usd: float = 2.5  # on-demand A100-80GB ballpark; cost accounting
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:
@@ -217,6 +218,8 @@ class ClusterConfig:
             raise ValueError("gpus_per_node must be positive")
         if self.gpu_flops <= 0:
             raise ValueError("gpu_flops must be positive")
+        if self.gpu_hour_usd < 0:
+            raise ValueError("gpu_hour_usd must be >= 0")
 
     @property
     def num_gpus(self) -> int:
@@ -428,6 +431,12 @@ class FleetConfig:
     boot_overhead_s:
         Fixed per-replica boot cost (process start, CUDA context, …) added
         on top of the modelled weight-load + placement-migration time.
+    migrate_on_drain:
+        When a replica is drained by scale-down, hand its queued (not yet
+        admitted) requests back to the router for re-placement on the
+        remaining replicas instead of letting them wait out the drain.
+        The replica's *active* decode batch always finishes in place
+        (migrating KV state mid-generation is not modelled).
     replace:
         Run each replica's own PR-2 online re-placement loop.
     affinity_load_weight:
@@ -454,6 +463,7 @@ class FleetConfig:
     autoscale_check_every_s: float = 0.2
     scale_dwell_checks: int = 2
     boot_overhead_s: float = 0.0
+    migrate_on_drain: bool = True
     replace: bool = False
     affinity_load_weight: float = 1.0
 

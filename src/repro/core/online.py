@@ -248,15 +248,28 @@ class OnlineReplacer:
         cluster: ClusterConfig,
         policy: ReplacementPolicy | None = None,
         estimator: StreamingAffinityEstimator | None = None,
+        halflife_tokens: float | None = None,
         dtype_bytes: int = 2,
         rng: np.random.Generator | None = None,
     ) -> None:
         self.model = model
         self.cluster = cluster
         self.policy = policy or ReplacementPolicy()
-        self.estimator = estimator or StreamingAffinityEstimator(
-            model.num_experts, model.num_moe_layers
-        )
+        if estimator is not None and halflife_tokens is not None:
+            raise ValueError("pass either estimator or halflife_tokens, not both")
+        if estimator is None:
+            # the replacer owns estimator construction so every caller
+            # (single-replica online loop, fleet replicas) shares one spelling
+            estimator = (
+                StreamingAffinityEstimator(
+                    model.num_experts, model.num_moe_layers, halflife_tokens
+                )
+                if halflife_tokens is not None
+                else StreamingAffinityEstimator(
+                    model.num_experts, model.num_moe_layers
+                )
+            )
+        self.estimator = estimator
         if (
             self.estimator.num_experts != model.num_experts
             or self.estimator.num_layers != model.num_moe_layers

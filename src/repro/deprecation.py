@@ -1,0 +1,52 @@
+"""Once-per-process deprecation shims for superseded entry points.
+
+The Scenario API (:mod:`repro.scenarios`) replaced the six parallel
+``simulate_*`` entry points with one ``run(scenario)`` facade.  The old
+functions keep working — every existing call site and test stays green —
+but each emits a :class:`DeprecationWarning` the *first* time it is called
+in a process, pointing at the scenario spelling.
+
+The once-only guard is explicit (an attribute on the wrapper, not the
+``warnings`` registry) so the behaviour is independent of the caller's
+warning filters: ``-W always`` still yields exactly one warning per shim,
+which is what the CI deprecation check pins.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Callable, TypeVar
+
+__all__ = ["deprecated_entry_point"]
+
+F = TypeVar("F", bound=Callable)
+
+
+def deprecated_entry_point(replacement: str) -> Callable[[F], F]:
+    """Wrap a public function so its first call warns, pointing at ``replacement``.
+
+    The undecorated implementation stays reachable as ``__wrapped__`` for
+    internal callers that must not trigger (or consume) the warning.
+    Tests can reset the guard by setting ``fn._warned = False``.
+    """
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not wrapper._warned:
+                wrapper._warned = True
+                warnings.warn(
+                    f"{fn.__name__.lstrip('_')}() is deprecated; use "
+                    f"{replacement} (see repro.scenarios)",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            return fn(*args, **kwargs)
+
+        wrapper._warned = False
+        wrapper.__name__ = fn.__name__.lstrip("_")  # shim exports the public name
+        wrapper.__qualname__ = wrapper.__name__
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

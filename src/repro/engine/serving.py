@@ -52,6 +52,7 @@ from repro.core.online import (
 from repro.core.placement.base import Placement
 from repro.core.placement.registry import solve_placement
 from repro.core.placement.vanilla import vanilla_placement
+from repro.deprecation import deprecated_entry_point
 from repro.engine.costs import CostModel
 from repro.engine.executor import simulate_inference
 from repro.engine.metrics import LatencyStats
@@ -214,7 +215,7 @@ def make_arrivals(
 # -- continuous batching ------------------------------------------------------
 
 
-def simulate_serving(
+def _simulate_serving(
     requests: Iterable[Request],
     step_time: Callable[[int], float],
     max_batch_requests: int = 64,
@@ -287,6 +288,11 @@ def simulate_serving(
         generated_tokens=tokens,
         mean_batch_size=weighted_batch / busy if busy > 0 else 0.0,
     )
+
+
+simulate_serving = deprecated_entry_point("repro.run() with a serving Scenario")(
+    _simulate_serving
+)
 
 
 # -- engine-calibrated step costs ---------------------------------------------
@@ -387,7 +393,7 @@ def engine_step_time(
     return step_time
 
 
-def simulate_cluster_serving(
+def _simulate_cluster_serving(
     model: ModelConfig,
     cluster: ClusterConfig,
     serving: ServingConfig,
@@ -417,9 +423,14 @@ def simulate_cluster_serving(
     )
     rng = np.random.default_rng(serving.seed)
     requests = make_arrivals(serving, rng)
-    return simulate_serving(
+    return _simulate_serving(
         requests, step, max_batch_requests=serving.max_batch_requests
     )
+
+
+simulate_cluster_serving = deprecated_entry_point(
+    "repro.run() with a serving Scenario"
+)(_simulate_cluster_serving)
 
 
 # -- online drift-aware serving -----------------------------------------------
@@ -633,7 +644,7 @@ class OnlineServingResult:
         return len(self.events)
 
 
-def simulate_online_serving(
+def _simulate_online_serving(
     requests: Iterable[Request],
     model: ModelConfig,
     cluster: ClusterConfig,
@@ -793,7 +804,12 @@ def simulate_online_serving(
     )
 
 
-def simulate_online_cluster_serving(
+simulate_online_serving = deprecated_entry_point(
+    "repro.run() with an online Scenario (drift/replacement sections)"
+)(_simulate_online_serving)
+
+
+def _simulate_online_cluster_serving(
     model: ModelConfig,
     cluster: ClusterConfig,
     serving: ServingConfig,
@@ -847,27 +863,18 @@ def simulate_online_cluster_serving(
 
     replacer = None
     if policy is not None:
-        from repro.core.affinity import StreamingAffinityEstimator
-
-        estimator = (
-            StreamingAffinityEstimator(
-                model.num_experts, model.num_moe_layers, halflife_tokens
-            )
-            if halflife_tokens is not None
-            else None
-        )
         replacer = OnlineReplacer(
             model,
             cluster,
             policy=policy,
-            estimator=estimator,
+            halflife_tokens=halflife_tokens,
             dtype_bytes=2,
             rng=np.random.default_rng(serving.seed + 3),
         )
 
     requests = make_arrivals(serving, np.random.default_rng(serving.seed))
     timer = PlacementStepTimer(model, cluster, mode=mode, cost_model=cost_model)
-    return simulate_online_serving(
+    return _simulate_online_serving(
         requests,
         model,
         cluster,
@@ -880,3 +887,8 @@ def simulate_online_cluster_serving(
         sample_every_steps=4,
         rng=np.random.default_rng(serving.seed + 2),
     )
+
+
+simulate_online_cluster_serving = deprecated_entry_point(
+    "repro.run() with an online Scenario (drift/replacement sections)"
+)(_simulate_online_cluster_serving)

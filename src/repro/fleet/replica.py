@@ -70,6 +70,7 @@ class ReplicaStats:
     migration_stall_s: float
     booted_at_s: float
     stopped_at_s: float | None
+    gpu_hours: float = 0.0
 
 
 class Replica:
@@ -86,6 +87,7 @@ class Replica:
         state: ReplicaState = ReplicaState.ACTIVE,
         booted_at_s: float = 0.0,
         replacer: OnlineReplacer | None = None,
+        billed_from_s: float | None = None,
     ) -> None:
         if max_batch_requests <= 0:
             raise ValueError("max_batch_requests must be positive")
@@ -99,6 +101,10 @@ class Replica:
         self.num_gpus = num_gpus
         self.state = state
         self.booted_at_s = booted_at_s
+        # billing starts at the scale-up *decision* (the GPUs are reserved
+        # while the replica boots), which precedes booted_at_s by the cold
+        # start; for t=0 replicas the two coincide
+        self.billed_from_s = booted_at_s if billed_from_s is None else billed_from_s
         self.stopped_at_s: float | None = None
         self.replacer = replacer
 
@@ -171,11 +177,35 @@ class Replica:
         self.busy_s += dt
         self.weighted_batch += len(self.active) * dt
 
+    def take_queued(self) -> list[FleetRequest]:
+        """Remove and return every queued (not yet admitted) request.
+
+        Scale-down migration: the simulator hands these back to the router
+        so they don't wait out the drain.  Priority order is preserved
+        (class 0 first, FCFS within a class); the active decode batch is
+        untouched.
+        """
+        taken: list[FleetRequest] = []
+        for q in self.queues:
+            taken.extend(q)
+            q.clear()
+        return taken
+
     @property
     def drained(self) -> bool:
         return not self.active and self.queue_len == 0
 
-    def stats(self) -> ReplicaStats:
+    def gpu_hours(self, end_s: float) -> float:
+        """GPU-hours billed to this replica up to simulation time ``end_s``.
+
+        The meter runs from the scale-up decision (``billed_from_s``)
+        until the replica stops — or until ``end_s`` for replicas still
+        live when the simulation ends.
+        """
+        stop = self.stopped_at_s if self.stopped_at_s is not None else end_s
+        return max(0.0, stop - self.billed_from_s) * self.num_gpus / 3600.0
+
+    def stats(self, end_s: float) -> ReplicaStats:
         return ReplicaStats(
             replica_id=self.replica_id,
             regime=self.regime,
@@ -188,4 +218,5 @@ class Replica:
             migration_stall_s=self.migration_stall_s,
             booted_at_s=self.booted_at_s,
             stopped_at_s=self.stopped_at_s,
+            gpu_hours=self.gpu_hours(end_s),
         )

@@ -44,6 +44,7 @@ from repro.core.online import OnlineReplacer, ReplacementPolicy
 from repro.core.placement.base import Placement
 from repro.core.placement.registry import solve_placement
 from repro.core.placement.vanilla import vanilla_placement
+from repro.deprecation import deprecated_entry_point
 from repro.engine.costs import CostModel
 from repro.engine.metrics import LatencyStats
 from repro.engine.serving import PlacementStepTimer, Request, make_arrivals
@@ -70,10 +71,23 @@ class FleetResult:
     scale_events: tuple[ScaleEvent, ...]
     slo_attainment: dict[str, float]
     peak_replicas: int = 0
+    generated_tokens: int = 0
+    #: GPU-hours billed across all replicas (scale-up decision → stop/end),
+    #: and their price at ``ClusterConfig.gpu_hour_usd`` — the spend the
+    #: autoscaler trades against p95
+    gpu_hours: float = 0.0
+    cost_usd: float = 0.0
 
     @property
     def served(self) -> int:
         return len(self.completed)
+
+    @property
+    def usd_per_million_tokens(self) -> float:
+        """Unit economics: dollars per 1e6 generated tokens."""
+        if self.generated_tokens <= 0:
+            return 0.0
+        return self.cost_usd / (self.generated_tokens / 1e6)
 
     @property
     def offered(self) -> int:
@@ -117,7 +131,7 @@ def _sample_paths(
     return paths
 
 
-def simulate_fleet_serving(
+def _simulate_fleet_serving(
     requests: Iterable[FleetRequest],
     model: ModelConfig,
     cluster: ClusterConfig,
@@ -130,6 +144,7 @@ def simulate_fleet_serving(
     admission: AdmissionController | None = None,
     timer: PlacementStepTimer | None = None,
     replace_policy: ReplacementPolicy | None = None,
+    replace_halflife_tokens: float | None = None,
     dtype_bytes: int = 2,
     rng: np.random.Generator | None = None,
 ) -> FleetResult:
@@ -142,7 +157,9 @@ def simulate_fleet_serving(
     dominating the queued traffic at decision time.
     ``max_batch_requests`` is each replica's continuous-batching admission
     cap (the serving layer's knob, threaded through by the cluster entry
-    point).
+    point).  With ``fleet.replace`` on, each replica's re-placement loop
+    uses ``replace_policy`` and a streaming estimator with
+    ``replace_halflife_tokens`` (defaults when ``None``).
     """
     if max_batch_requests <= 0:
         raise ValueError("max_batch_requests must be positive")
@@ -174,13 +191,21 @@ def simulate_fleet_serving(
 
     replicas: list[Replica] = []
 
-    def new_replica(regime: int, state: ReplicaState, booted_at: float) -> Replica:
+    def new_replica(
+        regime: int,
+        state: ReplicaState,
+        booted_at: float,
+        billed_from: float | None = None,
+    ) -> Replica:
         replacer = None
         if fleet.replace:
+            # each replica gets its own replacer (and hence estimator):
+            # every replica streams only its own traffic
             replacer = OnlineReplacer(
                 model,
                 cluster,
                 policy=replace_policy or ReplacementPolicy(),
+                halflife_tokens=replace_halflife_tokens,
                 dtype_bytes=dtype_bytes,
                 rng=np.random.default_rng(rng.integers(2**31)),
             )
@@ -194,6 +219,7 @@ def simulate_fleet_serving(
             state=state,
             booted_at_s=booted_at,
             replacer=replacer,
+            billed_from_s=billed_from,
         )
         replicas.append(r)
         return r
@@ -306,6 +332,34 @@ def simulate_fleet_serving(
                 t_next += event.stall_s
         start_step(r, t_next)
 
+    def migrate_queued(victim: Replica, t: float) -> None:
+        """Hand a draining replica's queued requests back to the router.
+
+        The active decode batch finishes in place (KV state is not moved);
+        queued-but-unadmitted requests are re-routed across the remaining
+        routable replicas so they don't wait out the drain.  Re-routing
+        skips latency-prediction shedding — these requests were already
+        admitted once, and shedding them *because* the fleet is shrinking
+        would be wrong — but it still honours the hard
+        ``max_queue_per_replica`` cap: orphans that would overflow every
+        surviving replica stay on the victim and drain normally.
+        """
+        orphans = victim.take_queued()
+        if not orphans:
+            return
+        for q in orphans:
+            # victim is already DRAINING, hence excluded from routable()
+            targets = [
+                r for r in routable() if r.queue_len < fleet.max_queue_per_replica
+            ]
+            if not targets:
+                victim.enqueue(q)  # nowhere with room: drain it in place
+                continue
+            target = router.choose(q, targets, rng)
+            target.enqueue(q)
+            if not target.stepping:
+                start_step(target, t)
+
     def on_scale(t: float) -> None:
         live = routable()
         booting = [r for r in replicas if r.state is ReplicaState.BOOTING]
@@ -331,7 +385,9 @@ def simulate_fleet_serving(
                 dtype_bytes,
                 fleet.boot_overhead_s,
             )
-            r = new_replica(regime, ReplicaState.BOOTING, t + cold.total_s)
+            r = new_replica(
+                regime, ReplicaState.BOOTING, t + cold.total_s, billed_from=t
+            )
             push(t + cold.total_s, "boot", r)
             scale_events.append(
                 ScaleEvent(t, "up", per, len(live) + len(booting),
@@ -340,6 +396,8 @@ def simulate_fleet_serving(
         elif decision == "down":
             victim = min(live, key=lambda r: (r.load, r.replica_id))
             victim.state = ReplicaState.DRAINING
+            if fleet.migrate_on_drain:
+                migrate_queued(victim, t)
             finish_if_drained(victim, t)
             scale_events.append(
                 ScaleEvent(t, "down", per, len(live) + len(booting),
@@ -365,6 +423,8 @@ def simulate_fleet_serving(
 
     end_times = [c.finished_s for c in completed] + [s.time_s for s in shed]
     makespan = max(end_times) - first_arrival if end_times else 0.0
+    sim_end = first_arrival + makespan
+    gpu_hours = sum(r.gpu_hours(sim_end) for r in replicas)
 
     # per-class SLO attainment over *offered* traffic: shed = missed
     offered_by_class: Counter = Counter()
@@ -391,14 +451,22 @@ def simulate_fleet_serving(
         latency=LatencyStats.from_samples([c.latency_s for c in completed]),
         queue=LatencyStats.from_samples([c.queue_s for c in completed]),
         makespan_s=makespan,
-        replicas=tuple(r.stats() for r in replicas),
+        replicas=tuple(r.stats(sim_end) for r in replicas),
         scale_events=tuple(scale_events),
         slo_attainment=attainment,
         peak_replicas=peak_routable,
+        generated_tokens=sum(c.request.generate_len for c in completed),
+        gpu_hours=gpu_hours,
+        cost_usd=gpu_hours * cluster.gpu_hour_usd,
     )
 
 
-def simulate_fleet_cluster_serving(
+simulate_fleet_serving = deprecated_entry_point(
+    "repro.run() with a fleet Scenario"
+)(_simulate_fleet_serving)
+
+
+def _simulate_fleet_cluster_serving(
     model: ModelConfig,
     cluster: ClusterConfig,
     serving: ServingConfig,
@@ -410,6 +478,7 @@ def simulate_fleet_cluster_serving(
     arrivals: Sequence[Request] | None = None,
     regime_weight_at: Callable[[float], Sequence[float]] | None = None,
     replace_policy: ReplacementPolicy | None = None,
+    replace_halflife_tokens: float | None = None,
     cost_model: CostModel | None = None,
 ) -> FleetResult:
     """End-to-end fleet scenario from ``ServingConfig`` + ``FleetConfig``.
@@ -467,7 +536,7 @@ def simulate_fleet_cluster_serving(
     )
 
     timer = PlacementStepTimer(model, cluster, mode=mode, cost_model=cost_model)
-    return simulate_fleet_serving(
+    return _simulate_fleet_serving(
         labelled,
         model,
         cluster,
@@ -478,5 +547,11 @@ def simulate_fleet_cluster_serving(
         max_batch_requests=serving.max_batch_requests,
         timer=timer,
         replace_policy=replace_policy,
+        replace_halflife_tokens=replace_halflife_tokens,
         rng=np.random.default_rng(serving.seed + 9),
     )
+
+
+simulate_fleet_cluster_serving = deprecated_entry_point(
+    "repro.run() with a fleet Scenario"
+)(_simulate_fleet_cluster_serving)

@@ -1,0 +1,57 @@
+"""Unified Scenario API: declarative specs, one ``run()``, a preset registry.
+
+This package is the front door for every simulation the reproduction can
+execute:
+
+* :mod:`repro.scenarios.spec` — the frozen, JSON-round-trippable
+  :class:`Scenario` spec (model + cluster + traffic + drift + placement
+  policy + optional replacement/fleet sections).
+* :mod:`repro.scenarios.runner` — :func:`run` (dispatches one spec to the
+  batch / serving / online / fleet simulator and returns one
+  :class:`SimReport`) and :func:`run_sweep` (multiprocessing parameter
+  grids).
+* :mod:`repro.scenarios.registry` — named presets for the paper figures,
+  drift workloads and flash crowds, each with a CI-sized ``-smoke``
+  variant (``repro run <name>``, ``repro scenarios list``).
+
+Quickstart::
+
+    from repro import run, get_scenario, list_scenarios
+
+    print(list_scenarios(kind="fleet"))
+    report = run("fig16-flash-autoscale-smoke")
+    print(report.latency_p95_s, report.shed_fraction, report.cost_usd)
+"""
+
+from repro.scenarios.registry import (
+    SCENARIOS,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
+from repro.scenarios.report import SimReport
+from repro.scenarios.runner import run, run_sweep
+from repro.scenarios.spec import (
+    DriftSpec,
+    FlashCrowdSpec,
+    REGIME_MIXES,
+    ReplacementSpec,
+    SCENARIO_KINDS,
+    Scenario,
+)
+
+__all__ = [
+    "Scenario",
+    "DriftSpec",
+    "ReplacementSpec",
+    "FlashCrowdSpec",
+    "SCENARIO_KINDS",
+    "REGIME_MIXES",
+    "SimReport",
+    "run",
+    "run_sweep",
+    "SCENARIOS",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+]

@@ -1,0 +1,290 @@
+"""The ``run()`` facade: one entry point for every scenario kind.
+
+``run(scenario)`` inspects the spec's sections, dispatches to the right
+simulator — the lockstep batch engine, the single-replica continuous-
+batching loop, the online drift-aware loop, or the fleet event simulation
+— and condenses the outcome into one :class:`~repro.scenarios.report.SimReport`.
+The full underlying result object stays reachable on ``report.raw``.
+
+``run_sweep(scenarios)`` executes a list of scenarios (objects or
+registered preset names) across a multiprocessing pool — the parameter-
+grid workhorse: build the grid with ``dataclasses.replace`` over a base
+spec, hand the list over, get rectangular reports back.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import multiprocessing
+import os
+from typing import Iterable, Sequence
+
+from repro.config import ExecutionMode
+from repro.engine.comparison import compare_modes
+from repro.engine.serving import (
+    _simulate_cluster_serving,
+    _simulate_online_cluster_serving,
+)
+from repro.fleet.requests import flash_crowd_arrivals
+from repro.fleet.simulate import _simulate_fleet_cluster_serving
+from repro.scenarios.report import SimReport
+from repro.scenarios.spec import Scenario
+
+__all__ = ["run", "run_sweep"]
+
+# compare_modes row holding each execution mode's numbers
+_MODE_ROW = {
+    ExecutionMode.VANILLA: "deepspeed",
+    ExecutionMode.CONTEXT_COHERENT: "exflow-noaff",
+    ExecutionMode.EXFLOW: "exflow",
+}
+
+
+def _resolve(scenario: Scenario | str) -> Scenario:
+    if isinstance(scenario, str):
+        from repro.scenarios.registry import get_scenario
+
+        return get_scenario(scenario)
+    if not isinstance(scenario, Scenario):
+        raise TypeError(
+            f"run() takes a Scenario or a registered name, got {type(scenario).__name__}"
+        )
+    return scenario
+
+
+def _cost_fields(scenario: Scenario, makespan_s: float, tokens: int) -> dict:
+    """Single-replica cost account: one cluster billed for the makespan."""
+    gpu_hours = makespan_s * scenario.cluster.num_gpus / 3600.0
+    cost = gpu_hours * scenario.cluster.gpu_hour_usd
+    return {
+        "gpu_hours": gpu_hours,
+        "cost_usd": cost,
+        "usd_per_million_tokens": cost / (tokens / 1e6) if tokens > 0 else 0.0,
+    }
+
+
+def _run_batch(s: Scenario) -> SimReport:
+    rows = compare_modes(
+        s.model,
+        s.cluster,
+        s.batch,
+        placement_strategy=s.placement_strategy,
+        affinity=s.affinity,
+        seed=s.seed,
+    )
+    head = rows[_MODE_ROW[s.mode]].result
+    completed = s.batch.total_requests(s.cluster.num_gpus)
+    makespan = head.total_time_s
+    return SimReport(
+        scenario=s.name,
+        kind="batch",
+        completed=completed,
+        generated_tokens=head.generated_tokens,
+        makespan_s=makespan,
+        decode_steps=head.iterations,
+        mean_batch_size=float(completed),
+        throughput_rps=completed / makespan if makespan > 0 else 0.0,
+        throughput_tokens_per_s=head.throughput_tokens_per_s,
+        extra={
+            "speedup_noaff": rows["exflow-noaff"].speedup,
+            "speedup_exflow": rows["exflow"].speedup,
+            "comm_reduction_exflow": rows["exflow"].comm_reduction,
+            "alltoall_fraction_deepspeed": rows["deepspeed"].result.alltoall_fraction,
+            "gpu_stay_fraction_exflow": rows["exflow"].result.gpu_stay_fraction,
+        },
+        **_cost_fields(s, makespan, head.generated_tokens),
+        raw=rows,
+    )
+
+
+def _run_serving(s: Scenario) -> SimReport:
+    res = _simulate_cluster_serving(
+        s.model,
+        s.cluster,
+        s.serving,
+        mode=s.mode,
+        affinity=s.affinity,
+        placement_strategy=s.placement_strategy,
+    )
+    return SimReport(
+        scenario=s.name,
+        kind="serving",
+        completed=len(res.completed),
+        generated_tokens=res.generated_tokens,
+        makespan_s=res.makespan_s,
+        decode_steps=res.decode_steps,
+        mean_batch_size=res.mean_batch_size,
+        throughput_rps=res.throughput_rps,
+        throughput_tokens_per_s=res.throughput_tokens_per_s,
+        latency_mean_s=res.latency.mean_s,
+        latency_p50_s=res.latency.p50_s,
+        latency_p95_s=res.latency.p95_s,
+        latency_p99_s=res.latency.p99_s,
+        queue_p95_s=res.queue.p95_s,
+        **_cost_fields(s, res.makespan_s, res.generated_tokens),
+        raw=res,
+    )
+
+
+def _run_online(s: Scenario) -> SimReport:
+    drift_kind = s.drift.kind if s.drift is not None else "none"
+    policy = s.replacement.policy if s.replacement is not None else None
+    halflife = s.replacement.halflife_tokens if s.replacement is not None else None
+    res = _simulate_online_cluster_serving(
+        s.model,
+        s.cluster,
+        s.serving,
+        drift=drift_kind,
+        policy=policy,
+        mode=s.mode,
+        affinity=s.affinity,
+        placement_strategy=s.placement_strategy,
+        profile_tokens=s.profile_tokens,
+        halflife_tokens=halflife,
+    )
+    serving = res.serving
+    timeline = res.kept_timeline
+    return SimReport(
+        scenario=s.name,
+        kind="online",
+        completed=len(serving.completed),
+        generated_tokens=serving.generated_tokens,
+        makespan_s=serving.makespan_s,
+        decode_steps=serving.decode_steps,
+        mean_batch_size=serving.mean_batch_size,
+        throughput_rps=serving.throughput_rps,
+        throughput_tokens_per_s=serving.throughput_tokens_per_s,
+        latency_mean_s=serving.latency.mean_s,
+        latency_p50_s=serving.latency.p50_s,
+        latency_p95_s=serving.latency.p95_s,
+        latency_p99_s=serving.latency.p99_s,
+        queue_p95_s=serving.queue.p95_s,
+        kept_mass_initial=timeline[0].true_kept if timeline else None,
+        kept_mass_final=timeline[-1].true_kept if timeline else None,
+        num_replacements=res.num_replacements,
+        migration_stall_s=res.migration_stall_s,
+        **_cost_fields(s, serving.makespan_s, serving.generated_tokens),
+        raw=res,
+    )
+
+
+def _diurnal_mix(horizon_s: float):
+    """fig16a's regime process: two regimes rotating once over the horizon."""
+
+    def weights(t: float):
+        w = 0.5 * (1.0 - math.cos(2.0 * math.pi * t / horizon_s))
+        return (1.0 - w, w)
+
+    return weights
+
+
+def _run_fleet(s: Scenario) -> SimReport:
+    arrivals = None
+    if s.flash is not None:
+        arrivals = flash_crowd_arrivals(
+            s.serving, s.flash.factor, s.flash.start_s, s.flash.duration_s
+        )
+    regime_weight_at = None
+    if s.regime_mix == "diurnal":
+        horizon = s.serving.num_requests / s.serving.arrival_rate_rps
+        regime_weight_at = _diurnal_mix(horizon)
+    res = _simulate_fleet_cluster_serving(
+        s.model,
+        s.cluster,
+        s.serving,
+        s.fleet,
+        mode=s.mode,
+        affinity=s.affinity,
+        placement_strategy=s.placement_strategy,
+        profile_tokens=s.profile_tokens,
+        arrivals=arrivals,
+        regime_weight_at=regime_weight_at,
+        replace_policy=s.replacement.policy if s.replacement is not None else None,
+        replace_halflife_tokens=(
+            s.replacement.halflife_tokens if s.replacement is not None else None
+        ),
+    )
+    busy = sum(r.busy_s for r in res.replicas)
+    weighted = sum(r.mean_batch_size * r.busy_s for r in res.replicas)
+    return SimReport(
+        scenario=s.name,
+        kind="fleet",
+        completed=res.served,
+        generated_tokens=res.generated_tokens,
+        makespan_s=res.makespan_s,
+        decode_steps=sum(r.decode_steps for r in res.replicas),
+        mean_batch_size=weighted / busy if busy > 0 else 0.0,
+        throughput_rps=res.throughput_rps,
+        throughput_tokens_per_s=(
+            res.generated_tokens / res.makespan_s if res.makespan_s > 0 else 0.0
+        ),
+        latency_mean_s=res.latency.mean_s,
+        latency_p50_s=res.latency.p50_s,
+        latency_p95_s=res.latency.p95_s,
+        latency_p99_s=res.latency.p99_s,
+        queue_p95_s=res.queue.p95_s,
+        num_replacements=sum(r.replacements for r in res.replicas),
+        migration_stall_s=sum(r.migration_stall_s for r in res.replicas),
+        shed=len(res.shed),
+        shed_fraction=res.shed_fraction,
+        slo_attainment=dict(res.slo_attainment),
+        peak_replicas=res.peak_replicas,
+        scale_ups=sum(1 for e in res.scale_events if e.kind == "up"),
+        gpu_hours=res.gpu_hours,
+        cost_usd=res.cost_usd,
+        usd_per_million_tokens=res.usd_per_million_tokens,
+        raw=res,
+    )
+
+
+_RUNNERS = {
+    "batch": _run_batch,
+    "serving": _run_serving,
+    "online": _run_online,
+    "fleet": _run_fleet,
+}
+
+
+def run(scenario: Scenario | str, *, keep_raw: bool = True) -> SimReport:
+    """Execute one scenario (object or registered preset name).
+
+    Dispatch follows :attr:`Scenario.kind`; the returned
+    :class:`SimReport` always has the shared schema filled, with the
+    simulator's native result on ``raw`` (dropped when ``keep_raw`` is
+    false — the sweep runner does this to keep IPC payloads small).
+    """
+    s = _resolve(scenario)
+    report = _RUNNERS[s.kind](s)
+    if not keep_raw:
+        report = dataclasses.replace(report, raw=None)
+    return report
+
+
+def _run_for_sweep(scenario: Scenario) -> SimReport:
+    return run(scenario, keep_raw=False)
+
+
+def run_sweep(
+    scenarios: Iterable[Scenario | str],
+    processes: int | None = None,
+) -> list[SimReport]:
+    """Run many scenarios across a process pool; reports in input order.
+
+    ``scenarios`` mixes :class:`Scenario` objects and registered preset
+    names freely.  ``processes`` defaults to ``min(len(grid), cpu_count)``;
+    pass ``1`` to force serial execution (useful under debuggers).  Raw
+    result objects are dropped from sweep reports — re-run the single
+    scenario with :func:`run` when you need one in full.
+    """
+    grid: Sequence[Scenario] = [_resolve(s) for s in scenarios]
+    if not grid:
+        return []
+    if processes is None:
+        processes = min(len(grid), os.cpu_count() or 1)
+    if processes < 1:
+        raise ValueError("processes must be >= 1")
+    if processes == 1 or len(grid) == 1:
+        return [_run_for_sweep(s) for s in grid]
+    with multiprocessing.Pool(processes) as pool:
+        return pool.map(_run_for_sweep, grid)

@@ -2,12 +2,137 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.cli import main
 from repro.core.placement.base import Placement
+from repro.scenarios import get_scenario, list_scenarios
 from repro.trace.events import RoutingTrace
+
+
+class TestRunCommand:
+    def test_runs_registered_preset(self, capsys):
+        assert main(["run", "fig10-end-to-end-smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10-end-to-end-smoke" in out
+        assert "exflow" in out
+        assert "summary:" in out
+        assert "GPU-h" in out
+
+    def test_serving_preset_prints_latency(self, capsys):
+        assert main(["run", "serve-poisson-smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "p95 ms" in out
+        assert "$" in out
+
+    def test_json_output_is_machine_readable(self, capsys):
+        assert main(["run", "serve-bursty-smoke", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["scenario"] == "serve-bursty-smoke"
+        assert report["kind"] == "serving"
+        assert report["completed"] > 0
+
+    def test_runs_scenario_from_json_file(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        get_scenario("serve-poisson-smoke").save(path)
+        assert main(["run", "--scenario", str(path)]) == 0
+        assert "serve-poisson-smoke" in capsys.readouterr().out
+
+    def test_positional_path_also_loads_file(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        get_scenario("serve-poisson-smoke").save(path)
+        assert main(["run", str(path)]) == 0
+        assert "serve-poisson-smoke" in capsys.readouterr().out
+
+    def test_out_writes_report_and_spec(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        spec_path = tmp_path / "spec.json"
+        code = main(
+            [
+                "run",
+                "serve-poisson-smoke",
+                "--out",
+                str(report_path),
+                "--out-spec",
+                str(spec_path),
+            ]
+        )
+        assert code == 0
+        assert json.loads(report_path.read_text())["kind"] == "serving"
+        from repro.scenarios import Scenario
+
+        assert Scenario.load(spec_path) == get_scenario("serve-poisson-smoke")
+
+    def test_unknown_preset_fails_cleanly(self, capsys):
+        assert main(["run", "no-such-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bad_scenario_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["run", "--scenario", str(tmp_path / "missing.json")]) == 2
+        assert "cannot load scenario" in capsys.readouterr().err
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        assert main(["run", str(broken)]) == 2
+        assert "cannot load scenario" in capsys.readouterr().err
+
+    def test_unwritable_out_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "no-such-dir" / "rep.json"
+        assert main(["run", "serve-poisson-smoke", "--out", str(bad)]) == 2
+        assert "cannot write output" in capsys.readouterr().err
+
+    def test_json_with_out_keeps_stdout_machine_readable(self, tmp_path, capsys):
+        out_path = tmp_path / "rep.json"
+        code = main(
+            ["run", "serve-poisson-smoke", "--json", "--out", str(out_path)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        # the whole stdout stream must be one JSON document (confirmations
+        # go to stderr)
+        assert json.loads(captured.out)["scenario"] == "serve-poisson-smoke"
+        assert "wrote report" in captured.err
+
+    def test_name_and_file_are_mutually_exclusive(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        get_scenario("serve-poisson-smoke").save(path)
+        assert main(["run", "serve-poisson-smoke", "--scenario", str(path)]) == 2
+        assert main(["run"]) == 2
+
+
+class TestScenariosCommand:
+    def test_list_shows_every_preset(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in list_scenarios():
+            assert name in out
+        assert "kind" in out
+
+    def test_default_action_is_list(self, capsys):
+        assert main(["scenarios"]) == 0
+        assert "registered scenarios" in capsys.readouterr().out
+
+    def test_names_mode_is_script_friendly(self, capsys):
+        assert main(["scenarios", "list", "--names", "--smoke-only"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines == list(list_scenarios(smoke=True))
+        assert all(name.endswith("-smoke") for name in lines)
+
+    def test_kind_filter(self, capsys):
+        assert main(["scenarios", "list", "--kind", "fleet", "--names"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines and all(get_scenario(n).kind == "fleet" for n in lines)
+
+    def test_full_only_excludes_smoke(self, capsys):
+        assert main(["scenarios", "list", "--full-only", "--names"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines and not any(n.endswith("-smoke") for n in lines)
+
+    def test_smoke_and_full_flags_conflict(self):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "list", "--smoke-only", "--full-only"])
 
 
 class TestModels:

@@ -1,23 +1,26 @@
-"""Unit tests for cold-start pricing and the reactive autoscaler."""
+"""Unit tests for cold-start pricing, the reactive autoscaler, scale-down
+request migration and fleet cost accounting."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.config import ClusterConfig, FleetConfig, ModelConfig
+from repro.config import ClusterConfig, FleetConfig, ModelConfig, ServingConfig
 from repro.core.placement.greedy import greedy_placement
 from repro.core.placement.vanilla import vanilla_placement
 from repro.fleet.autoscaler import ReactiveAutoscaler, price_cold_start
+from repro.fleet.replica import ReplicaState
+from repro.fleet.simulate import _simulate_fleet_cluster_serving
 from repro.trace.markov import MarkovRoutingModel
 
 
-@pytest.fixture
+@pytest.fixture(scope="module")
 def model():
     return ModelConfig(name="as-test", num_layers=4, num_experts=8, d_model=64, num_heads=4)
 
 
-@pytest.fixture
+@pytest.fixture(scope="module")
 def cluster():
     return ClusterConfig(num_nodes=2, gpus_per_node=2)
 
@@ -113,6 +116,137 @@ class TestReactiveAutoscaler:
         assert scaler.decide(20, 2, 0) == "up"
         # immediately after acting, dwell starts over
         assert scaler.decide(20, 2, 1) is None
+
+
+def _drain_run(model, cluster, migrate: bool, queue_cap: int = 1000):
+    """A burst that leaves deep queues, then silence: scale-down fires while
+    the victim replica still holds queued-but-unadmitted requests."""
+    serving = ServingConfig(
+        arrival_rate_rps=30000.0,
+        num_requests=220,
+        generate_len=6,
+        max_batch_requests=4,
+        prompt_len=8,
+        seed=11,
+    )
+    fleet = FleetConfig(
+        num_replicas=2,
+        router="jsq",
+        autoscale=True,
+        min_replicas=1,
+        max_replicas=2,
+        slo_ms=10000.0,  # no shedding: isolate the drain behaviour
+        batch_slo_ms=100000.0,
+        max_queue_per_replica=queue_cap,
+        autoscale_check_every_s=0.001,
+        scale_up_queue_per_replica=500.0,
+        scale_down_queue_per_replica=40.0,
+        scale_dwell_checks=1,
+        migrate_on_drain=migrate,
+    )
+    return _simulate_fleet_cluster_serving(model, cluster, serving, fleet)
+
+
+class TestScaleDownMigration:
+    @pytest.fixture(scope="class")
+    def runs(self, model, cluster):
+        with_migration = _drain_run(model, cluster, migrate=True)
+        without = _drain_run(model, cluster, migrate=False)
+        return with_migration, without
+
+    def _drained(self, res):
+        stopped = [
+            r for r in res.replicas if r.final_state == ReplicaState.STOPPED.value
+        ]
+        assert stopped, "scenario must actually drain a replica"
+        return stopped[0]
+
+    def test_drain_time_shrinks(self, runs):
+        with_migration, without = runs
+        fast = self._drained(with_migration)
+        slow = self._drained(without)
+        # same replica drains in both arms (identical prefix up to the
+        # decision); handing its queue back must stop it strictly earlier
+        assert fast.replica_id == slow.replica_id
+        assert fast.stopped_at_s < slow.stopped_at_s
+        # the migrated queue moved elsewhere, so the victim serves fewer
+        assert fast.served < slow.served
+
+    def test_no_request_is_lost(self, runs):
+        for res in runs:
+            assert res.served == 220
+            assert res.shed == ()
+
+    def test_migration_preserves_total_service(self, runs):
+        with_migration, without = runs
+        assert with_migration.served == without.served
+        # every migrated request completes on a surviving replica
+        assert sum(r.served for r in with_migration.replicas) == with_migration.served
+
+    def test_migration_with_tight_cap_conserves_requests(self, model, cluster):
+        # a cap small enough that survivors can't absorb the whole orphan
+        # queue: overflow stays on the victim and drains in place; requests
+        # are never lost to migration (any shed is arrival-time admission)
+        res = _drain_run(model, cluster, migrate=True, queue_cap=48)
+        assert res.served + len(res.shed) == 220
+        assert {s.reason for s in res.shed} <= {"queue-full", "deadline"}
+        assert sum(r.served for r in res.replicas) == res.served
+
+
+class TestFleetCostAccounting:
+    def test_static_fleet_bills_replicas_for_makespan(self, model, cluster):
+        serving = ServingConfig(
+            arrival_rate_rps=900.0,
+            num_requests=40,
+            generate_len=4,
+            max_batch_requests=8,
+            prompt_len=8,
+            seed=0,
+        )
+        res = _simulate_fleet_cluster_serving(
+            model, cluster, serving, FleetConfig(num_replicas=2, router="jsq")
+        )
+        expected_hours = 2 * cluster.num_gpus * res.makespan_s / 3600.0
+        assert res.gpu_hours == pytest.approx(expected_hours)
+        assert res.cost_usd == pytest.approx(res.gpu_hours * cluster.gpu_hour_usd)
+        assert res.usd_per_million_tokens == pytest.approx(
+            res.cost_usd / (res.generated_tokens / 1e6)
+        )
+        assert res.generated_tokens == sum(
+            c.request.generate_len for c in res.completed
+        )
+        per_replica = sum(r.gpu_hours for r in res.replicas)
+        assert per_replica == pytest.approx(res.gpu_hours)
+
+    def test_drained_replica_stops_billing(self, model, cluster):
+        res = _drain_run(model, cluster, migrate=True)
+        drained = [
+            r for r in res.replicas if r.final_state == ReplicaState.STOPPED.value
+        ][0]
+        live = [
+            r for r in res.replicas if r.final_state == ReplicaState.ACTIVE.value
+        ][0]
+        assert drained.gpu_hours < live.gpu_hours
+
+    def test_zero_price_cluster_costs_nothing(self, model):
+        cluster = ClusterConfig(num_nodes=2, gpus_per_node=2, gpu_hour_usd=0.0)
+        serving = ServingConfig(
+            arrival_rate_rps=900.0,
+            num_requests=20,
+            generate_len=4,
+            max_batch_requests=8,
+            prompt_len=8,
+        )
+        res = _simulate_fleet_cluster_serving(
+            model, cluster, serving, FleetConfig(num_replicas=1, router="jsq")
+        )
+        assert res.gpu_hours > 0
+        assert res.cost_usd == 0.0
+        assert res.usd_per_million_tokens == 0.0
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(num_nodes=1, gpus_per_node=2, gpu_hour_usd=-1.0)
 
 
 class TestFleetConfigValidation:
