@@ -50,7 +50,7 @@ def test_ablation_collision(benchmark, results_dir):
     publish(results_dir, "ablation_collision", table)
 
     # collisions always cost locality...
-    for i, g in enumerate(GPU_COUNTS):
+    for i, _g in enumerate(GPU_COUNTS):
         assert grid[0.0][i] >= grid[0.6][i] - 0.02
     # ...and cost *relatively* more at capacity 1 than at capacity 8 —
     # the mechanism behind the paper's shrinking gains at scale

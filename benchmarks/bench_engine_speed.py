@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
+from functools import partial
 from pathlib import Path
 
 from repro import InferenceConfig, paper_model, wilkes3
@@ -50,18 +51,49 @@ def run_speed_comparison(rounds: int = 3):
     for mode in ExecutionMode:
         cfg = dataclasses.replace(infer, mode=mode)
         t_vec = _best_of(
-            lambda: simulate_inference(model, cluster, cfg, placement, workload),
+            partial(simulate_inference, model, cluster, cfg, placement, workload),
             rounds,
         )
         t_ref = _best_of(
-            lambda: simulate_inference_reference(
-                model, cluster, cfg, placement, workload
-            ),
+            partial(simulate_inference_reference, model, cluster, cfg, placement, workload),
             rounds,
         )
         speedups.append(t_ref / t_vec)
         rows.append([mode.value, t_ref * 1e3, t_vec * 1e3, t_ref / t_vec])
     return rows, speedups
+
+
+def _json_payload(rows, speedups, rounds: int) -> dict:
+    """The ``BENCH_engine.json`` record: config + wall times + speedups.
+
+    This is the machine-readable perf trajectory: future PRs diff it to see
+    whether the batched engine got faster or slower on the pinned Fig 10
+    configuration (absolute times are machine-dependent; the speedup column
+    is the cross-machine-comparable signal).
+    """
+    return {
+        "bench": "engine_speed",
+        "config": {
+            "model": "gpt-m-350m-e64",
+            "num_nodes": 16,
+            "gpus_per_node": 4,
+            "requests_per_gpu": 8,
+            "prompt_len": 64,
+            "generate_len": 8,
+            "rounds": rounds,
+        },
+        "modes": [
+            {
+                "mode": mode,
+                "loop_engine_ms": loop_ms,
+                "batched_engine_ms": batched_ms,
+                "speedup": speedup,
+            }
+            for mode, loop_ms, batched_ms, speedup in rows
+        ],
+        "geomean_speedup": geometric_mean(speedups),
+        "target_speedup": 5.0,
+    }
 
 
 def _format(rows) -> str:
@@ -73,11 +105,12 @@ def _format(rows) -> str:
 
 
 def test_engine_speed(benchmark, results_dir):
-    from conftest import publish
+    from conftest import publish, publish_json
 
     rows, speedups = run_speed_comparison()
     benchmark.pedantic(lambda: run_speed_comparison(rounds=1), rounds=1, iterations=1)
     publish(results_dir, "engine_speed", _format(rows))
+    publish_json(results_dir, "BENCH_engine", _json_payload(rows, speedups, rounds=3))
 
     # acceptance: >= 5x on the Fig 10 end-to-end configuration
     assert geometric_mean(speedups) >= 5.0
@@ -85,6 +118,8 @@ def test_engine_speed(benchmark, results_dir):
 
 
 def main() -> int:
+    from conftest import publish_json
+
     rows, speedups = run_speed_comparison()
     table = _format(rows)
     print(table)
@@ -93,6 +128,8 @@ def main() -> int:
     results = Path(__file__).parent / "results"
     results.mkdir(exist_ok=True)
     (results / "engine_speed.txt").write_text(table + "\n")
+    out = publish_json(results, "BENCH_engine", _json_payload(rows, speedups, rounds=3))
+    print(f"machine-readable trajectory: {out}")
     return 0 if gm >= 5.0 else 1
 
 

@@ -61,6 +61,6 @@ def test_fig08_intra_node_locality(benchmark, results_dir):
     )
     publish(results_dir, "fig08_intra_node_locality", table)
 
-    assert all(a >= b - 1e-9 for a, b in zip(node_series, node_series[1:]))
+    assert all(a >= b - 1e-9 for a, b in zip(node_series, node_series[1:], strict=False))
     # paper: ~2x more likely to stay in-node; require a clear multiple
     assert np.mean(ratios) > 1.5

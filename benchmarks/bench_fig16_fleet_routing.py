@@ -116,8 +116,57 @@ def run(smoke: bool = False) -> tuple[str, dict]:
         "routing_serving": routing_serving,
         "flash": flash,
         "flash_serving": flash_serving,
+        "smoke": smoke,
     }
     return table_a + "\n\n" + table_b, checks
+
+
+def _json_payload(checks: dict) -> dict:
+    """The ``BENCH_fleet.json`` record: config + tails + unit economics.
+
+    Mirrors ``BENCH_engine.json``: a machine-readable perf trajectory so
+    future fleet PRs (vectorized event loop, predictive autoscaling) can
+    diff p95/shed/$-per-token instead of eyeballing the table.
+    """
+    routing = checks["routing"]
+    serving = checks["routing_serving"]
+    rr_p95_s = routing["round-robin"].latency.p95_s
+    flash = checks["flash"]
+    return {
+        "bench": "fig16_fleet",
+        "smoke": checks["smoke"],
+        "config": {
+            "arrival": serving.arrival,
+            "arrival_rate_rps": serving.arrival_rate_rps,
+            "num_requests": serving.num_requests,
+            "prompt_len": serving.prompt_len,
+            "generate_len": serving.generate_len,
+        },
+        "routing": {
+            router: {
+                "served": res.served,
+                "shed": len(res.shed),
+                "p50_ms": res.latency.p50_s * 1e3,
+                "p95_ms": res.latency.p95_s * 1e3,
+                "p99_ms": res.latency.p99_s * 1e3,
+                "p95_vs_round_robin": res.latency.p95_s / rr_p95_s,
+            }
+            for router, res in routing.items()
+        },
+        "flash": {
+            arm: {
+                "offered": res.offered,
+                "shed_fraction": res.shed_fraction,
+                "p95_ms": res.latency.p95_s * 1e3,
+                "peak_replicas": res.peak_replicas,
+                "scale_ups": sum(1 for e in res.scale_events if e.kind == "up"),
+                "gpu_hours": res.gpu_hours,
+                "usd_per_million_tokens": res.usd_per_million_tokens,
+                "makespan_s": res.makespan_s,
+            }
+            for arm, res in (("static", flash["static"]), ("autoscaled", flash["auto"]))
+        },
+    }
 
 
 def _assert_claims(checks: dict) -> None:
@@ -154,15 +203,21 @@ def _assert_claims(checks: dict) -> None:
 
 
 def test_fig16_fleet_routing(benchmark, results_dir):
+    from conftest import publish_json
+
     benchmark.pedantic(lambda: _run_flash(smoke=True), rounds=1, iterations=1)
 
     table, checks = run(smoke=False)
     publish(results_dir, "fig16_fleet_routing", table)
+    publish_json(results_dir, "BENCH_fleet", _json_payload(checks))
     _assert_claims(checks)
 
 
 if __name__ == "__main__":
     import argparse
+    from pathlib import Path
+
+    from conftest import publish_json
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -174,4 +229,8 @@ if __name__ == "__main__":
     table, checks = run(smoke=args.smoke)
     print(table)
     _assert_claims(checks)
+    out = publish_json(
+        Path(__file__).parent / "results", "BENCH_fleet", _json_payload(checks)
+    )
+    print(f"machine-readable trajectory: {out}")
     print("fig16 claims hold")

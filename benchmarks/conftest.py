@@ -10,6 +10,7 @@ as a performance regression suite for the library itself.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -27,3 +28,16 @@ def publish(results_dir: Path, name: str, text: str) -> None:
     """Print a result block and persist it for EXPERIMENTS.md."""
     print(f"\n{text}\n")
     (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def publish_json(results_dir: Path, name: str, payload: dict) -> Path:
+    """Persist a machine-readable result next to the human-readable table.
+
+    ``BENCH_*.json`` files are the perf trajectory future PRs diff against:
+    sorted keys and a trailing newline keep the artefacts byte-stable for a
+    given (config, machine), so a regression shows up as a clean diff.
+    """
+    results_dir.mkdir(exist_ok=True)
+    path = results_dir / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -45,6 +45,17 @@ Scenarios serialize (``Scenario.to_dict`` / ``from_dict`` / ``save`` /
 ``load``), so ``repro run --scenario file.json`` reproduces any run.  The
 older ``simulate_*`` entry points still work but are deprecated shims
 over this facade's implementations.
+
+Static analysis — the simulator's invariants are machine-checked::
+
+    PYTHONPATH=src python -m repro lint src benchmarks examples
+    PYTHONPATH=src python -m repro lint --list-rules   # what each RPL rule means
+    PYTHONPATH=src mypy --strict src/repro             # typing gate (mypy.ini)
+
+``repro lint`` (:mod:`repro.lint`) enforces the determinism, unit-safety
+and spec-hygiene rules described in DESIGN.md ("Static analysis &
+invariants"); suppress a deliberate violation inline with
+``# repro-lint: disable=RPL001``.  CI runs both gates on every push.
 """
 
 from repro.config import (

@@ -12,7 +12,7 @@ from typing import Iterable, Sequence
 __all__ = ["format_table", "format_series"]
 
 
-def _render_cell(value, precision: int) -> str:
+def _render_cell(value: object, precision: int) -> str:
     if isinstance(value, float):
         return f"{value:.{precision}f}"
     return str(value)
@@ -34,7 +34,7 @@ def format_table(
             widths[i] = max(widths[i], len(cell))
 
     def line(cells: Sequence[str]) -> str:
-        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths, strict=True))
 
     parts = []
     if title:

@@ -24,6 +24,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from typing import Any
 
 import numpy as np
 
@@ -43,7 +44,7 @@ from repro.core.affinity import affinity_matrix, scaled_affinity
 from repro.core.online import ReplacementPolicy
 from repro.core.placement.base import placement_locality
 from repro.core.placement.registry import SOLVERS, solve_placement
-from repro.engine.comparison import compare_modes
+from repro.engine.comparison import ComparisonRow, compare_modes
 from repro.engine.workload import DRIFT_KINDS
 from repro.scenarios import (
     SCENARIO_KINDS,
@@ -54,6 +55,7 @@ from repro.scenarios import (
     list_scenarios,
 )
 from repro.scenarios import run as run_scenario
+from repro.scenarios.report import SimReport
 from repro.trace.events import RoutingTrace
 from repro.trace.markov import MarkovRoutingModel
 
@@ -244,13 +246,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", required=True)
     p.add_argument("--layer", type=int, default=0)
 
+    p = sub.add_parser(
+        "lint",
+        help="run the repro-specific static-analysis rules (RPL0xx)",
+        description=(
+            "AST-based checks for the invariants the reproduction rests on: "
+            "seeded randomness, clock-free simulator logic, unit-suffix "
+            "safety, frozen-spec hygiene, set-iteration determinism and "
+            "seed threading.  Exit code 1 when any diagnostic is emitted."
+        ),
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "benchmarks", "examples"],
+        help="files/directories to lint (default: src benchmarks examples)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output: JSON list of {path,line,col,code,message}",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true", help="describe the rules and exit"
+    )
+
     return parser
 
 
 # -- result printers (shared by `run` and the legacy wrappers) ----------------
 
 
-def _print_batch_rows(rows, title: str) -> None:
+def _print_batch_rows(rows: dict[str, ComparisonRow], title: str) -> None:
     table = [
         [
             label,
@@ -271,7 +298,7 @@ def _print_batch_rows(rows, title: str) -> None:
     )
 
 
-def _print_serving_result(res, label: str, title: str) -> None:
+def _print_serving_result(res: Any, label: str, title: str) -> None:
     rows = [
         [
             label,
@@ -302,7 +329,7 @@ def _print_serving_result(res, label: str, title: str) -> None:
     )
 
 
-def _print_online_events(online, drift_label: str, had_policy: bool) -> None:
+def _print_online_events(online: Any, drift_label: str, had_policy: bool) -> None:
     timeline = online.kept_timeline
     res = online.serving
     print(
@@ -336,7 +363,7 @@ def _print_online_events(online, drift_label: str, had_policy: bool) -> None:
         print("online re-placement enabled: no migration was triggered")
 
 
-def _print_fleet_result(res, router_label: str, title: str) -> None:
+def _print_fleet_result(res: Any, router_label: str, title: str) -> None:
     rows = [
         [
             router_label,
@@ -405,7 +432,7 @@ def _print_fleet_result(res, router_label: str, title: str) -> None:
         )
 
 
-def _print_report(scenario: Scenario, report) -> None:
+def _print_report(scenario: Scenario, report: SimReport) -> None:
     """Kind-appropriate tables plus the unified summary line."""
     base_title = (
         f"{scenario.model.name} — scenario `{scenario.name}` "
@@ -691,6 +718,34 @@ def _cmd_heatmap(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # local import: the lint machinery is pure stdlib+repro and never needed
+    # by the simulation entry points
+    import json as _json
+
+    from repro.lint import RULES, lint_paths
+
+    if args.list_rules:
+        for code in sorted(RULES):
+            rule = RULES[code]
+            scope = ", ".join(rule.scope) if rule.scope else "all paths"
+            print(f"{code} {rule.name}: {rule.description} [{scope}]")
+        return 0
+    try:
+        diagnostics = lint_paths(args.paths)
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps([d.to_dict() for d in diagnostics], indent=2))
+    else:
+        for diag in diagnostics:
+            print(diag.format())
+        if diagnostics:
+            print(f"found {len(diagnostics)} diagnostic(s)")
+    return 1 if diagnostics else 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "scenarios": _cmd_scenarios,
@@ -701,6 +756,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "fleet": _cmd_fleet,
     "heatmap": _cmd_heatmap,
+    "lint": _cmd_lint,
 }
 
 

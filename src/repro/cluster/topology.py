@@ -54,7 +54,7 @@ class Topology:
     properties — built once on first use, shared by all consumers.
     """
 
-    def __init__(self, cluster: ClusterConfig):
+    def __init__(self, cluster: ClusterConfig) -> None:
         self.cluster = cluster
 
     # -- identity ---------------------------------------------------------

@@ -21,7 +21,7 @@ import dataclasses
 import math
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterator
+from typing import Iterator, Sequence
 
 __all__ = [
     "GatingKind",
@@ -608,7 +608,7 @@ def validate_deployment(model: ModelConfig, cluster: ClusterConfig) -> None:
         )
 
 
-def geometric_mean(values) -> float:
+def geometric_mean(values: Sequence[float]) -> float:
     """Geometric mean helper used by benchmark summaries."""
     vals = list(values)
     if not vals:

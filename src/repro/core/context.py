@@ -44,7 +44,7 @@ class ContextStore:
     so off-home entries stay at zero.
     """
 
-    def __init__(self, num_gpus: int, requests_per_gpu: int | np.ndarray):
+    def __init__(self, num_gpus: int, requests_per_gpu: int | np.ndarray) -> None:
         if num_gpus < 1:
             raise ValueError("num_gpus must be >= 1")
         per_gpu = np.broadcast_to(

@@ -82,7 +82,7 @@ class ExFlowOptimizer:
         self.cluster = cluster
         self.strategy = strategy
 
-    def fit(self, trace: RoutingTrace, **solver_kwargs) -> ExFlowPlan:
+    def fit(self, trace: RoutingTrace, **solver_kwargs: object) -> ExFlowPlan:
         """Solve the placement from a profiling trace."""
         if trace.num_experts != self.model.num_experts:
             raise ValueError("trace expert count differs from model")

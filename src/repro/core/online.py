@@ -157,7 +157,7 @@ def plan_migration(
     pair_counts = np.bincount(src * g + dst, minlength=g * g).reshape(g, g)
 
     busy = np.zeros(g, dtype=np.float64)
-    for a, b in zip(*np.nonzero(pair_counts)):
+    for a, b in zip(*np.nonzero(pair_counts), strict=True):
         nbytes = int(pair_counts[a, b]) * expert_bytes
         t = cluster.link_between(int(a), int(b)).transfer_time(nbytes)
         busy[a] += t

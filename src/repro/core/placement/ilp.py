@@ -130,10 +130,7 @@ def ilp_placement(
             if j == 0 and L == 1:
                 break
             gpu_of[j] = assignment_solve(benefit, g)
-        if chain_objective(gpu_of, weights) <= before + 1e-9:
-            improved = False
-        else:
-            improved = True
+        improved = chain_objective(gpu_of, weights) > before + 1e-9
         if not improved:
             break
 
@@ -163,7 +160,8 @@ def _seed_layer(w0: np.ndarray, g: int) -> np.ndarray:
         members = [seed]
         unassigned.remove(seed)
         while len(members) < cap:
-            best = max(unassigned, key=lambda i: sim[i, members].sum())
+            score = sim[:, members].sum(axis=1)
+            best = max(unassigned, key=score.__getitem__)
             members.append(best)
             unassigned.remove(best)
         groups[members] = p
@@ -219,14 +217,14 @@ def joint_ilp_placement(
     y_weight: list[float] = []
     for j, w in enumerate(weights):
         src, dst = np.nonzero(w)
-        for i, ip in zip(src.tolist(), dst.tolist()):
+        for i, ip in zip(src.tolist(), dst.tolist(), strict=True):
             for p in range(g):
                 y_index[(j, i, ip, p)] = num_x + len(y_weight)
                 y_weight.append(float(w[i, ip]))
 
     n_vars = num_x + len(y_weight)
     c = np.zeros(n_vars)
-    for (j, i, ip, p), idx in y_index.items():
+    for idx in y_index.values():
         c[idx] = -y_weight[idx - num_x]  # milp minimises; negate to maximise
 
     rows_a: list[int] = []

@@ -32,7 +32,7 @@ def solve_placement(
     strategy: str,
     trace: RoutingTrace,
     cluster: ClusterConfig,
-    **kwargs,
+    **kwargs: object,
 ) -> Placement:
     """Build a placement for ``cluster`` from ``trace`` with ``strategy``.
 

@@ -20,7 +20,7 @@ from typing import Callable, TypeVar
 
 __all__ = ["deprecated_entry_point"]
 
-F = TypeVar("F", bound=Callable)
+F = TypeVar("F", bound=Callable[..., object])
 
 
 def deprecated_entry_point(replacement: str) -> Callable[[F], F]:
@@ -33,9 +33,9 @@ def deprecated_entry_point(replacement: str) -> Callable[[F], F]:
 
     def decorate(fn: F) -> F:
         @functools.wraps(fn)
-        def wrapper(*args, **kwargs):
-            if not wrapper._warned:
-                wrapper._warned = True
+        def wrapper(*args: object, **kwargs: object) -> object:
+            if not wrapper._warned:  # type: ignore[attr-defined]
+                wrapper._warned = True  # type: ignore[attr-defined]
                 warnings.warn(
                     f"{fn.__name__.lstrip('_')}() is deprecated; use "
                     f"{replacement} (see repro.scenarios)",
@@ -44,7 +44,7 @@ def deprecated_entry_point(replacement: str) -> Callable[[F], F]:
                 )
             return fn(*args, **kwargs)
 
-        wrapper._warned = False
+        wrapper._warned = False  # type: ignore[attr-defined]
         wrapper.__name__ = fn.__name__.lstrip("_")  # shim exports the public name
         wrapper.__qualname__ = wrapper.__name__
         return wrapper  # type: ignore[return-value]

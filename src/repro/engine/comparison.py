@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -24,6 +25,9 @@ from repro.engine.metrics import RunResult
 from repro.engine.reference import simulate_inference_reference
 from repro.engine.workload import DecodeWorkload, make_decode_workload
 from repro.trace.events import RoutingTrace
+
+if TYPE_CHECKING:
+    from repro.trace.markov import MarkovRoutingModel
 
 __all__ = ["ComparisonRow", "compare_modes"]
 
@@ -46,7 +50,7 @@ def compare_modes(
     model: ModelConfig,
     cluster: ClusterConfig,
     infer: InferenceConfig,
-    routing=None,
+    routing: MarkovRoutingModel | None = None,
     profile_trace: RoutingTrace | None = None,
     workload: DecodeWorkload | None = None,
     placement_strategy: str = "staged",

@@ -22,6 +22,9 @@ double-charged the primary-to-home return path here.
 
 from __future__ import annotations
 
+from functools import partial
+from typing import Callable
+
 import numpy as np
 
 from repro.cluster.collectives import allgather_cost, alltoall_matrix
@@ -70,7 +73,7 @@ def simulate_inference_reference(
     r = workload.num_requests
     layers = model.num_moe_layers
 
-    def compute_max(counts: np.ndarray, fn) -> float:
+    def compute_max(counts: np.ndarray, fn: Callable[[int], float]) -> float:
         """Lockstep time: the slowest GPU's share of a compute op."""
         return float(fn(int(counts.max()))) if counts.size else 0.0
 
@@ -92,7 +95,9 @@ def simulate_inference_reference(
 
             # attention + gating happen where tokens currently reside
             resident = np.bincount(loc, minlength=g)
-            attention_s += compute_max(resident, lambda n: cost.attention_time(n, ctx_len))
+            attention_s += compute_max(
+                resident, partial(cost.attention_time, context_len=ctx_len)
+            )
             gating_s += compute_max(resident, cost.gating_time)
 
             # dispatch Alltoall: current location -> expert's GPU

@@ -74,7 +74,12 @@ class RoundRobinRouter(Router):
     def __init__(self) -> None:
         self._next = 0
 
-    def choose(self, request, replicas, rng):
+    def choose(
+        self,
+        request: FleetRequest,
+        replicas: Sequence[Replica],
+        rng: np.random.Generator,
+    ) -> Replica:
         self._check(replicas)
         ordered = sorted(replicas, key=lambda r: r.replica_id)
         chosen = ordered[self._next % len(ordered)]
@@ -87,7 +92,12 @@ class JoinShortestQueueRouter(Router):
 
     name = "jsq"
 
-    def choose(self, request, replicas, rng):
+    def choose(
+        self,
+        request: FleetRequest,
+        replicas: Sequence[Replica],
+        rng: np.random.Generator,
+    ) -> Replica:
         self._check(replicas)
         return min(replicas, key=lambda r: (r.load, r.replica_id))
 
@@ -97,7 +107,12 @@ class PowerOfTwoRouter(Router):
 
     name = "p2c"
 
-    def choose(self, request, replicas, rng):
+    def choose(
+        self,
+        request: FleetRequest,
+        replicas: Sequence[Replica],
+        rng: np.random.Generator,
+    ) -> Replica:
         self._check(replicas)
         if len(replicas) == 1:
             return replicas[0]
@@ -148,7 +163,12 @@ class AffinityRouter(Router):
         self._kept_cache[key] = (replica.placement, score)
         return score
 
-    def choose(self, request, replicas, rng):
+    def choose(
+        self,
+        request: FleetRequest,
+        replicas: Sequence[Replica],
+        rng: np.random.Generator,
+    ) -> Replica:
         self._check(replicas)
         regime = min(request.regime, len(self.regimes) - 1)
 

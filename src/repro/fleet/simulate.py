@@ -417,9 +417,8 @@ def _simulate_fleet_serving(
             r = data
             r.state = ReplicaState.ACTIVE
             peak_routable = max(peak_routable, len(routable()))
-        elif kind == "scale":
-            if autoscaler is not None and done < total:
-                on_scale(t)
+        elif kind == "scale" and autoscaler is not None and done < total:
+            on_scale(t)
 
     end_times = [c.finished_s for c in completed] + [s.time_s for s in shed]
     makespan = max(end_times) - first_arrival if end_times else 0.0

@@ -1,0 +1,53 @@
+"""``repro lint`` — domain-specific static analysis for this repro.
+
+General-purpose linters check Python; this package checks the
+*invariants the reproduction's guarantees rest on*: seeded randomness
+(RPL001), clock/environment-free simulator logic (RPL002), unit-suffix
+safety (RPL003), frozen-spec hygiene (RPL004), set-iteration-order
+determinism (RPL005) and seed threading (RPL006).  See
+``repro.lint.rules`` for what each rule protects and ``DESIGN.md``
+("Static analysis & invariants") for how they relate to the runtime
+test suites.
+
+Entry points
+------------
+``repro lint [paths] [--json]`` on the command line, or::
+
+    from repro.lint import lint_paths
+    diagnostics = lint_paths(["src", "benchmarks", "examples"])
+
+Suppress a deliberate violation per line with
+``# repro-lint: disable=RPL001`` (comma-separate multiple codes,
+``disable-file=`` for whole-file scope) — and say why in the comment.
+"""
+
+from repro.lint.config import DEFAULT_CONFIG, LintConfig, PathOverride
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.framework import (
+    RULES,
+    FileContext,
+    ProjectIndex,
+    Rule,
+    collect_files,
+    lint_paths,
+    lint_sources,
+    register,
+)
+
+# importing the rules module populates the registry
+from repro.lint import rules as _rules  # noqa: F401
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "Diagnostic",
+    "FileContext",
+    "LintConfig",
+    "PathOverride",
+    "ProjectIndex",
+    "RULES",
+    "Rule",
+    "collect_files",
+    "lint_paths",
+    "lint_sources",
+    "register",
+]

@@ -1,0 +1,80 @@
+"""Per-directory rule selection for ``repro lint``.
+
+The default configuration encodes the repo's layering:
+
+* everything gets every rule by default;
+* test code keeps raw RNG and wall-clock freedom (``RPL001``/``RPL002``
+  exist to protect *simulator* determinism, and the suites deliberately
+  construct bad inputs);
+* benchmarks and examples are user-facing scripts — they must still
+  seed their RNGs (``RPL001``) but may read clocks to measure wall time,
+  so ``RPL002`` stays scoped to the simulator packages via the rule's
+  own ``scope`` (no override needed here).
+
+Overrides are ordered; later entries win, so a config can carve narrow
+exceptions inside a broader prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lint.framework import RULES, is_test_path
+
+__all__ = ["PathOverride", "LintConfig", "DEFAULT_CONFIG"]
+
+
+@dataclass(frozen=True)
+class PathOverride:
+    """Enable/disable rule codes for files under one path prefix.
+
+    ``prefix`` is a repo-relative posix prefix (``"tests/"``); the empty
+    string matches every file.  ``disable``/``enable`` adjust the rule
+    set inherited from earlier overrides (and the global selection).
+    """
+
+    prefix: str
+    disable: frozenset[str] = frozenset()
+    enable: frozenset[str] = frozenset()
+
+    def matches(self, relpath: str) -> bool:
+        norm = relpath.replace("\\", "/")
+        return norm.startswith(self.prefix) if self.prefix else True
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Which rules run where.
+
+    ``select`` is the base rule set (``None`` = every registered rule);
+    ``overrides`` are applied in order to files whose repo-relative path
+    matches.  Test files additionally drop ``disable_in_tests`` codes, a
+    path-shape rule (any ``tests/`` segment, ``test_*.py``,
+    ``conftest.py``) rather than a prefix, so it follows the file even
+    when linting a single test by path.
+    """
+
+    select: frozenset[str] | None = None
+    overrides: tuple[PathOverride, ...] = ()
+    disable_in_tests: frozenset[str] = frozenset()
+
+    def rules_for(self, relpath: str) -> frozenset[str]:
+        """Rule codes enabled for ``relpath`` (before per-rule scoping)."""
+        enabled = set(self.select) if self.select is not None else set(RULES)
+        for override in self.overrides:
+            if override.matches(relpath):
+                enabled -= override.disable
+                enabled |= override.enable
+        if self.disable_in_tests and is_test_path(relpath):
+            enabled -= self.disable_in_tests
+        return frozenset(enabled)
+
+
+#: The configuration ``repro lint`` uses unless told otherwise.
+DEFAULT_CONFIG = LintConfig(
+    select=None,
+    overrides=(),
+    # RPL001: test suites construct deliberately-bad RNG usage and seed
+    # via fixtures; RPL002: timing assertions may read clocks.
+    disable_in_tests=frozenset({"RPL001", "RPL002"}),
+)

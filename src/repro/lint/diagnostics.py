@@ -1,0 +1,42 @@
+"""Diagnostic records emitted by the ``repro lint`` rules.
+
+A :class:`Diagnostic` is one finding at one source location.  Diagnostics
+are plain frozen dataclasses so rule implementations stay side-effect
+free and the CLI can render them as text (``path:line:col: CODE message``)
+or JSON (``--json``) without the rules knowing about either format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Diagnostic"]
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    Ordering is (path, line, col, code) so a sorted diagnostic list reads
+    top-to-bottom per file — the order both output formats use.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """Human-readable one-liner, in the style of compiler output."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready mapping (the ``repro lint --json`` record shape)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }

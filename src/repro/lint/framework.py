@@ -1,0 +1,362 @@
+"""Rule framework for ``repro lint``: registry, file context, suppressions.
+
+The linter is a thin pipeline:
+
+1. collect ``.py`` files from the given paths,
+2. parse each into an :mod:`ast` tree plus a :class:`FileContext`
+   (source lines, repo-relative path, suppression comments),
+3. build one :class:`ProjectIndex` over *all* collected files (cross-file
+   facts, e.g. which functions accept a ``seed``/``rng`` parameter),
+4. run every rule enabled for that file's path, and
+5. drop diagnostics suppressed by ``# repro-lint: disable=RPLxxx``
+   comments, then sort.
+
+Rules subclass :class:`Rule` and register themselves with
+:func:`register`; each owns one ``RPL0xx`` code.  Rules never mutate
+shared state, so the runner is trivially re-entrant (the test suite
+lints inline snippets through the same entry points the CLI uses).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.lint.diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (config imports RULES)
+    from repro.lint.config import LintConfig
+
+__all__ = [
+    "FileContext",
+    "ProjectIndex",
+    "Rule",
+    "RULES",
+    "register",
+    "lint_paths",
+    "lint_sources",
+    "is_test_path",
+    "path_in_scope",
+]
+
+#: ``# repro-lint: disable=RPL001`` or ``disable=RPL001,RPL003`` or
+#: ``disable=all`` — suppresses matching diagnostics on that physical line.
+#: ``disable-file=`` suppresses for the whole file from any line.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<codes>all|RPL\d{3}(?:\s*,\s*RPL\d{3})*)"
+)
+
+
+def _parse_suppressions(lines: Sequence[str]) -> tuple[dict[int, frozenset[str]], frozenset[str]]:
+    """Extract per-line and file-level suppression sets from source lines."""
+    per_line: dict[int, frozenset[str]] = {}
+    file_level: set[str] = set()
+    for lineno, text in enumerate(lines, start=1):
+        if "repro-lint" not in text:
+            continue
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        codes = frozenset(c.strip() for c in match.group("codes").split(","))
+        if match.group("kind") == "disable-file":
+            file_level |= codes
+        else:
+            per_line[lineno] = per_line.get(lineno, frozenset()) | codes
+    return per_line, frozenset(file_level)
+
+
+def is_test_path(relpath: str) -> bool:
+    """True for files that count as test code (exempt from e.g. RPL001)."""
+    parts = Path(relpath).parts
+    name = parts[-1] if parts else ""
+    return (
+        "tests" in parts
+        or "test" in parts
+        or name.startswith("test_")
+        or name == "conftest.py"
+    )
+
+
+def path_in_scope(relpath: str, fragments: Sequence[str]) -> bool:
+    """True when ``relpath`` falls under any of the scope ``fragments``.
+
+    A fragment matches if it appears as a contiguous run of path segments,
+    so ``"repro/engine"`` matches ``src/repro/engine/costs.py`` but not
+    ``src/repro/engineering.py``.
+    """
+    norm = "/" + relpath.replace("\\", "/").strip("/") + "/"
+    for fragment in fragments:
+        frag = "/" + fragment.strip("/") + "/"
+        if frag in norm:
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class SeedFunction:
+    """One function definition that accepts a randomness parameter."""
+
+    name: str
+    seed_params: tuple[str, ...]  # the seed-like parameter names
+    positions: tuple[int, ...]  # their positional indices (-1 = keyword-only)
+
+
+class ProjectIndex:
+    """Cross-file facts shared by every rule in one lint run.
+
+    Currently: which function names take a ``seed``/``rng`` parameter
+    (RPL006's callee set).  Built once over all files in the run, so the
+    seed-threading rule can resolve plain-name and method calls without a
+    full import graph.
+    """
+
+    SEED_PARAM_NAMES = frozenset({"seed", "rng"})
+
+    def __init__(self) -> None:
+        self._seed_functions: dict[str, list[SeedFunction]] = {}
+        self._def_counts: dict[str, int] = {}
+
+    def add_tree(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            self._def_counts[node.name] = self._def_counts.get(node.name, 0) + 1
+            args = node.args
+            positional = [a.arg for a in args.posonlyargs + args.args]
+            seed_params: list[str] = []
+            positions: list[int] = []
+            for idx, name in enumerate(positional):
+                if name in self.SEED_PARAM_NAMES:
+                    seed_params.append(name)
+                    positions.append(idx)
+            for kwarg in args.kwonlyargs:
+                if kwarg.arg in self.SEED_PARAM_NAMES:
+                    seed_params.append(kwarg.arg)
+                    positions.append(-1)
+            if seed_params:
+                self._seed_functions.setdefault(node.name, []).append(
+                    SeedFunction(node.name, tuple(seed_params), tuple(positions))
+                )
+
+    def seed_functions(self, name: str) -> tuple[SeedFunction, ...]:
+        """Definitions of ``name`` taking a seed-like parameter.
+
+        Empty when the name is unknown *or* ambiguous — if any same-named
+        definition in the run takes no seed, the call target cannot be
+        resolved statically and flagging would be a coin flip.
+        """
+        infos = self._seed_functions.get(name, ())
+        if not infos or self._def_counts.get(name, 0) != len(infos):
+            return ()
+        return tuple(infos)
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: str  # path as given on the command line (display)
+    relpath: str  # normalized repo-relative posix path (scoping)
+    source: str
+    lines: tuple[str, ...]
+    tree: ast.Module
+    project: ProjectIndex
+    line_suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+    file_suppressions: frozenset[str] = frozenset()
+
+    @property
+    def is_test(self) -> bool:
+        return is_test_path(self.relpath)
+
+    def in_scope(self, fragments: Sequence[str] | None) -> bool:
+        """True when this file falls under the rule scope ``fragments``."""
+        if fragments is None:
+            return True
+        return path_in_scope(self.relpath, fragments)
+
+    def suppressed(self, line: int, code: str) -> bool:
+        if code in self.file_suppressions or "all" in self.file_suppressions:
+            return True
+        codes = self.line_suppressions.get(line)
+        return codes is not None and (code in codes or "all" in codes)
+
+
+class Rule:
+    """Base class for one ``RPL0xx`` check.
+
+    Subclasses set :attr:`code`, :attr:`name`, :attr:`description` and
+    optionally :attr:`scope` (path fragments the rule applies to; ``None``
+    means everywhere), then implement :meth:`check` yielding diagnostics.
+    Use :meth:`diag` so every finding carries the rule's code.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    #: Path fragments (see :func:`path_in_scope`) this rule is limited to.
+    scope: tuple[str, ...] | None = None
+    #: Skip test files entirely (e.g. RPL001 — tests may use raw RNG).
+    skip_tests: bool = False
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(self, ctx: FileContext, node: ast.AST, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+    def applies(self, ctx: FileContext) -> bool:
+        if self.skip_tests and ctx.is_test:
+            return False
+        return ctx.in_scope(self.scope)
+
+
+#: Registry of all known rules, keyed by ``RPL0xx`` code.
+RULES: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one instance of ``cls`` to :data:`RULES`."""
+    rule = cls()
+    if not re.fullmatch(r"RPL\d{3}", rule.code):
+        raise ValueError(f"rule code must look like RPL0xx, got {rule.code!r}")
+    if rule.code in RULES:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    RULES[rule.code] = rule
+    return cls
+
+
+def _relativize(path: Path, root: Path | None) -> str:
+    """Repo-relative posix path for scoping; falls back to the path itself."""
+    resolved = path.resolve()
+    base = (root or Path.cwd()).resolve()
+    try:
+        return resolved.relative_to(base).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen: dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterator[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = iter([path])
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        else:
+            candidates = iter(())
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            seen.setdefault(candidate, None)
+    return list(seen)
+
+
+def _build_context(
+    display_path: str,
+    relpath: str,
+    source: str,
+    project: ProjectIndex,
+) -> FileContext | Diagnostic:
+    """Parse one file; a syntax error becomes an RPL000 diagnostic."""
+    try:
+        tree = ast.parse(source, filename=display_path)
+    except SyntaxError as exc:
+        return Diagnostic(
+            path=display_path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            code="RPL000",
+            message=f"syntax error: {exc.msg}",
+        )
+    lines = tuple(source.splitlines())
+    per_line, file_level = _parse_suppressions(lines)
+    return FileContext(
+        path=display_path,
+        relpath=relpath,
+        source=source,
+        lines=lines,
+        tree=tree,
+        project=project,
+        line_suppressions=per_line,
+        file_suppressions=file_level,
+    )
+
+
+def lint_sources(
+    sources: Sequence[tuple[str, str]],
+    config: "LintConfig | None" = None,
+) -> list[Diagnostic]:
+    """Lint in-memory ``(relpath, source)`` pairs (the test-suite entry point).
+
+    Applies the same registry, config and suppression machinery as
+    :func:`lint_paths`; ``relpath`` doubles as the display path.
+    """
+    from repro.lint.config import DEFAULT_CONFIG
+
+    cfg = config if config is not None else DEFAULT_CONFIG
+    project = ProjectIndex()
+    contexts: list[FileContext] = []
+    diagnostics: list[Diagnostic] = []
+    for relpath, source in sources:
+        built = _build_context(relpath, relpath, source, project)
+        if isinstance(built, Diagnostic):
+            diagnostics.append(built)
+            continue
+        project.add_tree(built.tree)
+        contexts.append(built)
+    for ctx in contexts:
+        enabled = cfg.rules_for(ctx.relpath)
+        for code in sorted(enabled):
+            rule = RULES.get(code)
+            if rule is None or not rule.applies(ctx):
+                continue
+            for diag in rule.check(ctx):
+                if not ctx.suppressed(diag.line, diag.code):
+                    diagnostics.append(diag)
+    return sorted(diagnostics)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    config: "LintConfig | None" = None,
+    root: Path | None = None,
+) -> list[Diagnostic]:
+    """Lint files and directories on disk; returns sorted diagnostics.
+
+    ``root`` anchors repo-relative paths for scoping and per-directory
+    config (defaults to the current working directory).
+    """
+    files = collect_files(paths)
+    sources: list[tuple[str, str]] = []
+    display: dict[str, str] = {}
+    for file in files:
+        relpath = _relativize(file, root)
+        display[relpath] = str(file)
+        sources.append((relpath, file.read_text(encoding="utf-8")))
+    diagnostics = lint_sources(sources, config)
+    # restore the command-line spelling of each path for display
+    return sorted(
+        Diagnostic(
+            path=display.get(d.path, d.path),
+            line=d.line,
+            col=d.col,
+            code=d.code,
+            message=d.message,
+        )
+        for d in diagnostics
+    )

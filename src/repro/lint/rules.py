@@ -1,0 +1,833 @@
+"""The ``RPL0xx`` rules: the invariants this repro's guarantees rest on.
+
+Every headline number in the reproduction depends on properties no
+general-purpose linter checks:
+
+* bit-identical engine equivalence and same-seed reproducibility require
+  that *all* randomness flows through explicitly seeded
+  ``np.random.Generator`` objects (RPL001) and that simulator code never
+  reads wall clocks or the environment (RPL002);
+* the latency/cost math mixes ``_ms``/``_s``/``_bytes``/``_gb``
+  quantities that Python happily adds together (RPL003);
+* the Scenario spec is frozen so a run is exactly its JSON (RPL004);
+* results must not depend on set iteration order (RPL005);
+* determinism is only as good as the weakest link in the seed-threading
+  chain (RPL006).
+
+Each rule is small, path-scoped where the invariant is path-scoped, and
+suppressable per line with ``# repro-lint: disable=RPLxxx`` when a
+violation is deliberate (every suppression should say why).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.framework import FileContext, Rule, register
+
+__all__ = [
+    "UnseededRandomness",
+    "WallClockRead",
+    "UnitSuffixMix",
+    "FrozenSpecMutation",
+    "SetIterationOrder",
+    "SeedNotThreaded",
+]
+
+#: Path fragments housing simulator logic whose outputs must be a pure
+#: function of (spec, seed) — RPL002/RPL005's jurisdiction.
+SIM_SCOPE: tuple[str, ...] = (
+    "repro/engine",
+    "repro/fleet",
+    "repro/core",
+    "repro/scenarios",
+)
+
+
+# -- shared AST helpers --------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to canonical dotted import paths.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from numpy.random import default_rng`` ->
+    ``{"default_rng": "numpy.random.default_rng"}``.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                canonical = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = canonical
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def canonical_name(node: ast.AST, aliases: dict[str, str]) -> str | None:
+    """Resolve an expression's dotted name through the import aliases."""
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    base = aliases.get(head, head)
+    return f"{base}.{rest}" if rest else base
+
+
+def walk_functions(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def walk_scope(scope_node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a scope's own nodes, pruning nested function/lambda bodies."""
+    stack = list(ast.iter_child_nodes(scope_node))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# -- RPL001: unseeded randomness -----------------------------------------------
+
+# numpy.random attributes that are *not* the legacy global-state draws:
+# constructing generators/bit-generators is how seeding is done.
+_NP_RANDOM_CONSTRUCTORS = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator",
+     "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64"}
+)
+# stdlib random attributes that are fine: class constructors take a seed.
+_STDLIB_RANDOM_OK = frozenset({"Random", "SystemRandom", "getstate", "setstate"})
+
+
+@register
+class UnseededRandomness(Rule):
+    """RPL001 — all randomness must flow through a seeded Generator.
+
+    Flags module-level ``np.random.*`` draws (hidden global MT19937
+    state), bare ``random.*`` calls (hidden global state again) and
+    ``default_rng()``/``RandomState()`` constructed without a seed.
+    Same-seed reproducibility — the property every equivalence and
+    drift-recovery test asserts — dies the moment one of these slips in.
+    """
+
+    code = "RPL001"
+    name = "unseeded-randomness"
+    description = "np.random.* / random.* global-state draws or unseeded default_rng()"
+    skip_tests = True
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = canonical_name(node.func, aliases)
+            if name is None:
+                continue
+            if name.startswith("numpy.random."):
+                tail = name.removeprefix("numpy.random.")
+                if tail == "default_rng":
+                    if self._unseeded(node):
+                        yield self.diag(
+                            ctx, node,
+                            "default_rng() without a seed argument; pass an "
+                            "explicit seed so runs are reproducible",
+                        )
+                elif tail == "RandomState":
+                    if self._unseeded(node):
+                        yield self.diag(
+                            ctx, node,
+                            "RandomState() without a seed; use "
+                            "np.random.default_rng(seed) instead",
+                        )
+                elif "." not in tail and tail not in _NP_RANDOM_CONSTRUCTORS:
+                    yield self.diag(
+                        ctx, node,
+                        f"np.random.{tail}() draws from the unseeded global "
+                        "RNG; use a seeded np.random.default_rng(seed)",
+                    )
+            elif name.startswith("random."):
+                tail = name.removeprefix("random.")
+                if "." not in tail and tail not in _STDLIB_RANDOM_OK:
+                    yield self.diag(
+                        ctx, node,
+                        f"random.{tail}() uses the shared global RNG; use "
+                        "random.Random(seed) or np.random.default_rng(seed)",
+                    )
+
+    @staticmethod
+    def _unseeded(call: ast.Call) -> bool:
+        for kw in call.keywords:
+            if kw.arg is None:  # **kwargs may carry a seed
+                return False
+            if kw.arg == "seed":
+                return isinstance(kw.value, ast.Constant) and kw.value.value is None
+        if not call.args:
+            return True
+        first = call.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+
+
+# -- RPL002: wall-clock / environment reads ------------------------------------
+
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.strftime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.getenv",
+    }
+)
+
+
+@register
+class WallClockRead(Rule):
+    """RPL002 — simulator logic must not read clocks or the environment.
+
+    The engine/fleet/core/scenarios packages compute results that must be
+    a pure function of (spec, seed): a ``time.time()`` or ``os.environ``
+    read makes outputs depend on when/where the run happened, which the
+    bit-identical equivalence suites cannot detect (they run both engines
+    in the same process seconds apart).  ``time.perf_counter`` is *not*
+    flagged: measuring how long the simulator took is fine as long as the
+    measurement never feeds back into simulated results.
+    """
+
+    code = "RPL002"
+    name = "wall-clock-read"
+    description = "time.time/datetime.now/os.environ inside simulator packages"
+    scope = SIM_SCOPE
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = canonical_name(node.func, aliases)
+                if name in _CLOCK_CALLS:
+                    yield self.diag(
+                        ctx, node,
+                        f"{name}() read inside simulator logic; results must "
+                        "be a pure function of (spec, seed)",
+                    )
+            elif isinstance(node, ast.Attribute):
+                name = canonical_name(node, aliases)
+                if name == "os.environ":
+                    yield self.diag(
+                        ctx, node,
+                        "os.environ read inside simulator logic; thread "
+                        "configuration through the Scenario spec instead",
+                    )
+
+
+# -- RPL003: unit-suffix safety ------------------------------------------------
+
+#: suffix -> dimension; adding/comparing across different suffixes is the bug
+#: (multiplying/dividing is how conversions are *supposed* to happen, so
+#: ``*``/``/`` deliberately yield an unknown unit).
+UNIT_SUFFIXES: dict[str, str] = {
+    "ns": "time",
+    "us": "time",
+    "ms": "time",
+    "s": "time",
+    "bytes": "size",
+    "kb": "size",
+    "mb": "size",
+    "gb": "size",
+    "gib": "size",
+}
+
+_CMP_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def _name_unit(name: str | None) -> str | None:
+    """``arrival_ms`` -> ``ms``; ``None`` when the name carries no unit."""
+    if not name or "_" not in name:
+        return None
+    suffix = name.rsplit("_", 1)[1]
+    return suffix if suffix in UNIT_SUFFIXES else None
+
+
+def _expr_unit(node: ast.AST) -> str | None:
+    """Best-effort unit of an expression; ``None`` = unknown/unitless."""
+    if isinstance(node, ast.Name):
+        return _name_unit(node.id)
+    if isinstance(node, ast.Attribute):
+        return _name_unit(node.attr)
+    if isinstance(node, ast.UnaryOp):
+        return _expr_unit(node.operand)
+    if isinstance(node, ast.Call):
+        func = node.func
+        callee = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if callee in ("min", "max", "sum", "abs", "round"):
+            units = {u for a in node.args if (u := _expr_unit(a)) is not None}
+            return units.pop() if len(units) == 1 else None
+        return _name_unit(callee)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        left, right = _expr_unit(node.left), _expr_unit(node.right)
+        if left == right:
+            return left
+        return None
+    if isinstance(node, ast.IfExp):
+        body, orelse = _expr_unit(node.body), _expr_unit(node.orelse)
+        return body if body == orelse else None
+    return None
+
+
+@register
+class UnitSuffixMix(Rule):
+    """RPL003 — don't add/compare/assign across conflicting unit suffixes.
+
+    ``deadline_s = arrival_s + slo_ms`` type-checks, runs, and silently
+    corrupts every latency percentile downstream.  The rule infers a unit
+    from the ``_ms``/``_s``/``_us``/``_bytes``/``_gb`` naming convention
+    and flags ``+``/``-``, comparisons, (augmented) assignment, keyword
+    arguments and return values whose two sides disagree.  ``*`` and
+    ``/`` are exempt — that is what a unit conversion looks like.
+    """
+
+    code = "RPL003"
+    name = "unit-suffix-mix"
+    description = "arithmetic/assignment mixing conflicting _ms/_s/_bytes suffixes"
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                yield from self._conflict(
+                    ctx, node, _expr_unit(node.left), _expr_unit(node.right),
+                    "+/- arithmetic",
+                )
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for idx, op in enumerate(node.ops):
+                    if isinstance(op, _CMP_OPS):
+                        yield from self._conflict(
+                            ctx, node,
+                            _expr_unit(operands[idx]), _expr_unit(operands[idx + 1]),
+                            "comparison",
+                        )
+            elif isinstance(node, ast.Assign):
+                value_unit = _expr_unit(node.value)
+                for target in node.targets:
+                    yield from self._conflict(
+                        ctx, node, _expr_unit(target), value_unit, "assignment"
+                    )
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                yield from self._conflict(
+                    ctx, node, _expr_unit(node.target), _expr_unit(node.value),
+                    "assignment",
+                )
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._conflict(
+                    ctx, node, _expr_unit(node.target), _expr_unit(node.value),
+                    "augmented assignment",
+                )
+            elif isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if kw.arg is not None:
+                        yield from self._conflict(
+                            ctx, kw.value, _name_unit(kw.arg), _expr_unit(kw.value),
+                            f"keyword argument {kw.arg!r}",
+                        )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn_unit = _name_unit(node.name)
+                if fn_unit is None:
+                    continue
+                for ret in ast.walk(node):
+                    if (
+                        isinstance(ret, ast.Return)
+                        and ret.value is not None
+                        and not self._in_nested_function(node, ret)
+                    ):
+                        yield from self._conflict(
+                            ctx, ret, fn_unit, _expr_unit(ret.value),
+                            f"return from {node.name}()",
+                        )
+
+    def _conflict(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        left: str | None,
+        right: str | None,
+        where: str,
+    ) -> Iterator[Diagnostic]:
+        if left is not None and right is not None and left != right:
+            yield self.diag(
+                ctx, node,
+                f"{where} mixes conflicting unit suffixes "
+                f"_{left} and _{right}; convert explicitly (* / /)",
+            )
+
+    @staticmethod
+    def _in_nested_function(outer: ast.AST, target: ast.AST) -> bool:
+        """True when ``target`` belongs to a def nested inside ``outer``."""
+        for child in ast.walk(outer):
+            if child is outer:
+                continue
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ) and any(grand is target for grand in ast.walk(child)):
+                return True
+        return False
+
+
+# -- RPL004: frozen-spec hygiene -----------------------------------------------
+
+#: modules whose own serde/validation code may use object.__setattr__ freely
+_SPEC_MODULES = ("repro/config.py", "repro/scenarios/spec.py")
+
+
+def _frozen_spec_class_names() -> frozenset[str]:
+    """Names of the frozen dataclasses in config.py and scenarios/spec.py.
+
+    Read off the live modules so the rule stays in lockstep with the spec
+    without a hand-maintained list; falls back to a pinned set if the
+    import is unavailable (e.g. linting from a stripped environment).
+    """
+    names: set[str] = set()
+    try:
+        import repro.config as config_mod
+        import repro.scenarios.spec as spec_mod
+    except Exception:  # pragma: no cover - import failure fallback
+        return frozenset(
+            {
+                "ModelConfig", "LinkSpec", "ClusterConfig", "InferenceConfig",
+                "ServingConfig", "FleetConfig", "DriftSpec", "ReplacementSpec",
+                "FlashCrowdSpec", "Scenario",
+            }
+        )
+    for mod in (config_mod, spec_mod):
+        for name, obj in vars(mod).items():
+            if (
+                isinstance(obj, type)
+                and dataclasses.is_dataclass(obj)
+                and obj.__dataclass_params__.frozen
+            ):
+                names.add(name)
+    return frozenset(names)
+
+
+def _annotation_classes(annotation: ast.AST | None) -> set[str]:
+    """Class names mentioned in a (possibly union/optional) annotation."""
+    if annotation is None:
+        return set()
+    found: set[str] = set()
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name):
+            found.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            found.add(node.attr)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            found.add(node.value.split(".")[-1].strip())
+    return found
+
+
+@register
+class FrozenSpecMutation(Rule):
+    """RPL004 — never mutate a Scenario/config object after construction.
+
+    Frozen specs are what make a run reproducible from its JSON: the
+    sweep runner pickles them across processes, the registry hands the
+    same instance to every caller, and ``to_dict``/``from_dict`` assume
+    value semantics.  Attribute assignment raises at runtime — but
+    ``object.__setattr__`` does not, so the escape hatch is flagged
+    everywhere except a frozen dataclass's own ``__post_init__`` (the
+    standard normalization idiom) and the two spec modules themselves.
+    Use ``dataclasses.replace`` to derive modified specs.
+    """
+
+    code = "RPL004"
+    name = "frozen-spec-mutation"
+    description = "attribute assignment on frozen spec instances / setattr escapes"
+
+    _frozen_names: frozenset[str] | None = None
+
+    @classmethod
+    def frozen_names(cls) -> frozenset[str]:
+        if cls._frozen_names is None:
+            cls._frozen_names = _frozen_spec_class_names()
+        return cls._frozen_names
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        frozen = self.frozen_names()
+        in_spec_module = any(ctx.relpath.endswith(m) for m in _SPEC_MODULES)
+        instances = self._inferred_instances(ctx.tree, frozen)
+        post_init_spans = self._post_init_spans(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if not isinstance(target, ast.Attribute):
+                        continue
+                    base = target.value
+                    if (
+                        isinstance(base, ast.Name)
+                        and base.id in instances
+                        and not self._inside(post_init_spans, node)
+                    ):
+                        yield self.diag(
+                            ctx, node,
+                            f"attribute assignment on frozen "
+                            f"{instances[base.id]} instance {base.id!r}; use "
+                            "dataclasses.replace to derive a new spec",
+                        )
+            elif isinstance(node, ast.Call) and not in_spec_module:
+                name = dotted_name(node.func)
+                if name == "object.__setattr__" and not self._allowed_setattr(
+                    node, post_init_spans
+                ):
+                    yield self.diag(
+                        ctx, node,
+                        "object.__setattr__ outside a frozen dataclass's own "
+                        "__post_init__ bypasses spec immutability",
+                    )
+
+    @staticmethod
+    def _inferred_instances(
+        tree: ast.Module, frozen: frozenset[str]
+    ) -> dict[str, str]:
+        """Local names statically known to hold frozen-spec instances."""
+        instances: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                callee = dotted_name(node.value.func)
+                cls = callee.split(".")[-1] if callee else None
+                if cls in frozen:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            instances[target.id] = cls
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                hit = _annotation_classes(node.annotation) & frozen
+                if hit:
+                    instances[node.target.id] = sorted(hit)[0]
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                    hit = _annotation_classes(arg.annotation) & frozen
+                    if hit:
+                        instances[arg.arg] = sorted(hit)[0]
+        return instances
+
+    @staticmethod
+    def _post_init_spans(tree: ast.Module) -> list[tuple[int, int]]:
+        """Line spans of ``__post_init__`` methods of dataclass classes."""
+        spans: list[tuple[int, int]] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            is_dataclass_decorated = any(
+                (dotted_name(d) or "").endswith("dataclass")
+                or (
+                    isinstance(d, ast.Call)
+                    and (dotted_name(d.func) or "").endswith("dataclass")
+                )
+                for d in node.decorator_list
+            )
+            if not is_dataclass_decorated:
+                continue
+            for item in node.body:
+                if (
+                    isinstance(item, ast.FunctionDef)
+                    and item.name == "__post_init__"
+                ):
+                    spans.append((item.lineno, item.end_lineno or item.lineno))
+        return spans
+
+    @staticmethod
+    def _inside(spans: Sequence[tuple[int, int]], node: ast.AST) -> bool:
+        line = getattr(node, "lineno", 0)
+        return any(lo <= line <= hi for lo, hi in spans)
+
+    @classmethod
+    def _allowed_setattr(
+        cls, call: ast.Call, post_init_spans: Sequence[tuple[int, int]]
+    ) -> bool:
+        """``object.__setattr__(self, ...)`` inside a __post_init__ is idiom."""
+        if not call.args:
+            return False
+        first = call.args[0]
+        return (
+            isinstance(first, ast.Name)
+            and first.id == "self"
+            and cls._inside(post_init_spans, call)
+        )
+
+
+# -- RPL005: set-iteration-order hazards ---------------------------------------
+
+_ORDER_SINKS = frozenset({"list", "tuple", "enumerate"})
+_ORDER_SAFE_CALLS = frozenset(
+    {"sorted", "set", "frozenset", "len", "min", "max", "sum", "any", "all"}
+)
+
+
+def _is_set_expr(node: ast.AST, set_vars: frozenset[str]) -> bool:
+    """True when ``node`` statically evaluates to a set/frozenset."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.Name):
+        return node.id in set_vars
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_expr(node.left, set_vars) and _is_set_expr(
+            node.right, set_vars
+        )
+    return False
+
+
+@register
+class SetIterationOrder(Rule):
+    """RPL005 — iteration order of sets must never reach results.
+
+    Python set iteration order depends on insertion history and hash
+    randomization of the values involved; a ``for gpu in
+    visited_gpus:`` in placement or fleet code turns into
+    run-to-run-different placements that *both* engines faithfully agree
+    on — the equivalence suite cannot catch it.  Iterate ``sorted(...)``
+    instead (every flagged site has a total order available).  Scoped to
+    the simulator packages; dict iteration is fine (insertion-ordered).
+    """
+
+    code = "RPL005"
+    name = "set-iteration-order"
+    description = "iterating a set / materializing set order inside simulator code"
+    scope = ("repro/engine", "repro/fleet", "repro/core")
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        # per-scope (module body or function body) set-variable tracking
+        scopes: list[ast.AST] = [ctx.tree, *walk_functions(ctx.tree)]
+        for scope_node in scopes:
+            set_vars = self._set_vars(scope_node)
+            for node in walk_scope(scope_node):
+                yield from self._check_node(ctx, node, set_vars)
+
+    @staticmethod
+    def _set_vars(scope_node: ast.AST) -> frozenset[str]:
+        names: set[str] = set()
+        for node in walk_scope(scope_node):
+            if isinstance(node, ast.Assign) and _is_set_expr(
+                node.value, frozenset(names)
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                ann = node.annotation
+                ann_name = (dotted_name(ann) or "").split(".")[-1]
+                if ann_name in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet"):
+                    names.add(node.target.id)
+                elif (
+                    isinstance(ann, ast.Subscript)
+                    and (dotted_name(ann.value) or "").split(".")[-1]
+                    in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet")
+                ):
+                    names.add(node.target.id)
+        return frozenset(names)
+
+    def _check_node(
+        self, ctx: FileContext, node: ast.AST, set_vars: frozenset[str]
+    ) -> Iterator[Diagnostic]:
+        if isinstance(node, ast.For) and _is_set_expr(node.iter, set_vars):
+            yield self.diag(
+                ctx, node,
+                "iterating a set: order depends on hashes/insertion history "
+                "and can leak into results; iterate sorted(...) instead",
+            )
+        elif isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                if _is_set_expr(gen.iter, set_vars) and not self._order_safe(node):
+                    yield self.diag(
+                        ctx, gen.iter,
+                        "comprehension over a set materializes its iteration "
+                        "order; use sorted(...) as the source",
+                    )
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            callee = node.func.id
+            if callee in _ORDER_SINKS and node.args and _is_set_expr(
+                node.args[0], set_vars
+            ):
+                yield self.diag(
+                    ctx, node,
+                    f"{callee}() over a set materializes its iteration order; "
+                    "wrap the set in sorted(...)",
+                )
+        elif isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if (
+                name == "dict.fromkeys"
+                and node.args
+                and _is_set_expr(node.args[0], set_vars)
+            ):
+                yield self.diag(
+                    ctx, node,
+                    "dict.fromkeys over a set builds a dict whose order "
+                    "follows set iteration; sort the keys first",
+                )
+
+    def _order_safe(self, comp: ast.AST) -> bool:
+        """SetComp results are unordered anyway; others are handled by caller."""
+        return isinstance(comp, ast.SetComp)
+
+
+# -- RPL006: seed threading ----------------------------------------------------
+
+
+@register
+class SeedNotThreaded(Rule):
+    """RPL006 — a function given a seed/rng must pass it on.
+
+    Determinism is a chain property: one helper that takes ``seed`` but
+    calls a seed-taking collaborator with its default severs the chain
+    silently (the callee falls back to its default seed and every run
+    looks reproducible — until two call sites disagree).  The rule
+    indexes every function in the lint run that accepts a ``seed``/
+    ``rng`` parameter and flags calls from one to another that forward
+    neither, positionally nor by keyword.
+    """
+
+    code = "RPL006"
+    name = "seed-not-threaded"
+    description = "seed/rng parameter not forwarded to a seed-taking callee"
+
+    SEED_NAMES = frozenset({"seed", "rng"})
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for fn in walk_functions(ctx.tree):
+            own = self._seed_params(fn)
+            if not own:
+                continue
+            derived = self._derived_names(fn, own)
+            for node in walk_scope(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = self._callee_name(node.func)
+                if callee is None or callee == fn.name:
+                    continue
+                infos = ctx.project.seed_functions(callee)
+                if not infos:
+                    continue
+                if self._forwards(node, derived, infos):
+                    continue
+                yield self.diag(
+                    ctx, node,
+                    f"{fn.name}() takes {'/'.join(sorted(own))} but calls "
+                    f"{callee}() without forwarding it; pass "
+                    f"{sorted(own)[0]} through explicitly",
+                )
+
+    @classmethod
+    def _seed_params(cls, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> frozenset[str]:
+        args = fn.args
+        names = [a.arg for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]]
+        return frozenset(n for n in names if n in cls.SEED_NAMES)
+
+    @staticmethod
+    def _derived_names(fn: ast.AST, own: frozenset[str]) -> frozenset[str]:
+        """Seed params plus locals derived from them (``rng =
+        default_rng(seed)``): passing any of these counts as threading."""
+        derived = set(own)
+        grew = True
+        while grew:  # transitive: a = f(seed); b = g(a)
+            grew = False
+            for node in walk_scope(fn):
+                if not isinstance(node, ast.Assign):
+                    continue
+                mentions = any(
+                    isinstance(sub, ast.Name) and sub.id in derived
+                    for sub in ast.walk(node.value)
+                )
+                if not mentions:
+                    continue
+                for target in node.targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Name) and sub.id not in derived:
+                            derived.add(sub.id)
+                            grew = True
+        return frozenset(derived)
+
+    @staticmethod
+    def _callee_name(func: ast.AST) -> str | None:
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return None
+
+    @classmethod
+    def _forwards(
+        cls,
+        call: ast.Call,
+        own: frozenset[str],
+        infos: Sequence[object],
+    ) -> bool:
+        # keyword seed=/rng= (any value) or **kwargs counts as an explicit
+        # decision; so does the caller's own seed/rng appearing anywhere in
+        # the argument list (e.g. f(derive(seed)) or positional forwarding)
+        for kw in call.keywords:
+            if kw.arg is None or kw.arg in cls.SEED_NAMES:
+                return True
+        for arg in call.args:
+            if isinstance(arg, ast.Starred):
+                return True
+        for node in call.args:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Name) and sub.id in own:
+                    return True
+        for kw in call.keywords:
+            for sub in ast.walk(kw.value):
+                if isinstance(sub, ast.Name) and sub.id in own:
+                    return True
+        # positional coverage of the callee's seed slot (method calls on
+        # self shift the provided-arg index by one for the bound receiver)
+        shift = 1 if (
+            isinstance(call.func, ast.Attribute)
+            and isinstance(call.func.value, ast.Name)
+            and call.func.value.id == "self"
+        ) else 0
+        provided = len(call.args) + shift
+        for info in infos:
+            positions = getattr(info, "positions", ())
+            if any(0 <= p < provided for p in positions):
+                return True
+        return False

@@ -68,7 +68,7 @@ class CausalSelfAttention:
         Initialisation source.
     """
 
-    def __init__(self, d_model: int, num_heads: int, rng: np.random.Generator):
+    def __init__(self, d_model: int, num_heads: int, rng: np.random.Generator) -> None:
         if d_model % num_heads != 0:
             raise ValueError(f"d_model {d_model} not divisible by num_heads {num_heads}")
         self.d_model = d_model

@@ -32,7 +32,9 @@ class ExpertBank:
         is what lets experts specialise once the gate differentiates them.
     """
 
-    def __init__(self, num_experts: int, d_model: int, d_ff: int, rng: np.random.Generator):
+    def __init__(
+        self, num_experts: int, d_model: int, d_ff: int, rng: np.random.Generator
+    ) -> None:
         if min(num_experts, d_model, d_ff) < 1:
             raise ValueError("num_experts, d_model and d_ff must be positive")
         self.num_experts = num_experts

@@ -10,9 +10,11 @@ feeds affinity estimation and the distributed-engine replay.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
+from repro.model.gating import GateOutput
 from repro.model.tensors import softmax
 from repro.model.transformer import MoETransformer
 
@@ -97,7 +99,7 @@ def generate(
     request_chunks: list[np.ndarray] = []
     prefill_chunks: list[np.ndarray] = []
 
-    def _stack(routs, seq: int, is_prefill: bool) -> None:
+    def _stack(routs: Sequence[GateOutput], seq: int, is_prefill: bool) -> None:
         if not routs:
             return
         paths = np.stack([r.top1 for r in routs], axis=1)  # (batch*seq, L_moe)

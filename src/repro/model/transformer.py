@@ -37,7 +37,7 @@ class BlockState:
 class _DenseFFN:
     """Plain two-matrix FFN used for non-MoE blocks."""
 
-    def __init__(self, d_model: int, d_ff: int, rng: np.random.Generator):
+    def __init__(self, d_model: int, d_ff: int, rng: np.random.Generator) -> None:
         self.w_in = normal_init(rng, d_model, d_ff)
         self.w_out = normal_init(rng, d_ff, d_model)
 
@@ -48,7 +48,7 @@ class _DenseFFN:
 class _Block:
     """One decoder block: attention + (MoE or dense) FFN, pre-norm residual."""
 
-    def __init__(self, config: ModelConfig, is_moe: bool, rng: np.random.Generator):
+    def __init__(self, config: ModelConfig, is_moe: bool, rng: np.random.Generator) -> None:
         self.attn = CausalSelfAttention(config.d_model, config.num_heads, rng)
         self.is_moe = is_moe
         if is_moe:
@@ -72,10 +72,11 @@ class _Block:
         h = layer_norm(x)
         b, s, d = h.shape
         flat = h.reshape(b * s, d)
+        routing = None
         if self.is_moe:
             y, routing = self.ffn(flat)  # type: ignore[misc]
         else:
-            y, routing = self.ffn(flat), None
+            y = self.ffn(flat)
         return x + y.reshape(b, s, d), routing
 
 
@@ -99,7 +100,7 @@ class MoETransformer:
     positions batch-major: token ``(b, s)`` is row ``b * seq + s``.
     """
 
-    def __init__(self, config: ModelConfig, rng: np.random.Generator | None = None):
+    def __init__(self, config: ModelConfig, rng: np.random.Generator | None = None) -> None:
         rng = rng or np.random.default_rng(0)
         self.config = config
         self.wte = normal_init(rng, config.vocab_size, config.d_model)
@@ -146,7 +147,7 @@ class MoETransformer:
 
         x = self.wte[tokens] + self.wpe[past : past + s][None, :, :]
         routings: list[GateOutput] = []
-        for block, state in zip(self.blocks, states):
+        for block, state in zip(self.blocks, states, strict=True):
             x, routing = block(x, state)
             if routing is not None:
                 routings.append(routing)

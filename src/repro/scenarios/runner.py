@@ -18,7 +18,7 @@ import dataclasses
 import math
 import multiprocessing
 import os
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.config import ExecutionMode
 from repro.engine.comparison import compare_modes
@@ -169,10 +169,10 @@ def _run_online(s: Scenario) -> SimReport:
     )
 
 
-def _diurnal_mix(horizon_s: float):
+def _diurnal_mix(horizon_s: float) -> Callable[[float], tuple[float, float]]:
     """fig16a's regime process: two regimes rotating once over the horizon."""
 
-    def weights(t: float):
+    def weights(t: float) -> tuple[float, float]:
         w = 0.5 * (1.0 - math.cos(2.0 * math.pi * t / horizon_s))
         return (1.0 - w, w)
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import types
 import typing
 from dataclasses import dataclass
@@ -111,7 +112,7 @@ class FlashCrowdSpec:
 # schema.
 
 
-def _encode(obj):
+def _encode(obj: object) -> object:
     if isinstance(obj, Enum):  # before str: GatingKind/ExecutionMode are str enums
         return obj.value
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
@@ -123,7 +124,7 @@ def _encode(obj):
     raise TypeError(f"cannot serialize scenario field of type {type(obj).__name__}")
 
 
-def _decode(tp, data, where: str):
+def _decode(tp: typing.Any, data: typing.Any, where: str) -> typing.Any:
     origin = typing.get_origin(tp)
     if origin in (typing.Union, types.UnionType):
         args = [a for a in typing.get_args(tp) if a is not type(None)]
@@ -302,12 +303,12 @@ class Scenario:
 
     # -- serde -----------------------------------------------------------------
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         """Plain-JSON-types dict; inverse of :meth:`from_dict`."""
         return _encode(self)
 
     @classmethod
-    def from_dict(cls, data: dict) -> "Scenario":
+    def from_dict(cls, data: dict[str, object]) -> "Scenario":
         return _decode(cls, data, "scenario")
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -317,11 +318,11 @@ class Scenario:
     def from_json(cls, text: str) -> "Scenario":
         return cls.from_dict(json.loads(text))
 
-    def save(self, path) -> None:
+    def save(self, path: str | os.PathLike[str]) -> None:
         with open(path, "w") as fh:
             fh.write(self.to_json() + "\n")
 
     @classmethod
-    def load(cls, path) -> "Scenario":
+    def load(cls, path: str | os.PathLike[str]) -> "Scenario":
         with open(path) as fh:
             return cls.from_json(fh.read())

@@ -93,7 +93,9 @@ class RoutingTrace:
             source=self.source or other.source,
         )
 
-    def split(self, fraction: float, rng: np.random.Generator | None = None):
+    def split(
+        self, fraction: float, rng: np.random.Generator | None = None
+    ) -> tuple["RoutingTrace", "RoutingTrace"]:
         """Random (train, eval) split — profiling vs benchmarking sets."""
         if not 0.0 < fraction < 1.0:
             raise ValueError("fraction must be in (0, 1)")

@@ -83,7 +83,7 @@ class GateStackTrainer:
         experts eventually specialise on.
     """
 
-    def __init__(self, config: TrainerConfig, corpus: TopicCorpus):
+    def __init__(self, config: TrainerConfig, corpus: TopicCorpus) -> None:
         self.config = config
         self.corpus = corpus
         rng = np.random.default_rng(config.seed)
@@ -148,7 +148,7 @@ class GateStackTrainer:
 
         total_balance = 0.0
         total_conf = 0.0
-        for gate, h in zip(self.gates, states):
+        for gate, h in zip(self.gates, states, strict=True):
             out = gate(h)
             n = h.shape[0]
 
@@ -203,6 +203,6 @@ class GateStackTrainer:
         tokens = docs.ravel()[:num_tokens]
         states = self.hidden_states(tokens)
         paths = np.stack(
-            [gate(h).top1 for gate, h in zip(self.gates, states)], axis=1
+            [gate(h).top1 for gate, h in zip(self.gates, states, strict=True)], axis=1
         )
         return RoutingTrace(paths, self.config.num_experts, source="probe")

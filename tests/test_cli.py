@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from typing import ClassVar
 
 import numpy as np
 import pytest
@@ -330,7 +331,7 @@ class TestServe:
 
 
 class TestFleet:
-    _BASE = [
+    _BASE: ClassVar[list[str]] = [
         "fleet",
         "--model",
         "gpt-m-350m-e8",
@@ -352,7 +353,7 @@ class TestFleet:
 
     def test_runs_each_router(self, capsys):
         for router in ("round-robin", "jsq", "p2c", "affinity"):
-            code = main(self._BASE + ["--router", router])
+            code = main([*self._BASE, "--router", router])
             assert code == 0
             out = capsys.readouterr().out
             assert router in out
@@ -361,8 +362,7 @@ class TestFleet:
 
     def test_autoscale_flag(self, capsys):
         code = main(
-            self._BASE
-            + ["--router", "jsq", "--autoscale", "--min-replicas", "1", "--max-replicas", "4"]
+            [*self._BASE,"--router", "jsq", "--autoscale", "--min-replicas", "1", "--max-replicas", "4"]
         )
         assert code == 0
         # quiet traffic: the fleet may shrink but the command must succeed
@@ -371,25 +371,25 @@ class TestFleet:
     def test_slo_ms_flag_sheds_when_impossible(self, capsys):
         # sub-microsecond SLO: every predicted latency violates it, so the
         # shed % cell must be non-zero (the only percent-formatted zero)
-        code = main(self._BASE + ["--router", "jsq", "--slo-ms", "0.001"])
+        code = main([*self._BASE, "--router", "jsq", "--slo-ms", "0.001"])
         assert code == 0
         out = capsys.readouterr().out
         assert "0.00%" not in out
 
     def test_rejects_unknown_router(self):
         with pytest.raises(SystemExit):
-            main(self._BASE + ["--router", "alphabetical"])
+            main([*self._BASE, "--router", "alphabetical"])
 
     def test_conflicting_replica_bounds_error(self):
         # with autoscaling on, --replicas 2 above --max-replicas 1 must
         # surface FleetConfig's ValueError, not silently widen the cap
         with pytest.raises(ValueError):
-            main(self._BASE + ["--autoscale", "--max-replicas", "1"])
+            main([*self._BASE, "--autoscale", "--max-replicas", "1"])
 
     def test_static_fleet_ignores_autoscaler_bounds(self, capsys):
         # without --autoscale the replica-count bounds are meaningless; a
         # static fleet larger than the default max must just run
-        code = main(self._BASE + ["--replicas", "9", "--requests", "16"])
+        code = main([*self._BASE, "--replicas", "9", "--requests", "16"])
         assert code == 0
         assert "per-replica" in capsys.readouterr().out
 

@@ -128,7 +128,7 @@ class TestArrivals:
             burst_persistence=0.9,
             seed=1,
         )
-        gaps = np.diff([0.0] + [q.arrival_s for q in bursty_arrivals(cfg)])
+        gaps = np.diff([0.0, *(q.arrival_s for q in bursty_arrivals(cfg))])
         assert gaps.mean() == pytest.approx(1.0 / 200.0, rel=0.05)
 
     def test_bursty_has_fatter_gap_tail(self):

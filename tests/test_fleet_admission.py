@@ -85,7 +85,7 @@ class TestPrediction:
         ctrl = _controller()
         # empty queue: pure service = 10 steps x 10ms
         assert ctrl.predicted_latency_s(r, _req()) == pytest.approx(0.1)
-        for i in range(16):
+        for _ in range(16):
             r.enqueue(_req())
         # 16 queued / cap 8 => two full drain cycles of queueing ahead
         assert ctrl.predicted_latency_s(r, _req()) == pytest.approx(0.1 + 2 * 0.1)
@@ -116,7 +116,7 @@ class TestShedding:
     def test_queue_cap_is_hard(self):
         r = _replica()
         ctrl = _controller(max_queue_per_replica=4)
-        for i in range(4):
+        for _ in range(4):
             r.enqueue(_req())
         # even a cold replica (no prediction) sheds once the queue is full
         assert ctrl.assess(_req(), r, 0.0) == "queue-full"

@@ -120,7 +120,7 @@ class TestPaperClaimShapes:
             exflow_stay.append(placement_locality(p, trace).gpu_stay_fraction)
             vanilla_stay.append(placement_locality(v, trace).gpu_stay_fraction)
         assert exflow_stay[0] > exflow_stay[1] > exflow_stay[2]
-        assert all(x > v for x, v in zip(exflow_stay, vanilla_stay))
+        assert all(x > v for x, v in zip(exflow_stay, vanilla_stay, strict=True))
 
     def test_ood_consistency(self):
         """Table III shape: a placement profiled on 'pile' keeps its

@@ -83,7 +83,7 @@ class TestLocality:
         for k in (0, 2, 4, 8):
             rep = popularity_replication(trace, 4, k)
             stays.append(replicated_locality(rep, trace).gpu_stay_fraction)
-        assert all(b >= a - 1e-12 for a, b in zip(stays, stays[1:]))
+        assert all(b >= a - 1e-12 for a, b in zip(stays, stays[1:], strict=False))
 
     def test_full_replication_is_fully_local(self, trace):
         rep = popularity_replication(trace, 4, trace.num_experts)

@@ -1,0 +1,556 @@
+"""Tests for ``repro lint`` — the RPL0xx static-analysis rules.
+
+Each rule is proven on a minimal known-bad fixture and its good twin:
+the bad snippet must fire exactly the expected code, the twin must stay
+silent.  The suite also pins the suppression syntax, per-directory
+config, CLI exit codes / ``--json`` shape, and — the self-check the CI
+job depends on — that the repo's own ``src/`` lints clean.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    DEFAULT_CONFIG,
+    RULES,
+    Diagnostic,
+    LintConfig,
+    PathOverride,
+    lint_paths,
+    lint_sources,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: default path used for fixtures: inside every rule's scope
+SIM_PATH = "src/repro/engine/snippet.py"
+
+
+def codes(diagnostics: list[Diagnostic]) -> list[str]:
+    return [d.code for d in diagnostics]
+
+
+def lint_snippet(source: str, path: str = SIM_PATH) -> list[Diagnostic]:
+    return lint_sources([(path, textwrap.dedent(source))])
+
+
+class TestFramework:
+    def test_all_six_rules_registered(self):
+        expected = {"RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006"}
+        assert expected <= set(RULES)
+        for code, rule in RULES.items():
+            assert rule.code == code
+            assert rule.name and rule.description
+
+    def test_syntax_error_becomes_rpl000(self):
+        diags = lint_snippet("def broken(:\n")
+        assert codes(diags) == ["RPL000"]
+        assert "syntax error" in diags[0].message
+
+    def test_diagnostics_sorted_and_formatted(self):
+        src = """
+        import numpy as np
+        b = np.random.rand(2)
+        a = np.random.rand(1)
+        """
+        diags = lint_snippet(src)
+        assert [d.line for d in diags] == sorted(d.line for d in diags)
+        assert diags[0].format().startswith(f"{SIM_PATH}:3:")
+        record = diags[0].to_dict()
+        assert set(record) == {"path", "line", "col", "code", "message"}
+
+
+class TestSuppressions:
+    BAD = "import numpy as np\nx = np.random.rand(3){comment}\n"
+
+    def test_fires_without_comment(self):
+        assert codes(lint_snippet(self.BAD.format(comment=""))) == ["RPL001"]
+
+    def test_line_disable(self):
+        src = self.BAD.format(comment="  # repro-lint: disable=RPL001")
+        assert lint_snippet(src) == []
+
+    def test_line_disable_multiple_codes(self):
+        src = self.BAD.format(comment="  # repro-lint: disable=RPL003,RPL001")
+        assert lint_snippet(src) == []
+
+    def test_line_disable_wrong_code_still_fires(self):
+        src = self.BAD.format(comment="  # repro-lint: disable=RPL002")
+        assert codes(lint_snippet(src)) == ["RPL001"]
+
+    def test_line_disable_all(self):
+        src = self.BAD.format(comment="  # repro-lint: disable=all")
+        assert lint_snippet(src) == []
+
+    def test_file_level_disable(self):
+        src = "# repro-lint: disable-file=RPL001\n" + self.BAD.format(comment="")
+        assert lint_snippet(src) == []
+
+    def test_disable_on_other_line_does_not_leak(self):
+        src = (
+            "import numpy as np\n"
+            "ok = 1  # repro-lint: disable=RPL001\n"
+            "x = np.random.rand(3)\n"
+        )
+        assert codes(lint_snippet(src)) == ["RPL001"]
+
+
+class TestConfig:
+    def test_default_config_drops_rng_rules_in_tests(self):
+        enabled = DEFAULT_CONFIG.rules_for("tests/test_foo.py")
+        assert "RPL001" not in enabled
+        assert "RPL002" not in enabled
+        assert "RPL003" in enabled
+
+    def test_default_config_full_set_elsewhere(self):
+        assert DEFAULT_CONFIG.rules_for("src/repro/engine/costs.py") == frozenset(RULES)
+
+    def test_path_override_ordering(self):
+        cfg = LintConfig(
+            overrides=(
+                PathOverride("src/", disable=frozenset({"RPL003"})),
+                PathOverride("src/repro/engine/", enable=frozenset({"RPL003"})),
+            )
+        )
+        assert "RPL003" not in cfg.rules_for("src/repro/fleet/router.py")
+        assert "RPL003" in cfg.rules_for("src/repro/engine/costs.py")
+
+    def test_test_path_shapes(self):
+        bad = "import numpy as np\nx = np.random.rand(3)\n"
+        for path in ("tests/test_x.py", "pkg/tests/helper.py", "conftest.py"):
+            assert lint_snippet(bad, path=path) == [], path
+
+
+class TestRPL001UnseededRandomness:
+    @pytest.mark.parametrize(
+        "stmt",
+        [
+            "np.random.rand(3)",
+            "np.random.seed(0)",
+            "np.random.choice([1, 2])",
+            "np.random.default_rng()",
+            "np.random.default_rng(None)",
+            "np.random.default_rng(seed=None)",
+            "np.random.RandomState()",
+            "random.random()",
+            "random.randint(0, 3)",
+            "random.seed(4)",
+        ],
+    )
+    def test_bad(self, stmt):
+        src = f"import numpy as np\nimport random\nx = {stmt}\n"
+        assert codes(lint_snippet(src)) == ["RPL001"], stmt
+
+    @pytest.mark.parametrize(
+        "stmt",
+        [
+            "np.random.default_rng(0)",
+            "np.random.default_rng(seed)",
+            "np.random.default_rng(seed=7)",
+            "np.random.Generator(np.random.PCG64(3))",
+            "np.random.SeedSequence(1)",
+            "random.Random(5)",
+        ],
+    )
+    def test_good_twin(self, stmt):
+        src = f"import numpy as np\nimport random\nseed = 1\nx = {stmt}\n"
+        assert lint_snippet(src) == [], stmt
+
+    def test_aliased_imports_resolved(self):
+        src = (
+            "from numpy.random import default_rng\n"
+            "from numpy import random as npr\n"
+            "a = default_rng()\n"
+            "b = npr.rand(2)\n"
+        )
+        assert codes(lint_snippet(src)) == ["RPL001", "RPL001"]
+
+    def test_exempt_in_test_code(self):
+        src = "import numpy as np\nx = np.random.rand(3)\n"
+        assert lint_snippet(src, path="tests/test_rng.py") == []
+
+    def test_generator_method_calls_are_fine(self):
+        src = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(0)\n"
+            "x = rng.random(3)\n"
+        )
+        assert lint_snippet(src) == []
+
+
+class TestRPL002WallClock:
+    @pytest.mark.parametrize(
+        "stmt",
+        [
+            "import time\nt = time.time()",
+            "import time\nt = time.time_ns()",
+            "from time import time\nt = time()",
+            "import datetime\nt = datetime.datetime.now()",
+            "from datetime import datetime\nt = datetime.now()",
+            "import os\nv = os.environ['HOME']",
+            "import os\nv = os.getenv('HOME')",
+        ],
+    )
+    def test_bad(self, stmt):
+        assert codes(lint_snippet(stmt + "\n")) == ["RPL002"], stmt
+
+    def test_perf_counter_allowed(self):
+        # measuring the simulator's own wall time never feeds results
+        src = "import time\nt0 = time.perf_counter()\n"
+        assert lint_snippet(src) == []
+
+    def test_only_fires_inside_simulator_packages(self):
+        src = "import time\nt = time.time()\n"
+        assert lint_snippet(src, path="benchmarks/bench_x.py") == []
+        assert lint_snippet(src, path="src/repro/analysis/report.py") == []
+        for pkg in ("engine", "fleet", "core", "scenarios"):
+            path = f"src/repro/{pkg}/mod.py"
+            assert codes(lint_snippet(src, path=path)) == ["RPL002"], pkg
+
+
+class TestRPL003UnitSuffix:
+    @pytest.mark.parametrize(
+        "stmt",
+        [
+            "total = wait_ms + slo_s",
+            "total = wait_ms - elapsed_us",
+            "late = deadline_s < now_ms",
+            "cap_gb = shard_bytes",
+            "x_ms = y_s",
+            "x_ms += y_s",
+            "budget = size_gb + size_bytes",
+        ],
+    )
+    def test_bad(self, stmt):
+        src = (
+            "wait_ms = slo_s = elapsed_us = deadline_s = now_ms = 1.0\n"
+            "shard_bytes = size_gb = size_bytes = y_s = x_ms = 1.0\n"
+            f"{stmt}\n"
+        )
+        assert codes(lint_snippet(src)) == ["RPL003"], stmt
+
+    @pytest.mark.parametrize(
+        "stmt",
+        [
+            "total_ms = wait_ms + stall_ms",
+            "slo_s = slo_ms / 1e3",  # conversion via division: the fix
+            "deadline_ms = now_ms + slo_s * 1e3",
+            "late = deadline_s < now_ms / 1e3",
+            "frac = used_bytes / cap_bytes",
+        ],
+    )
+    def test_good_twin(self, stmt):
+        src = (
+            "wait_ms = stall_ms = slo_ms = now_ms = 1.0\n"
+            "slo_s = deadline_s = used_bytes = cap_bytes = 1.0\n"
+            f"{stmt}\n"
+        )
+        assert lint_snippet(src) == [], stmt
+
+    def test_return_conflict(self):
+        src = """
+        def step_time_ms(dt_s):
+            return dt_s
+        """
+        assert codes(lint_snippet(src)) == ["RPL003"]
+
+    def test_return_conversion_ok(self):
+        src = """
+        def step_time_ms(dt_s):
+            return dt_s * 1e3
+        """
+        assert lint_snippet(src) == []
+
+    def test_keyword_argument_conflict(self):
+        src = """
+        def f(slo_ms=0.0):
+            return slo_ms
+
+        def g(timeout_s):
+            return f(slo_ms=timeout_s)
+        """
+        assert codes(lint_snippet(src)) == ["RPL003"]
+
+    def test_attribute_suffixes_tracked(self):
+        src = """
+        def f(cfg, stall_s):
+            return cfg.slo_ms + stall_s
+        """
+        assert codes(lint_snippet(src)) == ["RPL003"]
+
+
+class TestRPL004FrozenSpec:
+    def test_mutating_constructed_instance(self):
+        src = """
+        from repro.config import FleetConfig
+        cfg = FleetConfig(num_replicas=2)
+        cfg.router = "jsq"
+        """
+        assert codes(lint_snippet(src)) == ["RPL004"]
+
+    def test_mutating_annotated_parameter(self):
+        src = """
+        from repro.scenarios import Scenario
+
+        def tweak(s: Scenario) -> None:
+            s.seed = 3
+        """
+        assert codes(lint_snippet(src)) == ["RPL004"]
+
+    def test_setattr_escape_flagged(self):
+        src = """
+        def hack(obj):
+            object.__setattr__(obj, "seed", 4)
+        """
+        assert codes(lint_snippet(src)) == ["RPL004"]
+
+    def test_setattr_in_own_post_init_allowed(self):
+        src = """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Local:
+            x: int = 0
+
+            def __post_init__(self) -> None:
+                object.__setattr__(self, "x", 1)
+        """
+        assert lint_snippet(src) == []
+
+    def test_spec_modules_exempt_from_setattr_rule(self):
+        src = "def hack(obj):\n    object.__setattr__(obj, 'x', 1)\n"
+        assert lint_snippet(src, path="src/repro/config.py") == []
+        assert lint_snippet(src, path="src/repro/scenarios/spec.py") == []
+
+    def test_replace_is_the_blessed_path(self):
+        src = """
+        import dataclasses
+        from repro.config import FleetConfig
+        cfg = FleetConfig(num_replicas=2)
+        bigger = dataclasses.replace(cfg, num_replicas=4)
+        """
+        assert lint_snippet(src) == []
+
+
+class TestRPL005SetIteration:
+    @pytest.mark.parametrize(
+        "body",
+        [
+            "for x in {1, 2, 3}:\n    use(x)",
+            "for x in set(items):\n    use(x)",
+            "s = set(items)\nfor x in s:\n    use(x)",
+            "out = [f(x) for x in set(items)]",
+            "out = {x: 1 for x in frozenset(items)}",
+            "out = list(set(items))",
+            "out = tuple({1, 2})",
+            "out = dict.fromkeys(set(items))",
+        ],
+    )
+    def test_bad(self, body):
+        src = "items = [1, 2]\n\ndef use(x):\n    return x\n\n" + body + "\n"
+        diags = lint_snippet(src)
+        assert codes(diags) == ["RPL005"], body
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            "for x in sorted(set(items)):\n    use(x)",
+            "out = [f(x) for x in sorted({1, 2})]",
+            "out = sorted(set(items))",
+            "hit = 3 in set(items)",
+            "n = len(set(items))",
+            "m = max(set(items))",
+            "out = {x for x in set(items)}",  # set -> set: still unordered
+            "for x in [1, 2]:\n    use(x)",
+            "for k in {'a': 1}:\n    use(k)",  # dict order is insertion order
+        ],
+    )
+    def test_good_twin(self, body):
+        src = (
+            "items = [1, 2]\n\ndef use(x):\n    return x\n\n"
+            "def f(x):\n    return x\n\n" + body + "\n"
+        )
+        assert lint_snippet(src) == [], body
+
+    def test_scoped_to_simulator_dirs(self):
+        src = "for x in {1, 2}:\n    print(x)\n"
+        assert lint_snippet(src, path="examples/quickstart.py") == []
+        assert codes(lint_snippet(src, path="src/repro/core/placement/x.py")) == [
+            "RPL005"
+        ]
+
+
+class TestRPL006SeedThreading:
+    def test_dropped_seed_flagged(self):
+        src = """
+        def helper(n, seed=0):
+            return n + seed
+
+        def run(seed):
+            return helper(3)
+        """
+        assert codes(lint_snippet(src)) == ["RPL006"]
+
+    def test_keyword_forwarding_ok(self):
+        src = """
+        def helper(n, seed=0):
+            return n + seed
+
+        def run(seed):
+            return helper(3, seed=seed)
+        """
+        assert lint_snippet(src) == []
+
+    def test_positional_forwarding_ok(self):
+        src = """
+        def helper(seed):
+            return seed
+
+        def run(seed):
+            return helper(seed + 1)
+        """
+        assert lint_snippet(src) == []
+
+    def test_derived_rng_counts_as_forwarding(self):
+        src = """
+        import numpy as np
+
+        def helper(n, rng=None):
+            return n
+
+        def run(seed):
+            rng = np.random.default_rng(seed)
+            return helper(3, rng)
+        """
+        assert lint_snippet(src) == []
+
+    def test_cross_file_index(self):
+        lib = """
+        def sample(n, seed=0):
+            return n + seed
+        """
+        app = """
+        def run(seed):
+            return sample(4)
+        """
+        diags = lint_sources(
+            [
+                ("src/repro/engine/lib.py", textwrap.dedent(lib)),
+                ("src/repro/engine/app.py", textwrap.dedent(app)),
+            ]
+        )
+        assert codes(diags) == ["RPL006"]
+        assert diags[0].path == "src/repro/engine/app.py"
+
+    def test_ambiguous_name_not_flagged(self):
+        # two defs share a name, only one takes a seed: resolution would be
+        # a coin flip, so the rule stays quiet
+        src = """
+        def sample(n, seed=0):
+            return n
+
+        class Other:
+            def sample(self, n):
+                return n
+
+        def run(seed):
+            return sample(4)
+        """
+        assert lint_snippet(src) == []
+
+    def test_function_without_seed_param_not_checked(self):
+        src = """
+        def helper(n, seed=0):
+            return n
+
+        def run():
+            return helper(3)
+        """
+        assert lint_snippet(src) == []
+
+
+class TestSelfCheck:
+    """The repo's own code must satisfy its own invariants."""
+
+    def test_src_lints_clean(self):
+        diags = lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+        assert diags == [], "\n".join(d.format() for d in diags)
+
+    def test_benchmarks_and_examples_lint_clean(self):
+        diags = lint_paths(
+            [REPO_ROOT / "benchmarks", REPO_ROOT / "examples"], root=REPO_ROOT
+        )
+        assert diags == [], "\n".join(d.format() for d in diags)
+
+
+class TestCLI:
+    def run_cli(self, *argv: str, cwd: Path) -> subprocess.CompletedProcess:
+        import os
+
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "lint", *argv],
+            cwd=cwd,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+
+    @pytest.fixture()
+    def bad_tree(self, tmp_path: Path) -> Path:
+        pkg = tmp_path / "src" / "repro" / "engine"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text(
+            "import numpy as np\nx = np.random.rand(3)\n"
+        )
+        return tmp_path
+
+    def test_exit_one_and_text_output_on_violation(self, bad_tree: Path):
+        proc = self.run_cli("src", cwd=bad_tree)
+        assert proc.returncode == 1
+        assert "RPL001" in proc.stdout
+        assert "found 1 diagnostic(s)" in proc.stdout
+
+    def test_json_output_shape(self, bad_tree: Path):
+        proc = self.run_cli("src", "--json", cwd=bad_tree)
+        assert proc.returncode == 1
+        records = json.loads(proc.stdout)
+        assert len(records) == 1
+        record = records[0]
+        assert record["code"] == "RPL001"
+        assert record["path"].endswith("bad.py")
+        assert record["line"] == 2
+        assert set(record) == {"path", "line", "col", "code", "message"}
+
+    def test_exit_zero_on_clean_tree(self, tmp_path: Path):
+        pkg = tmp_path / "src"
+        pkg.mkdir()
+        (pkg / "ok.py").write_text("import numpy as np\nrng = np.random.default_rng(0)\n")
+        proc = self.run_cli("src", cwd=tmp_path)
+        assert proc.returncode == 0
+        assert proc.stdout.strip() == ""
+
+    def test_json_empty_list_when_clean(self, tmp_path: Path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        proc = self.run_cli("ok.py", "--json", cwd=tmp_path)
+        assert proc.returncode == 0
+        assert json.loads(proc.stdout) == []
+
+    def test_list_rules(self, tmp_path: Path):
+        proc = self.run_cli("--list-rules", cwd=tmp_path)
+        assert proc.returncode == 0
+        for code in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006"):
+            assert code in proc.stdout
+
+    def test_missing_path_errors(self, tmp_path: Path):
+        proc = self.run_cli("no_such_dir", cwd=tmp_path)
+        assert proc.returncode != 0

@@ -67,7 +67,7 @@ class TestSampling:
         docs, topics = corpus.sample_documents(50, 64, np.random.default_rng(2))
         slice_size = corpus.vocab_size // corpus.num_topics
         hits = 0
-        for doc, topic in zip(docs, topics):
+        for doc, topic in zip(docs, topics, strict=True):
             lo = topic * slice_size
             in_slice = ((doc >= lo) & (doc < lo + slice_size)).mean()
             hits += in_slice > 1.5 / corpus.num_topics

@@ -82,7 +82,7 @@ class TestTrainer:
         tokens = np.arange(10)
         a = trainer.hidden_states(tokens)
         b = trainer.hidden_states(tokens)
-        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+        assert all(np.array_equal(x, y) for x, y in zip(a, b, strict=True))
 
     def test_rejects_bad_config(self):
         with pytest.raises(ValueError):
