@@ -31,6 +31,7 @@ import numpy as np
 from repro.analysis.heatmap import ascii_heatmap
 from repro.analysis.report import format_table
 from repro.config import (
+    FLEET_ENGINES,
     PAPER_MODELS,
     ROUTER_KINDS,
     ClusterConfig,
@@ -240,6 +241,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--replace",
         action="store_true",
         help="run each replica's online re-placement loop",
+    )
+    p.add_argument(
+        "--engine",
+        default="event",
+        choices=FLEET_ENGINES,
+        help=(
+            "fleet simulation engine: the event-heap oracle or the "
+            "vectorized tick engine (identical results, built for scale)"
+        ),
     )
 
     p = sub.add_parser("heatmap", help="render a trace's affinity heatmap")
@@ -678,6 +688,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             args.max_replicas if args.autoscale else max(args.max_replicas, args.replicas)
         ),
         replace=args.replace,
+        engine=args.engine,
     )
     scenario = Scenario(
         name=f"cli-fleet-{args.router}",

@@ -33,6 +33,7 @@ __all__ = [
     "ServingConfig",
     "FleetConfig",
     "ROUTER_KINDS",
+    "FLEET_ENGINES",
     "paper_model",
     "wilkes3",
     "PAPER_MODELS",
@@ -383,6 +384,11 @@ class ServingConfig:
 # the bottom of the layering)
 ROUTER_KINDS: tuple[str, ...] = ("round-robin", "jsq", "p2c", "affinity")
 
+# fleet simulation engines: "event" is the per-event heap loop (the
+# correctness oracle), "tick" the vectorized engine that batches event
+# processing per decode tick; both produce bit-identical FleetResults
+FLEET_ENGINES: tuple[str, ...] = ("event", "tick")
+
 
 @dataclass(frozen=True)
 class FleetConfig:
@@ -439,6 +445,11 @@ class FleetConfig:
         (migrating KV state mid-generation is not modelled).
     replace:
         Run each replica's own PR-2 online re-placement loop.
+    engine:
+        Which simulation engine executes the fleet: ``"event"`` pops one
+        heap event at a time (the reference oracle), ``"tick"`` batches
+        event processing per decode tick with array state (identical
+        results, built for million-request fleets).
     affinity_load_weight:
         Congestion penalty subtracted from the affinity router's kept-mass
         score per unit of relative replica load (0 = pure affinity).  The
@@ -466,6 +477,7 @@ class FleetConfig:
     migrate_on_drain: bool = True
     replace: bool = False
     affinity_load_weight: float = 1.0
+    engine: str = "event"
 
     def __post_init__(self) -> None:
         if self.num_replicas <= 0:
@@ -504,6 +516,10 @@ class FleetConfig:
             raise ValueError("boot_overhead_s must be >= 0")
         if self.affinity_load_weight < 0:
             raise ValueError("affinity_load_weight must be >= 0")
+        if self.engine not in FLEET_ENGINES:
+            raise ValueError(
+                f"unknown fleet engine {self.engine!r}; choose from {FLEET_ENGINES}"
+            )
 
     @property
     def slo_s(self) -> float:

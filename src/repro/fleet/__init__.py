@@ -15,8 +15,13 @@ front-end on top of :mod:`repro.engine.serving`:
   predicted-latency load shedding.
 * :mod:`repro.fleet.autoscaler` — reactive queue-depth scaling with an
   explicit cold-start cost (weight load + placement shuffle).
-* :mod:`repro.fleet.simulate` — the event-driven simulation tying it all
-  together (``repro fleet`` on the CLI, fig16 in the benchmarks).
+* :mod:`repro.fleet.reference` — the event-heap simulation loop tying it
+  all together, retained as the correctness oracle (``engine="event"``).
+* :mod:`repro.fleet.engine` — the vectorized tick engine: same events,
+  same results, array state and batched arrival windows for
+  million-request fleets (``engine="tick"``).
+* :mod:`repro.fleet.simulate` — the engine dispatch and the config-driven
+  entry point (``repro fleet`` on the CLI, fig16 in the benchmarks).
 """
 
 from repro.fleet.admission import (
@@ -30,7 +35,15 @@ from repro.fleet.autoscaler import (
     ScaleEvent,
     price_cold_start,
 )
-from repro.fleet.replica import ActiveEntry, Replica, ReplicaState, ReplicaStats
+from repro.fleet.engine import simulate_fleet_tick
+from repro.fleet.reference import simulate_fleet_reference
+from repro.fleet.replica import (
+    ActiveEntry,
+    ArrayQueue,
+    Replica,
+    ReplicaState,
+    ReplicaStats,
+)
 from repro.fleet.requests import (
     FleetCompleted,
     FleetRequest,
@@ -62,6 +75,7 @@ __all__ = [
     "ScaleEvent",
     "price_cold_start",
     "ActiveEntry",
+    "ArrayQueue",
     "Replica",
     "ReplicaState",
     "ReplicaStats",
@@ -79,5 +93,7 @@ __all__ = [
     "make_router",
     "FleetResult",
     "simulate_fleet_cluster_serving",
+    "simulate_fleet_reference",
     "simulate_fleet_serving",
+    "simulate_fleet_tick",
 ]

@@ -22,12 +22,30 @@ interactive requests overtake queued batch work at every step boundary.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.config import FleetConfig
 from repro.fleet.replica import Replica
 from repro.fleet.requests import FleetRequest
 
-__all__ = ["PriorityClass", "default_priority_classes", "AdmissionController"]
+__all__ = [
+    "PriorityClass",
+    "default_priority_classes",
+    "AdmissionController",
+    "ADMIT",
+    "SHED_QUEUE_FULL",
+    "SHED_DEADLINE",
+    "SHED_REASONS",
+]
+
+#: Codes returned by :meth:`AdmissionController.assess_codes`; index into
+#: :data:`SHED_REASONS` for the scalar path's string reasons.
+ADMIT: int = 0
+SHED_QUEUE_FULL: int = 1
+SHED_DEADLINE: int = 2
+SHED_REASONS: tuple[None, str, str] = (None, "queue-full", "deadline")
 
 
 @dataclass(frozen=True)
@@ -121,3 +139,73 @@ class AdmissionController:
 
     def slo_met(self, request: FleetRequest, latency_s: float) -> bool:
         return latency_s <= self.class_of(request).slo_s
+
+    # -- whole-batch evaluation (the tick engine's path) -----------------------
+
+    def slo_by_priority(self, priorities: np.ndarray) -> np.ndarray:
+        """Per-request SLO seconds from priority labels (class-clamped)."""
+        slos = np.array([c.slo_s for c in self.classes], dtype=np.float64)
+        return slos[np.minimum(priorities, len(self.classes) - 1)]
+
+    def predicted_latency_batch(
+        self,
+        gen_lens: np.ndarray,
+        queue_lens: np.ndarray,
+        est_step_s: np.ndarray,
+        max_batch: np.ndarray | int,
+    ) -> np.ndarray:
+        """Vectorized :meth:`predicted_latency_s` over one arrival batch.
+
+        Row ``i`` predicts request ``i`` joining its routed replica, whose
+        queue depth / step estimate / batch cap arrive as parallel arrays
+        (``est_step_s`` uses NaN where a replica has not measured a step
+        yet — the "admit optimistically" case, since NaN propagates and
+        never exceeds a deadline).  The expression mirrors the scalar
+        path's operation order exactly so both engines shed identically.
+        """
+        return queue_lens * gen_lens * est_step_s / max_batch + gen_lens * est_step_s
+
+    def assess_codes(
+        self,
+        gen_lens: np.ndarray,
+        slo_s: np.ndarray,
+        queue_lens: np.ndarray,
+        est_step_s: np.ndarray,
+        max_batch: np.ndarray | int,
+    ) -> np.ndarray:
+        """Vectorized :meth:`assess`: one int8 code per request.
+
+        ``ADMIT`` (0) admits; :data:`SHED_REASONS` maps nonzero codes to
+        the scalar path's shed-reason strings.  The queue-full check wins
+        over the deadline check, as in the scalar path.
+        """
+        codes = np.zeros(gen_lens.shape[0], dtype=np.int8)
+        predicted = self.predicted_latency_batch(
+            gen_lens, queue_lens, est_step_s, max_batch
+        )
+        # NaN predictions (cold replica) fail this comparison → admit
+        codes[predicted > self.shed_slack * slo_s] = SHED_DEADLINE
+        codes[queue_lens >= self.max_queue_per_replica] = SHED_QUEUE_FULL
+        return codes
+
+    def assess_batch(
+        self, requests: Sequence[FleetRequest], replicas: Sequence[Replica]
+    ) -> list[str | None]:
+        """Batch :meth:`assess`: request ``i`` against its routed replica ``i``.
+
+        Equivalent to ``[self.assess(q, r, now) for q, r in zip(...)]`` on
+        a frozen replica snapshot; the array core is
+        :meth:`assess_codes`, which the tick engine calls directly.
+        """
+        if len(requests) != len(replicas):
+            raise ValueError("need exactly one routed replica per request")
+        gen = np.array([q.generate_len for q in requests], dtype=np.int64)
+        pri = np.array([q.priority for q in requests], dtype=np.int64)
+        qlen = np.array([r.queue_len for r in replicas], dtype=np.int64)
+        ests = np.array(
+            [np.nan if r.est_step_s is None else r.est_step_s for r in replicas],
+            dtype=np.float64,
+        )
+        caps = np.array([r.max_batch for r in replicas], dtype=np.int64)
+        codes = self.assess_codes(gen, self.slo_by_priority(pri), qlen, ests, caps)
+        return [SHED_REASONS[int(c)] for c in codes]

@@ -30,6 +30,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.config import ClusterConfig, FleetConfig, ModelConfig
 from repro.core.online import plan_migration
 from repro.core.placement.base import Placement
@@ -135,3 +137,15 @@ class ReactiveAutoscaler:
             self._under = 0
             return "down"
         return None
+
+    def decide_from_depths(
+        self, queue_depths: np.ndarray, live: int, booting: int
+    ) -> str | None:
+        """One tick from per-replica queue depths (the tick engine's view).
+
+        ``queue_depths`` holds the wait-queue length of every replica
+        whose backlog counts as demand (routable + draining); the trigger
+        aggregates it here so the engine hands over its array state
+        unsummed.
+        """
+        return self.decide(int(queue_depths.sum()), live, booting)

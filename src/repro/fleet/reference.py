@@ -1,0 +1,359 @@
+"""The event-heap fleet oracle: one event popped and processed at a time.
+
+This is the original fleet simulation loop, retained verbatim as the
+correctness reference for the vectorized tick engine
+(:mod:`repro.fleet.engine`) — the same relationship
+:mod:`repro.engine.reference` has to :mod:`repro.engine.executor`.  Each
+replica runs the same continuous-batching semantics as the
+single-replica online loop
+(:func:`~repro.engine.serving.simulate_online_serving`): admissions happen
+at step boundaries, every decode step is priced by a
+:class:`~repro.engine.serving.PlacementStepTimer` from that step's sampled
+routing under the replica's *current* placement, and coherent modes pay
+the prompt AllGather at admission.  Above the replicas sit the router
+(per-arrival placement/load decision), the admission controller
+(SLO shedding at routing time) and, optionally, the reactive autoscaler
+(periodic ticks that boot or drain replicas, cold starts priced through
+:func:`~repro.fleet.autoscaler.price_cold_start`).
+
+The event heap carries four event kinds — request arrival, replica step
+completion, replica boot completion, autoscaler tick — with a sequence
+counter as tie-break, so the simulation is deterministic given the rng.
+``tests/test_fleet_equivalence.py`` holds the tick engine to this loop's
+exact :class:`~repro.fleet.result.FleetResult`, field for field.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import Counter
+from typing import Iterable, Sequence, cast
+
+import numpy as np
+
+from repro.config import ClusterConfig, ExecutionMode, FleetConfig, ModelConfig
+from repro.core.online import OnlineReplacer, ReplacementPolicy
+from repro.core.placement.base import Placement
+from repro.engine.metrics import LatencyStats
+from repro.engine.serving import PlacementStepTimer
+from repro.fleet.admission import AdmissionController
+from repro.fleet.autoscaler import ReactiveAutoscaler, ScaleEvent, price_cold_start
+from repro.fleet.replica import ActiveEntry, Replica, ReplicaState, ReplicaStats
+from repro.fleet.requests import FleetCompleted, FleetRequest, ShedRecord
+from repro.fleet.result import (
+    FleetResult,
+    finalize_fleet_result,
+    sample_paths_grouped,
+    validate_fleet_inputs,
+)
+from repro.fleet.router import Router, make_router
+from repro.trace.markov import MarkovRoutingModel
+
+__all__ = ["simulate_fleet_reference"]
+
+
+def _sample_paths(
+    entries: Sequence[ActiveEntry],
+    regimes: Sequence[MarkovRoutingModel],
+    rng: np.random.Generator,
+    num_layers: int,
+) -> np.ndarray:
+    """Draw one path matrix for a replica's active entries."""
+    regs = np.array([e.request.regime for e in entries], dtype=np.int64)
+    return sample_paths_grouped(regs, regimes, rng, num_layers)
+
+
+def simulate_fleet_reference(
+    requests: Iterable[FleetRequest],
+    model: ModelConfig,
+    cluster: ClusterConfig,
+    regimes: Sequence[MarkovRoutingModel],
+    placements_by_regime: Sequence[Placement],
+    fleet: FleetConfig,
+    mode: ExecutionMode = ExecutionMode.EXFLOW,
+    max_batch_requests: int = 64,
+    router: Router | None = None,
+    admission: AdmissionController | None = None,
+    timer: PlacementStepTimer | None = None,
+    replace_policy: ReplacementPolicy | None = None,
+    replace_halflife_tokens: float | None = None,
+    dtype_bytes: int = 2,
+    rng: np.random.Generator | None = None,
+) -> FleetResult:
+    """Serve ``requests`` on a fleet of replicas behind a router.
+
+    ``placements_by_regime[k]`` is the affinity-optimized placement fit to
+    ``regimes[k]``; initial replica ``i`` carries placement
+    ``i % num_regimes`` (a heterogeneous fleet when ``num_regimes > 1``),
+    and autoscaled replicas boot with the placement of the regime
+    dominating the queued traffic at decision time.
+    ``max_batch_requests`` is each replica's continuous-batching admission
+    cap (the serving layer's knob, threaded through by the cluster entry
+    point).  With ``fleet.replace`` on, each replica's re-placement loop
+    uses ``replace_policy`` and a streaming estimator with
+    ``replace_halflife_tokens`` (defaults when ``None``).
+    """
+    reqs = sorted(requests, key=lambda q: (q.arrival_s, q.req_id))
+    validate_fleet_inputs(
+        reqs, model, regimes, placements_by_regime, fleet, max_batch_requests
+    )
+
+    rng = rng or np.random.default_rng(0)
+    router = router or make_router(
+        fleet.router, regimes=regimes, load_weight=fleet.affinity_load_weight
+    )
+    admission = admission or AdmissionController.from_config(fleet)
+    timer = timer or PlacementStepTimer(model, cluster, mode=mode, dtype_bytes=dtype_bytes)
+    top2 = model.gating.k == 2
+    g = cluster.num_gpus
+    L = model.num_moe_layers
+    num_priorities = len(admission.classes)
+
+    empty_stats = LatencyStats.from_samples([])
+    if not reqs:
+        return FleetResult((), (), empty_stats, empty_stats, 0.0, (), (), {})
+
+    replicas: list[Replica] = []
+
+    def new_replica(
+        regime: int,
+        state: ReplicaState,
+        booted_at: float,
+        billed_from: float | None = None,
+    ) -> Replica:
+        replacer = None
+        if fleet.replace:
+            # each replica gets its own replacer (and hence estimator):
+            # every replica streams only its own traffic
+            replacer = OnlineReplacer(
+                model,
+                cluster,
+                policy=replace_policy or ReplacementPolicy(),
+                halflife_tokens=replace_halflife_tokens,
+                dtype_bytes=dtype_bytes,
+                rng=np.random.default_rng(rng.integers(2**31)),
+            )
+        r = Replica(
+            replica_id=len(replicas),
+            placement=placements_by_regime[regime],
+            regime=regime,
+            max_batch_requests=max_batch_requests,
+            num_gpus=g,
+            num_priorities=num_priorities,
+            state=state,
+            booted_at_s=booted_at,
+            replacer=replacer,
+            billed_from_s=billed_from,
+        )
+        replicas.append(r)
+        return r
+
+    first_arrival = reqs[0].arrival_s
+    for i in range(fleet.num_replicas):
+        new_replica(i % len(regimes), ReplicaState.ACTIVE, first_arrival)
+
+    autoscaler = ReactiveAutoscaler(fleet) if fleet.autoscale else None
+
+    heap: list[tuple[float, int, str, object]] = []
+    seq = itertools.count()
+
+    def push(t: float, kind: str, data: object) -> None:
+        heapq.heappush(heap, (t, next(seq), kind, data))
+
+    for q in reqs:
+        push(q.arrival_s, "arrival", q)
+    if autoscaler is not None:
+        push(first_arrival + fleet.autoscale_check_every_s, "scale", None)
+
+    total = len(reqs)
+    done = 0
+    completed: list[FleetCompleted] = []
+    shed: list[ShedRecord] = []
+    scale_events: list[ScaleEvent] = []
+    peak_routable = fleet.num_replicas
+
+    def routable() -> list[Replica]:
+        return [r for r in replicas if r.routable]
+
+    def finish_if_drained(r: Replica, t: float) -> None:
+        if r.state is ReplicaState.DRAINING and r.drained:
+            r.state = ReplicaState.STOPPED
+            r.stopped_at_s = t
+
+    def start_step(r: Replica, t: float) -> None:
+        """Admit at the boundary and launch one decode step (or go idle)."""
+        newly = r.admit_up_to_capacity(t)
+        if newly:
+            adm = timer.admission_time(
+                np.array([e.home_gpu for e in newly], dtype=np.int64),
+                np.array([e.request.prompt_len for e in newly], dtype=np.int64),
+            )
+            if adm > 0:
+                t += adm
+                r.note_admission(adm)
+        if not r.active:
+            r.stepping = False
+            finish_if_drained(r, t)
+            return
+        paths = _sample_paths(r.active, regimes, rng, L)
+        secondary = _sample_paths(r.active, regimes, rng, L) if top2 else None
+        if r.replacer is not None:
+            r.replacer.observe(paths)
+        home = np.array([e.home_gpu for e in r.active], dtype=np.int64)
+        ctx = np.array(
+            [e.request.prompt_len + e.generated for e in r.active], dtype=np.int64
+        )
+        dt = timer.step_time(paths, home, ctx, r.placement, secondary)
+        if not dt > 0:
+            raise ValueError(f"step_time must be positive seconds, got {dt}")
+        r.stepping = True
+        push(t + dt, "step", (r, dt))
+
+    def on_arrival(q: FleetRequest, t: float) -> None:
+        nonlocal done
+        cands = routable()
+        if not cands:
+            # transient hole (every replica booting/draining); shed honestly
+            # rather than queueing on a replica that may never come up
+            shed.append(ShedRecord(q, t, "no-capacity", None))
+            done += 1
+            return
+        r = router.choose(q, cands, rng)
+        reason = admission.assess(q, r, t)
+        if reason is not None:
+            shed.append(ShedRecord(q, t, reason, r.replica_id))
+            done += 1
+            return
+        r.enqueue(q)
+        if not r.stepping:
+            start_step(r, t)
+
+    def on_step_end(r: Replica, dt: float, t: float) -> None:
+        nonlocal done
+        batch = len(r.active)
+        r.note_step(dt, batch)
+        still: list[ActiveEntry] = []
+        for e in r.active:
+            e.tokens_remaining -= 1
+            e.generated += 1
+            if e.tokens_remaining == 0:
+                completed.append(
+                    FleetCompleted(e.request, e.admitted_s, t, r.replica_id)
+                )
+                r.served += 1
+                done += 1
+            else:
+                still.append(e)
+        r.active = still
+        t_next = t
+        if r.replacer is not None:
+            result = r.replacer.maybe_replace(r.steps, t, r.placement)
+            if result is not None:
+                r.placement, event = result
+                r.placement_version += 1
+                r.replacements += 1
+                r.migration_stall_s += event.stall_s
+                t_next += event.stall_s
+        start_step(r, t_next)
+
+    def migrate_queued(victim: Replica, t: float) -> None:
+        """Hand a draining replica's queued requests back to the router.
+
+        The active decode batch finishes in place (KV state is not moved);
+        queued-but-unadmitted requests are re-routed across the remaining
+        routable replicas so they don't wait out the drain.  Re-routing
+        skips latency-prediction shedding — these requests were already
+        admitted once, and shedding them *because* the fleet is shrinking
+        would be wrong — but it still honours the hard
+        ``max_queue_per_replica`` cap: orphans that would overflow every
+        surviving replica stay on the victim and drain normally.
+        """
+        orphans = victim.take_queued()
+        if not orphans:
+            return
+        for q in orphans:
+            # victim is already DRAINING, hence excluded from routable()
+            targets = [
+                r for r in routable() if r.queue_len < fleet.max_queue_per_replica
+            ]
+            if not targets:
+                victim.enqueue(q)  # nowhere with room: drain it in place
+                continue
+            target = router.choose(q, targets, rng)
+            target.enqueue(q)
+            if not target.stepping:
+                start_step(target, t)
+
+    def on_scale(t: float) -> None:
+        assert autoscaler is not None  # caller gates on fleet.autoscale
+        live = routable()
+        booting = [r for r in replicas if r.state is ReplicaState.BOOTING]
+        draining = [r for r in replicas if r.state is ReplicaState.DRAINING]
+        # demand counts draining replicas' stranded queues too (they are
+        # real pending work), capacity counts only replicas that can absorb
+        queued = sum(r.queue_len for r in live + draining)
+        decision = autoscaler.decide(queued, len(live), len(booting))
+        per = autoscaler.last_queue_per_replica
+        if decision == "up":
+            # boot with the placement of the regime dominating queued work
+            counts: Counter[int] = Counter()
+            for r in live + draining:
+                for queue in r.queues:
+                    counts.update(q.regime for q in queue)
+            regime = min(counts, key=lambda k: (-counts[k], k)) if counts else 0
+            cold = price_cold_start(
+                model,
+                cluster,
+                placements_by_regime[regime],
+                dtype_bytes,
+                fleet.boot_overhead_s,
+            )
+            r = new_replica(
+                regime, ReplicaState.BOOTING, t + cold.total_s, billed_from=t
+            )
+            push(t + cold.total_s, "boot", r)
+            scale_events.append(
+                ScaleEvent(t, "up", per, len(live) + len(booting),
+                           len(live) + len(booting) + 1, cold.total_s)
+            )
+        elif decision == "down":
+            victim = min(live, key=lambda r: (r.load, r.replica_id))
+            victim.state = ReplicaState.DRAINING
+            if fleet.migrate_on_drain:
+                migrate_queued(victim, t)
+            finish_if_drained(victim, t)
+            scale_events.append(
+                ScaleEvent(t, "down", per, len(live) + len(booting),
+                           len(live) + len(booting) - 1, 0.0)
+            )
+        if done < total:
+            push(t + fleet.autoscale_check_every_s, "scale", None)
+
+    while heap:
+        t, _, kind, data = heapq.heappop(heap)
+        if kind == "arrival":
+            on_arrival(cast(FleetRequest, data), t)
+        elif kind == "step":
+            r, dt = cast("tuple[Replica, float]", data)
+            on_step_end(r, dt, t)
+        elif kind == "boot":
+            r = cast(Replica, data)
+            r.state = ReplicaState.ACTIVE
+            peak_routable = max(peak_routable, len(routable()))
+        elif kind == "scale" and autoscaler is not None and done < total:
+            on_scale(t)
+
+    def stats_at(sim_end: float) -> tuple[ReplicaStats, ...]:
+        return tuple(r.stats(sim_end) for r in replicas)
+
+    return finalize_fleet_result(
+        completed,
+        shed,
+        first_arrival,
+        stats_at,
+        scale_events,
+        admission,
+        peak_routable,
+        cluster,
+    )

@@ -23,11 +23,13 @@ from collections import deque
 from dataclasses import dataclass
 from enum import Enum
 
+import numpy as np
+
 from repro.core.online import OnlineReplacer
 from repro.core.placement.base import Placement
 from repro.fleet.requests import FleetRequest
 
-__all__ = ["ReplicaState", "Replica", "ReplicaStats", "ActiveEntry"]
+__all__ = ["ReplicaState", "Replica", "ReplicaStats", "ActiveEntry", "ArrayQueue"]
 
 # EWMA smoothing for the observed step-time estimate admission control
 # reads; one step contributes 25% so the estimate tracks load shifts within
@@ -40,6 +42,65 @@ class ReplicaState(str, Enum):
     ACTIVE = "active"
     DRAINING = "draining"
     STOPPED = "stopped"
+
+
+class ArrayQueue:
+    """Array-backed FIFO of request indices: one replica priority lane.
+
+    The tick engine (:mod:`repro.fleet.engine`) keeps requests as rows of
+    numpy arrays rather than objects, so its wait queues hold *indices*
+    into those arrays.  This is the array counterpart of the ``deque``
+    lanes a :class:`Replica` owns: O(1) amortized push, bulk pop of the
+    ``k`` oldest entries as one slice, and a zero-copy :meth:`view` of the
+    queued indices (which the autoscaler's regime census reads without
+    draining anything).
+
+    The buffer is kept contiguous (popped space is reclaimed by
+    compacting on overflow, doubling only when actually full), so every
+    read is a plain slice — no ring-buffer wraparound on the hot path.
+    """
+
+    __slots__ = ("_buf", "_head", "_tail")
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._buf = np.empty(capacity, dtype=np.int64)
+        self._head = 0
+        self._tail = 0
+
+    def __len__(self) -> int:
+        return self._tail - self._head
+
+    def push(self, index: int) -> None:
+        """Append one request index at the tail."""
+        if self._tail == self._buf.shape[0]:
+            live = self._buf[self._head : self._tail]
+            if self._head == 0:  # genuinely full: double
+                grown = np.empty(2 * self._buf.shape[0], dtype=np.int64)
+                grown[: live.size] = live
+                self._buf = grown
+            else:  # reclaim popped space at the front
+                self._buf[: live.size] = live
+            self._tail = live.size
+            self._head = 0
+        self._buf[self._tail] = index
+        self._tail += 1
+
+    def pop_many(self, k: int) -> np.ndarray:
+        """Remove and return (a copy of) the ``k`` oldest indices (FCFS)."""
+        k = min(k, len(self))
+        out = self._buf[self._head : self._head + k].copy()
+        self._head += k
+        return out
+
+    def drain(self) -> np.ndarray:
+        """Remove and return every queued index, oldest first."""
+        return self.pop_many(len(self))
+
+    def view(self) -> np.ndarray:
+        """Zero-copy window over the queued indices (oldest first)."""
+        return self._buf[self._head : self._tail]
 
 
 class ActiveEntry:

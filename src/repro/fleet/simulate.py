@@ -1,34 +1,25 @@
-"""Event-driven fleet serving: router + admission + autoscaler + replicas.
+"""Fleet serving entry points: engine dispatch + config-driven scenario.
 
-:func:`simulate_fleet_serving` composes the fleet pieces into one
-discrete-event simulation.  Each replica runs the same continuous-batching
-semantics as the single-replica online loop
-(:func:`~repro.engine.serving.simulate_online_serving`): admissions happen
-at step boundaries, every decode step is priced by a
-:class:`~repro.engine.serving.PlacementStepTimer` from that step's sampled
-routing under the replica's *current* placement, and coherent modes pay
-the prompt AllGather at admission.  Above the replicas sit the router
-(per-arrival placement/load decision), the admission controller
-(SLO shedding at routing time) and, optionally, the reactive autoscaler
-(periodic ticks that boot or drain replicas, cold starts priced through
-:func:`~repro.fleet.autoscaler.price_cold_start`).
+The fleet simulation exists twice, by design:
 
-The event heap carries four event kinds — request arrival, replica step
-completion, replica boot completion, autoscaler tick — with a sequence
-counter as tie-break, so the simulation is deterministic given the rng.
+* :mod:`repro.fleet.reference` — the original event-heap loop, one event
+  popped and processed at a time.  Slow, obvious, and the correctness
+  oracle (``engine="event"``).
+* :mod:`repro.fleet.engine` — the vectorized tick engine: array state,
+  windowed arrival batches, the same events in the same order
+  (``engine="tick"``).  Bit-identical results, built for million-request
+  days (``tests/test_fleet_equivalence.py`` enforces the former,
+  ``benchmarks/bench_fleet_scale.py`` measures the latter).
 
-:func:`simulate_fleet_cluster_serving` is the config-driven entry point
+:func:`_simulate_fleet_serving` dispatches on ``FleetConfig.engine``;
+:func:`_simulate_fleet_cluster_serving` is the config-driven entry point
 (the ``repro fleet`` CLI and the fig16 benchmark): it draws the regime
 models, solves one placement per regime, labels arrivals with regimes and
-priorities, and runs the loop.
+priorities, and runs the selected engine.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from collections import Counter
-from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -40,95 +31,22 @@ from repro.config import (
     ModelConfig,
     ServingConfig,
 )
-from repro.core.online import OnlineReplacer, ReplacementPolicy
+from repro.core.online import ReplacementPolicy
 from repro.core.placement.base import Placement
 from repro.core.placement.registry import solve_placement
 from repro.core.placement.vanilla import vanilla_placement
 from repro.deprecation import deprecated_entry_point
 from repro.engine.costs import CostModel
-from repro.engine.metrics import LatencyStats
 from repro.engine.serving import PlacementStepTimer, Request, make_arrivals
 from repro.fleet.admission import AdmissionController
-from repro.fleet.autoscaler import ReactiveAutoscaler, ScaleEvent, price_cold_start
-from repro.fleet.replica import Replica, ReplicaState, ReplicaStats
-from repro.fleet.requests import FleetCompleted, FleetRequest, ShedRecord, make_fleet_requests
-from repro.fleet.router import Router, make_router
+from repro.fleet.engine import simulate_fleet_tick
+from repro.fleet.reference import simulate_fleet_reference
+from repro.fleet.requests import FleetRequest, make_fleet_requests
+from repro.fleet.result import FleetResult
+from repro.fleet.router import Router
 from repro.trace.markov import MarkovRoutingModel
 
 __all__ = ["FleetResult", "simulate_fleet_serving", "simulate_fleet_cluster_serving"]
-
-
-@dataclass(frozen=True)
-class FleetResult:
-    """Outcome of one fleet serving simulation."""
-
-    completed: tuple[FleetCompleted, ...]
-    shed: tuple[ShedRecord, ...]
-    latency: LatencyStats
-    queue: LatencyStats
-    makespan_s: float
-    replicas: tuple[ReplicaStats, ...]
-    scale_events: tuple[ScaleEvent, ...]
-    slo_attainment: dict[str, float]
-    peak_replicas: int = 0
-    generated_tokens: int = 0
-    #: GPU-hours billed across all replicas (scale-up decision → stop/end),
-    #: and their price at ``ClusterConfig.gpu_hour_usd`` — the spend the
-    #: autoscaler trades against p95
-    gpu_hours: float = 0.0
-    cost_usd: float = 0.0
-
-    @property
-    def served(self) -> int:
-        return len(self.completed)
-
-    @property
-    def usd_per_million_tokens(self) -> float:
-        """Unit economics: dollars per 1e6 generated tokens."""
-        if self.generated_tokens <= 0:
-            return 0.0
-        return self.cost_usd / (self.generated_tokens / 1e6)
-
-    @property
-    def offered(self) -> int:
-        return len(self.completed) + len(self.shed)
-
-    @property
-    def shed_fraction(self) -> float:
-        if self.offered == 0:
-            return 0.0
-        return len(self.shed) / self.offered
-
-    @property
-    def throughput_rps(self) -> float:
-        if self.makespan_s <= 0:
-            return 0.0
-        return self.served / self.makespan_s
-
-    @property
-    def final_replicas(self) -> int:
-        return sum(1 for r in self.replicas if r.final_state != ReplicaState.STOPPED.value)
-
-
-def _sample_paths(
-    entries: Sequence,
-    regimes: Sequence[MarkovRoutingModel],
-    rng: np.random.Generator,
-    num_layers: int,
-) -> np.ndarray:
-    """One (B, L) path matrix: each request draws from its own regime.
-
-    Grouped by regime so each regime model is sampled once per step;
-    groups iterate in sorted regime order, keeping rng use deterministic.
-    """
-    paths = np.empty((len(entries), num_layers), dtype=np.int64)
-    regs = np.array(
-        [min(e.request.regime, len(regimes) - 1) for e in entries], dtype=np.int64
-    )
-    for k in np.unique(regs):
-        idx = np.flatnonzero(regs == k)
-        paths[idx] = regimes[int(k)].sample(int(idx.size), rng).paths
-    return paths
 
 
 def _simulate_fleet_serving(
@@ -160,303 +78,28 @@ def _simulate_fleet_serving(
     point).  With ``fleet.replace`` on, each replica's re-placement loop
     uses ``replace_policy`` and a streaming estimator with
     ``replace_halflife_tokens`` (defaults when ``None``).
+
+    ``fleet.engine`` selects the execution strategy — ``"event"`` for the
+    heap oracle, ``"tick"`` for the vectorized engine; both return the
+    same :class:`~repro.fleet.result.FleetResult`, bit for bit.
     """
-    if max_batch_requests <= 0:
-        raise ValueError("max_batch_requests must be positive")
-    if len(regimes) != fleet.num_regimes:
-        raise ValueError(
-            f"fleet.num_regimes = {fleet.num_regimes} but {len(regimes)} regime models given"
-        )
-    if len(placements_by_regime) != len(regimes):
-        raise ValueError("need exactly one placement per regime")
-    for m in regimes:
-        if m.num_experts != model.num_experts or m.num_layers != model.num_moe_layers:
-            raise ValueError("regime model shape does not match model architecture")
-
-    rng = rng or np.random.default_rng(0)
-    router = router or make_router(
-        fleet.router, regimes=regimes, load_weight=fleet.affinity_load_weight
-    )
-    admission = admission or AdmissionController.from_config(fleet)
-    timer = timer or PlacementStepTimer(model, cluster, mode=mode, dtype_bytes=dtype_bytes)
-    top2 = model.gating.k == 2
-    g = cluster.num_gpus
-    L = model.num_moe_layers
-    num_priorities = len(admission.classes)
-
-    reqs = sorted(requests, key=lambda q: (q.arrival_s, q.req_id))
-    empty_stats = LatencyStats.from_samples([])
-    if not reqs:
-        return FleetResult((), (), empty_stats, empty_stats, 0.0, (), (), {})
-
-    replicas: list[Replica] = []
-
-    def new_replica(
-        regime: int,
-        state: ReplicaState,
-        booted_at: float,
-        billed_from: float | None = None,
-    ) -> Replica:
-        replacer = None
-        if fleet.replace:
-            # each replica gets its own replacer (and hence estimator):
-            # every replica streams only its own traffic
-            replacer = OnlineReplacer(
-                model,
-                cluster,
-                policy=replace_policy or ReplacementPolicy(),
-                halflife_tokens=replace_halflife_tokens,
-                dtype_bytes=dtype_bytes,
-                rng=np.random.default_rng(rng.integers(2**31)),
-            )
-        r = Replica(
-            replica_id=len(replicas),
-            placement=placements_by_regime[regime],
-            regime=regime,
-            max_batch_requests=max_batch_requests,
-            num_gpus=g,
-            num_priorities=num_priorities,
-            state=state,
-            booted_at_s=booted_at,
-            replacer=replacer,
-            billed_from_s=billed_from,
-        )
-        replicas.append(r)
-        return r
-
-    first_arrival = reqs[0].arrival_s
-    for i in range(fleet.num_replicas):
-        new_replica(i % len(regimes), ReplicaState.ACTIVE, first_arrival)
-
-    autoscaler = ReactiveAutoscaler(fleet) if fleet.autoscale else None
-
-    heap: list[tuple[float, int, str, object]] = []
-    seq = itertools.count()
-
-    def push(t: float, kind: str, data: object) -> None:
-        heapq.heappush(heap, (t, next(seq), kind, data))
-
-    for q in reqs:
-        push(q.arrival_s, "arrival", q)
-    if autoscaler is not None:
-        push(first_arrival + fleet.autoscale_check_every_s, "scale", None)
-
-    total = len(reqs)
-    done = 0
-    completed: list[FleetCompleted] = []
-    shed: list[ShedRecord] = []
-    scale_events: list[ScaleEvent] = []
-    peak_routable = fleet.num_replicas
-
-    def routable() -> list[Replica]:
-        return [r for r in replicas if r.routable]
-
-    def finish_if_drained(r: Replica, t: float) -> None:
-        if r.state is ReplicaState.DRAINING and r.drained:
-            r.state = ReplicaState.STOPPED
-            r.stopped_at_s = t
-
-    def start_step(r: Replica, t: float) -> None:
-        """Admit at the boundary and launch one decode step (or go idle)."""
-        newly = r.admit_up_to_capacity(t)
-        if newly:
-            adm = timer.admission_time(
-                np.array([e.home_gpu for e in newly], dtype=np.int64),
-                np.array([e.request.prompt_len for e in newly], dtype=np.int64),
-            )
-            if adm > 0:
-                t += adm
-                r.note_admission(adm)
-        if not r.active:
-            r.stepping = False
-            finish_if_drained(r, t)
-            return
-        paths = _sample_paths(r.active, regimes, rng, L)
-        secondary = _sample_paths(r.active, regimes, rng, L) if top2 else None
-        if r.replacer is not None:
-            r.replacer.observe(paths)
-        home = np.array([e.home_gpu for e in r.active], dtype=np.int64)
-        ctx = np.array(
-            [e.request.prompt_len + e.generated for e in r.active], dtype=np.int64
-        )
-        dt = timer.step_time(paths, home, ctx, r.placement, secondary)
-        if not dt > 0:
-            raise ValueError(f"step_time must be positive seconds, got {dt}")
-        r.stepping = True
-        push(t + dt, "step", (r, dt))
-
-    def on_arrival(q: FleetRequest, t: float) -> None:
-        nonlocal done
-        cands = routable()
-        if not cands:
-            # transient hole (every replica booting/draining); shed honestly
-            # rather than queueing on a replica that may never come up
-            shed.append(ShedRecord(q, t, "no-capacity", None))
-            done += 1
-            return
-        r = router.choose(q, cands, rng)
-        reason = admission.assess(q, r, t)
-        if reason is not None:
-            shed.append(ShedRecord(q, t, reason, r.replica_id))
-            done += 1
-            return
-        r.enqueue(q)
-        if not r.stepping:
-            start_step(r, t)
-
-    def on_step_end(r: Replica, dt: float, t: float) -> None:
-        nonlocal done
-        batch = len(r.active)
-        r.note_step(dt, batch)
-        still: list = []
-        for e in r.active:
-            e.tokens_remaining -= 1
-            e.generated += 1
-            if e.tokens_remaining == 0:
-                completed.append(
-                    FleetCompleted(e.request, e.admitted_s, t, r.replica_id)
-                )
-                r.served += 1
-                done += 1
-            else:
-                still.append(e)
-        r.active = still
-        t_next = t
-        if r.replacer is not None:
-            result = r.replacer.maybe_replace(r.steps, t, r.placement)
-            if result is not None:
-                r.placement, event = result
-                r.placement_version += 1
-                r.replacements += 1
-                r.migration_stall_s += event.stall_s
-                t_next += event.stall_s
-        start_step(r, t_next)
-
-    def migrate_queued(victim: Replica, t: float) -> None:
-        """Hand a draining replica's queued requests back to the router.
-
-        The active decode batch finishes in place (KV state is not moved);
-        queued-but-unadmitted requests are re-routed across the remaining
-        routable replicas so they don't wait out the drain.  Re-routing
-        skips latency-prediction shedding — these requests were already
-        admitted once, and shedding them *because* the fleet is shrinking
-        would be wrong — but it still honours the hard
-        ``max_queue_per_replica`` cap: orphans that would overflow every
-        surviving replica stay on the victim and drain normally.
-        """
-        orphans = victim.take_queued()
-        if not orphans:
-            return
-        for q in orphans:
-            # victim is already DRAINING, hence excluded from routable()
-            targets = [
-                r for r in routable() if r.queue_len < fleet.max_queue_per_replica
-            ]
-            if not targets:
-                victim.enqueue(q)  # nowhere with room: drain it in place
-                continue
-            target = router.choose(q, targets, rng)
-            target.enqueue(q)
-            if not target.stepping:
-                start_step(target, t)
-
-    def on_scale(t: float) -> None:
-        live = routable()
-        booting = [r for r in replicas if r.state is ReplicaState.BOOTING]
-        draining = [r for r in replicas if r.state is ReplicaState.DRAINING]
-        # demand counts draining replicas' stranded queues too (they are
-        # real pending work), capacity counts only replicas that can absorb
-        queued = sum(r.queue_len for r in live + draining)
-        decision = autoscaler.decide(queued, len(live), len(booting))
-        per = autoscaler.last_queue_per_replica
-        if decision == "up":
-            # boot with the placement of the regime dominating queued work
-            counts: Counter = Counter()
-            for r in live + draining:
-                for queue in r.queues:
-                    counts.update(
-                        min(q.regime, len(regimes) - 1) for q in queue
-                    )
-            regime = min(counts, key=lambda k: (-counts[k], k)) if counts else 0
-            cold = price_cold_start(
-                model,
-                cluster,
-                placements_by_regime[regime],
-                dtype_bytes,
-                fleet.boot_overhead_s,
-            )
-            r = new_replica(
-                regime, ReplicaState.BOOTING, t + cold.total_s, billed_from=t
-            )
-            push(t + cold.total_s, "boot", r)
-            scale_events.append(
-                ScaleEvent(t, "up", per, len(live) + len(booting),
-                           len(live) + len(booting) + 1, cold.total_s)
-            )
-        elif decision == "down":
-            victim = min(live, key=lambda r: (r.load, r.replica_id))
-            victim.state = ReplicaState.DRAINING
-            if fleet.migrate_on_drain:
-                migrate_queued(victim, t)
-            finish_if_drained(victim, t)
-            scale_events.append(
-                ScaleEvent(t, "down", per, len(live) + len(booting),
-                           len(live) + len(booting) - 1, 0.0)
-            )
-        if done < total:
-            push(t + fleet.autoscale_check_every_s, "scale", None)
-
-    while heap:
-        t, _, kind, data = heapq.heappop(heap)
-        if kind == "arrival":
-            on_arrival(data, t)
-        elif kind == "step":
-            r, dt = data
-            on_step_end(r, dt, t)
-        elif kind == "boot":
-            r = data
-            r.state = ReplicaState.ACTIVE
-            peak_routable = max(peak_routable, len(routable()))
-        elif kind == "scale" and autoscaler is not None and done < total:
-            on_scale(t)
-
-    end_times = [c.finished_s for c in completed] + [s.time_s for s in shed]
-    makespan = max(end_times) - first_arrival if end_times else 0.0
-    sim_end = first_arrival + makespan
-    gpu_hours = sum(r.gpu_hours(sim_end) for r in replicas)
-
-    # per-class SLO attainment over *offered* traffic: shed = missed
-    offered_by_class: Counter = Counter()
-    met_by_class: Counter = Counter()
-    for c in completed:
-        name = admission.class_of(c.request).name
-        offered_by_class[name] += 1
-        if admission.slo_met(c.request, c.latency_s):
-            met_by_class[name] += 1
-    for s in shed:
-        offered_by_class[admission.class_of(s.request).name] += 1
-    attainment = {
-        cls.name: (
-            met_by_class[cls.name] / offered_by_class[cls.name]
-            if offered_by_class[cls.name]
-            else 1.0
-        )
-        for cls in admission.classes
-    }
-
-    return FleetResult(
-        completed=tuple(completed),
-        shed=tuple(shed),
-        latency=LatencyStats.from_samples([c.latency_s for c in completed]),
-        queue=LatencyStats.from_samples([c.queue_s for c in completed]),
-        makespan_s=makespan,
-        replicas=tuple(r.stats(sim_end) for r in replicas),
-        scale_events=tuple(scale_events),
-        slo_attainment=attainment,
-        peak_replicas=peak_routable,
-        generated_tokens=sum(c.request.generate_len for c in completed),
-        gpu_hours=gpu_hours,
-        cost_usd=gpu_hours * cluster.gpu_hour_usd,
+    run = simulate_fleet_tick if fleet.engine == "tick" else simulate_fleet_reference
+    return run(
+        requests,
+        model,
+        cluster,
+        regimes,
+        placements_by_regime,
+        fleet,
+        mode=mode,
+        max_batch_requests=max_batch_requests,
+        router=router,
+        admission=admission,
+        timer=timer,
+        replace_policy=replace_policy,
+        replace_halflife_tokens=replace_halflife_tokens,
+        dtype_bytes=dtype_bytes,
+        rng=rng,
     )
 
 
@@ -485,7 +128,8 @@ def _simulate_fleet_cluster_serving(
     Builds ``fleet.num_regimes`` independent Markov regimes of equal
     affinity strength, solves one placement per regime from an offline
     profile, labels the arrival stream with regimes (time-varying mix via
-    ``regime_weight_at``) and priorities, and runs the event loop.
+    ``regime_weight_at``) and priorities, and runs the engine
+    ``fleet.engine`` selects.
 
     Seed layout (all derived from ``serving.seed``, all disjoint —
     mirroring the single-replica online loop): arrivals use ``seed``,

@@ -363,3 +363,62 @@ def _fig16_flash(autoscale: bool, smoke: bool) -> Scenario:
 for _auto in (True, False):
     register_scenario(_fig16_flash(_auto, smoke=False))
     register_scenario(_fig16_flash(_auto, smoke=True))
+
+
+# -- fleet-at-scale preset (the tick engine's home turf) -----------------------
+
+
+def _fleet_scale_day(smoke: bool) -> Scenario:
+    """A compressed day-in-the-life of a large fleet, on the tick engine.
+
+    One million requests over 128 replicas with a diurnal two-regime mix,
+    SLO admission under sustained pressure (~20% of peak traffic shed) and
+    reactive autoscaling — the scale the vectorized engine exists for (the
+    event-heap oracle takes tens of minutes here; see
+    ``benchmarks/bench_fleet_scale.py``).  Both variants use the small
+    fig16 model: the subject is fleet dynamics, not the checkpoint.  The
+    smoke variant is the same pipeline at CI scale.
+    """
+    serving = ServingConfig(
+        arrival="bursty",
+        arrival_rate_rps=150000.0 if smoke else 2e7,
+        num_requests=2000 if smoke else 1_000_000,
+        generate_len=4,
+        max_batch_requests=8 if smoke else 64,
+        prompt_len=16,
+        seed=0,
+    )
+    fleet = FleetConfig(
+        num_replicas=8 if smoke else 128,
+        router="jsq",
+        num_regimes=2,
+        engine="tick",
+        slo_ms=50.0,
+        batch_slo_ms=500.0,
+        max_queue_per_replica=32,
+        autoscale=True,
+        min_replicas=4 if smoke else 64,
+        max_replicas=12 if smoke else 160,
+        # roughly a hundred checks over the compressed day's makespan
+        autoscale_check_every_s=0.0002 if smoke else 0.0005,
+        scale_up_queue_per_replica=4.0,
+        scale_dwell_checks=2,
+    )
+    return Scenario(
+        name="fleet-scale-day" + ("-smoke" if smoke else ""),
+        description=(
+            "1M-request day over 128 replicas, diurnal mix, tick engine"
+            if not smoke
+            else "fleet-scale day-in-the-life pipeline (CI smoke)"
+        ),
+        model=_fig16_model(smoke=True),
+        cluster=ClusterConfig(num_nodes=2, gpus_per_node=2),
+        affinity=_FIG16_AFFINITY,
+        serving=serving,
+        fleet=fleet,
+        regime_mix="diurnal",
+    )
+
+
+register_scenario(_fleet_scale_day(smoke=False))
+register_scenario(_fleet_scale_day(smoke=True))

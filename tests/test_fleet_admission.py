@@ -130,3 +130,40 @@ class TestShedding:
     def test_overflow_priority_maps_to_last_class(self):
         ctrl = _controller()
         assert ctrl.class_of(_req(priority=7)).name == "batch"
+
+
+class TestBatchAssessment:
+    """The vectorized admission path must mirror scalar ``assess`` exactly."""
+
+    def _loaded_replicas(self):
+        cold = _replica()  # est None -> admit unless queue-full
+        slow = _replica()
+        slow.est_step_s = 0.2  # 10-step request predicts 2s
+        full = _replica()
+        for _ in range(300):
+            full.enqueue(_req())
+        return [cold, slow, full]
+
+    def test_matches_scalar_per_pair(self):
+        ctrl = _controller()
+        replicas = self._loaded_replicas()
+        requests = [_req(priority=p, generate_len=g) for p in (0, 1) for g in (1, 10)]
+        pairs = [(q, r) for q in requests for r in replicas]
+        qs = [q for q, _ in pairs]
+        rs = [r for _, r in pairs]
+        batch = ctrl.assess_batch(qs, rs)
+        scalar = [ctrl.assess(q, r, 0.0) for q, r in pairs]
+        assert batch == scalar
+        assert set(batch) == {None, "deadline", "queue-full"}
+
+    def test_queue_full_wins_over_deadline(self):
+        ctrl = _controller(max_queue_per_replica=4)
+        r = _replica()
+        r.est_step_s = 10.0  # would shed on deadline too
+        for _ in range(4):
+            r.enqueue(_req())
+        assert ctrl.assess_batch([_req()], [r]) == ["queue-full"]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="one routed replica per request"):
+            _controller().assess_batch([_req()], [])

@@ -1,0 +1,235 @@
+"""The tick engine against the event-heap oracle: exact FleetResult match.
+
+The vectorized tick engine (:mod:`repro.fleet.engine`) exists for speed;
+its *correctness* is defined entirely by
+:func:`repro.fleet.reference.simulate_fleet_reference`.  Every scenario
+here runs both engines on identical inputs and demands the full
+:class:`~repro.fleet.result.FleetResult` match **exactly** — completed
+and shed tuples (order included), latency/queue percentile stats, replica
+accounts, scale events, SLO attainment, GPU-hour billing.  No tolerances:
+the engines share rng consumption order and float expression order, so
+any drift is a bug, not noise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    ClusterConfig,
+    ExecutionMode,
+    FleetConfig,
+    GatingKind,
+    ModelConfig,
+    ServingConfig,
+)
+from repro.fleet.requests import flash_crowd_arrivals
+from repro.fleet.simulate import _simulate_fleet_cluster_serving
+
+MODEL = ModelConfig(
+    name="fleet-eq-test", num_layers=4, num_experts=8, d_model=64, num_heads=4
+)
+CLUSTER = ClusterConfig(num_nodes=2, gpus_per_node=2)
+SERVING = ServingConfig(
+    arrival="bursty",
+    arrival_rate_rps=900.0,
+    num_requests=120,
+    generate_len=6,
+    max_batch_requests=8,
+    prompt_len=8,
+    seed=0,
+)
+
+ROUTERS = ("round-robin", "jsq", "p2c", "affinity")
+
+
+def run_both(fleet, model=MODEL, serving=SERVING, **kwargs):
+    event = _simulate_fleet_cluster_serving(
+        model, CLUSTER, serving, dataclasses.replace(fleet, engine="event"), **kwargs
+    )
+    tick = _simulate_fleet_cluster_serving(
+        model, CLUSTER, serving, dataclasses.replace(fleet, engine="tick"), **kwargs
+    )
+    return event, tick
+
+
+def assert_identical(event, tick):
+    """Field-by-field first (for a readable diff), then the whole value."""
+    assert tick.completed == event.completed
+    assert tick.shed == event.shed
+    assert tick.latency == event.latency
+    assert tick.queue == event.queue
+    assert tick.makespan_s == event.makespan_s
+    assert tick.replicas == event.replicas
+    assert tick.scale_events == event.scale_events
+    assert tick.slo_attainment == event.slo_attainment
+    assert tick.peak_replicas == event.peak_replicas
+    assert tick.generated_tokens == event.generated_tokens
+    assert tick.gpu_hours == event.gpu_hours
+    assert tick.cost_usd == event.cost_usd
+    assert tick == event
+
+
+@pytest.mark.parametrize("router", ROUTERS)
+def test_every_router_kind(router):
+    fleet = FleetConfig(num_replicas=3, router=router, num_regimes=2)
+    event, tick = run_both(fleet)
+    assert event.served > 0
+    assert_identical(event, tick)
+
+
+@pytest.mark.parametrize("router", ROUTERS)
+def test_overload_sheds_identically(router):
+    overload = ServingConfig(
+        arrival_rate_rps=50000.0,
+        num_requests=400,
+        generate_len=6,
+        max_batch_requests=4,
+        prompt_len=8,
+        seed=3,
+    )
+    fleet = FleetConfig(
+        num_replicas=2,
+        router=router,
+        num_regimes=2,
+        slo_ms=0.5,
+        batch_slo_ms=1.0,
+        max_queue_per_replica=16,
+    )
+    event, tick = run_both(fleet, serving=overload)
+    assert len(event.shed) > 0  # both queue-full and deadline paths exercised
+    assert {s.reason for s in event.shed} & {"deadline", "queue-full"}
+    assert_identical(event, tick)
+
+
+def test_priority_classes():
+    loaded = ServingConfig(
+        arrival_rate_rps=20000.0,
+        num_requests=250,
+        generate_len=6,
+        max_batch_requests=4,
+        prompt_len=8,
+        seed=4,
+    )
+    fleet = FleetConfig(
+        num_replicas=2,
+        router="jsq",
+        interactive_fraction=0.3,
+        slo_ms=10000.0,
+        batch_slo_ms=20000.0,
+        max_queue_per_replica=500,
+    )
+    event, tick = run_both(fleet, serving=loaded)
+    assert {q.request.priority for q in event.completed} == {0, 1}
+    assert_identical(event, tick)
+
+
+@pytest.mark.parametrize("router", ("jsq", "affinity"))
+def test_autoscale_flash_crowd(router):
+    base = ServingConfig(
+        arrival_rate_rps=15000.0,
+        num_requests=600,
+        generate_len=8,
+        max_batch_requests=8,
+        prompt_len=8,
+        seed=5,
+    )
+    arrivals = flash_crowd_arrivals(base, 4.0, 0.005, 0.05)
+    fleet = FleetConfig(
+        num_replicas=2,
+        router=router,
+        num_regimes=2,
+        autoscale=True,
+        min_replicas=2,
+        max_replicas=8,
+        slo_ms=50.0,
+        batch_slo_ms=500.0,
+        autoscale_check_every_s=0.002,
+        scale_up_queue_per_replica=4.0,
+        scale_dwell_checks=2,
+    )
+    event, tick = run_both(fleet, serving=base, arrivals=arrivals)
+    assert any(e.kind == "up" for e in event.scale_events)
+    assert_identical(event, tick)
+
+
+@pytest.mark.parametrize("migrate", (False, True))
+def test_scale_down_and_migration(migrate):
+    quiet = ServingConfig(
+        arrival_rate_rps=20.0,
+        num_requests=80,
+        generate_len=4,
+        max_batch_requests=8,
+        prompt_len=8,
+        seed=6,
+    )
+    fleet = FleetConfig(
+        num_replicas=4,
+        router="jsq",
+        autoscale=True,
+        min_replicas=1,
+        max_replicas=4,
+        autoscale_check_every_s=0.05,
+        scale_down_queue_per_replica=0.5,
+        scale_dwell_checks=2,
+        migrate_on_drain=migrate,
+    )
+    event, tick = run_both(fleet, serving=quiet)
+    assert any(e.kind == "down" for e in event.scale_events)
+    assert_identical(event, tick)
+
+
+def test_online_replacement():
+    # fleet.replace seeds one replacer rng per replica from the shared
+    # stream — creation order must match between engines
+    fleet = FleetConfig(num_replicas=2, router="p2c", replace=True)
+    event, tick = run_both(fleet)
+    assert_identical(event, tick)
+
+
+def test_top2_gating_secondary_paths():
+    model = dataclasses.replace(MODEL, gating=GatingKind.TOP2)
+    fleet = FleetConfig(num_replicas=2, router="jsq", num_regimes=2)
+    event, tick = run_both(fleet, model=model)
+    assert_identical(event, tick)
+
+
+def test_vanilla_mode():
+    fleet = FleetConfig(num_replicas=2, router="round-robin")
+    event, tick = run_both(fleet, mode=ExecutionMode.VANILLA)
+    assert_identical(event, tick)
+
+
+def test_tick_rejects_custom_components():
+    from repro.core.placement.vanilla import vanilla_placement
+    from repro.fleet.admission import AdmissionController
+    from repro.fleet.engine import simulate_fleet_tick
+    from repro.fleet.router import Router
+    from repro.trace.markov import MarkovRoutingModel
+
+    regimes = [MarkovRoutingModel.with_affinity(8, 4, 0.8)]
+    flat = vanilla_placement(4, 8, 4)
+    fleet = FleetConfig(num_regimes=1, engine="tick")
+
+    class MyRouter(Router):
+        pass
+
+    class MyAdmission(AdmissionController):
+        pass
+
+    with pytest.raises(ValueError, match="custom routers"):
+        simulate_fleet_tick(
+            [], MODEL, CLUSTER, regimes, [flat], fleet, router=MyRouter()
+        )
+    with pytest.raises(ValueError, match="custom admission"):
+        simulate_fleet_tick(
+            [],
+            MODEL,
+            CLUSTER,
+            regimes,
+            [flat],
+            fleet,
+            admission=MyAdmission.from_config(fleet),
+        )

@@ -2,13 +2,17 @@
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.online import model_kept_mass
 from repro.core.placement.greedy import greedy_placement
 from repro.core.placement.vanilla import vanilla_placement
-from repro.fleet.replica import Replica, ReplicaState
+from repro.fleet.replica import ArrayQueue, Replica, ReplicaState
 from repro.fleet.requests import FleetRequest
 from repro.fleet.router import (
     AffinityRouter,
@@ -166,11 +170,14 @@ class TestAffinityRouter:
             model_kept_mass(fitted[1], regimes[0])
         )
 
-    def test_out_of_range_regime_clamped(self, rng, regimes, fitted):
+    def test_out_of_range_regime_raises(self, rng, regimes, fitted):
+        """Regression: out-of-range regimes used to clamp silently to the
+        last regime — a labelling bug would just reshape traffic.  Now it
+        is a configuration error."""
         reps = [_replica(0, 0, fitted[0]), _replica(1, 1, fitted[1])]
         router = AffinityRouter(regimes, load_weight=0.0)
-        chosen = router.choose(_req(0, regime=99), reps, rng)
-        assert chosen.replica_id == 1  # clamps to the last regime
+        with pytest.raises(ValueError, match="regime 99 out of range"):
+            router.choose(_req(0, regime=99), reps, rng)
 
     def test_validation(self, regimes):
         with pytest.raises(ValueError):
@@ -179,6 +186,73 @@ class TestAffinityRouter:
             AffinityRouter(regimes, load_weight=-0.1)
         with pytest.raises(ValueError):
             AffinityRouter(regimes).kept_mass(_replica(0), 5)
+
+
+@functools.lru_cache(maxsize=1)
+def _affinity_fixtures():
+    """Two regimes + one fitted placement each, built once for hypothesis."""
+    regimes = tuple(
+        MarkovRoutingModel.with_affinity(E, L, 0.9, rng=np.random.default_rng(s))
+        for s in (11, 222)
+    )
+    fitted = tuple(
+        greedy_placement(m.sample(1500, np.random.default_rng(7 + i)), G)
+        for i, m in enumerate(regimes)
+    )
+    return regimes, fitted
+
+
+class TestChooseBatchMatchesScalar:
+    """Property: ``choose_batch`` == per-request ``choose`` on a frozen
+    snapshot, for every router kind — the contract the tick engine's
+    vectorized routing kernels are built on."""
+
+    @given(
+        kind=st.sampled_from(["round-robin", "jsq", "p2c", "affinity"]),
+        num_replicas=st.integers(1, 6),
+        num_requests=st.integers(1, 12),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_batch_equals_scalar(self, kind, num_replicas, num_requests, seed):
+        regimes, fitted = _affinity_fixtures()
+        rng = np.random.default_rng(seed)
+
+        def build_fleet():
+            reps = []
+            for rid in range(num_replicas):
+                r = _replica(rid, rid % 2, fitted[rid % 2])
+                for i in range(int(rng.integers(0, 6))):
+                    r.enqueue(_req(100 * rid + i))
+                if rng.integers(0, 2):
+                    r.admit_up_to_capacity(0.0)  # split load across queue/batch
+                reps.append(r)
+            return reps
+
+        reps = build_fleet()
+        requests = [
+            _req(i, regime=int(rng.integers(0, len(regimes))))
+            for i in range(num_requests)
+        ]
+
+        def build_router():
+            router = (
+                AffinityRouter(regimes) if kind == "affinity" else make_router(kind)
+            )
+            if isinstance(router, RoundRobinRouter):
+                router._next = int(rng.integers(0, 7))  # same mid-cycle start
+            return router
+
+        rng_state = rng.bit_generator.state
+        scalar_router = build_router()
+        rng.bit_generator.state = rng_state
+        batch_router = build_router()
+
+        scalar_rng = np.random.default_rng(seed + 1)
+        batch_rng = np.random.default_rng(seed + 1)
+        scalar = [scalar_router.choose(q, reps, scalar_rng) for q in requests]
+        batch = batch_router.choose_batch(requests, reps, batch_rng)
+        assert [r.replica_id for r in batch] == [r.replica_id for r in scalar]
 
 
 class TestMakeRouter:
@@ -229,3 +303,64 @@ class TestReplicaGuards:
             r.enqueue(_req(i))
         homes = [e.home_gpu for e in r.admit_up_to_capacity(0.0)]
         assert homes == [0, 1, 2, 3, 0]
+
+
+class TestArrayQueue:
+    def test_fifo_across_growth(self):
+        q = ArrayQueue(capacity=2)
+        for i in range(100):
+            q.push(i)
+        assert len(q) == 100
+        assert q.pop_many(30).tolist() == list(range(30))
+        assert q.pop_many(5).tolist() == list(range(30, 35))
+        assert len(q) == 65
+
+    def test_pop_many_clamps_to_size(self):
+        q = ArrayQueue()
+        q.push(7)
+        got = q.pop_many(10)
+        assert got.tolist() == [7]
+        assert len(q) == 0
+        assert q.pop_many(3).size == 0
+
+    def test_compaction_reclaims_popped_space(self):
+        q = ArrayQueue(capacity=4)
+        for i in range(4):
+            q.push(i)
+        q.pop_many(3)
+        for i in range(4, 7):
+            q.push(i)  # forces compaction, not growth
+        assert q.view().tolist() == [3, 4, 5, 6]
+        assert q._buf.shape[0] == 4
+
+    def test_interleaved_push_pop_keeps_order(self):
+        q = ArrayQueue(capacity=3)
+        expect = []
+        got = []
+        for i in range(50):
+            q.push(i)
+            expect.append(i)
+            if i % 3 == 2:
+                got.extend(q.pop_many(2).tolist())
+        got.extend(q.drain().tolist())
+        assert got == expect
+
+    def test_view_is_zero_copy_window(self):
+        q = ArrayQueue()
+        for i in range(5):
+            q.push(10 * i)
+        v = q.view()
+        assert v.tolist() == [0, 10, 20, 30, 40]
+        assert v.base is q._buf
+
+    def test_drain_empties(self):
+        q = ArrayQueue()
+        for i in range(8):
+            q.push(i)
+        assert q.drain().tolist() == list(range(8))
+        assert len(q) == 0
+        assert q.drain().size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrayQueue(capacity=0)

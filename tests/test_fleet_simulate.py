@@ -188,6 +188,22 @@ class TestFleetServing:
                 [], model, cluster, bad, [flat], FleetConfig(num_regimes=1)
             )
 
+    @pytest.mark.parametrize("engine", ["event", "tick"])
+    def test_out_of_range_regime_rejected_at_entry(self, model, cluster, engine):
+        """Regression: a request labelled with an unmodelled regime used to
+        be silently clamped onto the last regime (reshaping traffic and
+        hiding labelling bugs); both engines now reject it up front."""
+        from repro.core.placement.vanilla import vanilla_placement
+
+        regimes = [MarkovRoutingModel.with_affinity(8, 4, 0.8)]
+        flat = vanilla_placement(4, 8, 4)
+        bad = [FleetRequest(0, 0.0, 8, 4, regime=3)]
+        with pytest.raises(ValueError, match="regime 3.*only regimes 0..0"):
+            simulate_fleet_serving(
+                bad, model, cluster, regimes, [flat],
+                FleetConfig(num_regimes=1, engine=engine),
+            )
+
     def test_every_router_serves_everything_when_unloaded(
         self, model, cluster, serving
     ):
