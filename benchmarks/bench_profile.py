@@ -1,0 +1,146 @@
+"""Simulator self-profiling — where does fleet-engine wall time go?
+
+Runs the ``fleet-scale-day`` preset (tick engine) with a
+:class:`repro.obs.profile.PhaseProfiler` attached and publishes the
+wall-time split across the engine's phases — ``routing`` (router
+choose calls), ``admission`` (SLO assessment), ``pricing`` (placement
+step/admission cost evaluation plus expert-path sampling) and
+``bookkeeping`` (the derived remainder) — as ``BENCH_profile.json``.
+The four fractions sum to exactly 1.0 by construction; CI asserts this
+on the artefact, so the payload doubles as a schema check for the
+profiler itself.
+
+A second measurement times the same preset bare and with a
+:class:`~repro.obs.recorder.TimelineRecorder` attached, recording the
+telemetry layer's observation overhead.  There is no pinned acceptance
+bar on the overhead (wall times are machine-dependent); the committed
+number is the trajectory future PRs diff against.
+
+Runnable directly (``python benchmarks/bench_profile.py``, add
+``--smoke`` for the CI-sized variant) or through pytest
+(``pytest benchmarks/bench_profile.py -s``).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import repro
+from repro.analysis.report import format_table
+from repro.obs.profile import PROFILE_PHASES, PhaseProfiler
+from repro.obs.recorder import TimelineRecorder
+
+_FULL_SCENARIO = "fleet-scale-day"
+_SMOKE_SCENARIO = "fleet-scale-day-smoke"
+
+
+def run_profile(smoke: bool = False):
+    """Profile one full run; return (scenario_name, report, PhaseProfile)."""
+    name = _SMOKE_SCENARIO if smoke else _FULL_SCENARIO
+    profiler = PhaseProfiler()
+    report = repro.run(name, keep_raw=False, profiler=profiler)
+    return name, report, profiler.profile()
+
+
+def run_overhead(smoke: bool = False):
+    """Time the preset bare vs with a TimelineRecorder attached."""
+    name = _SMOKE_SCENARIO if smoke else _FULL_SCENARIO
+    t0 = time.perf_counter()
+    repro.run(name, keep_raw=False)
+    bare_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    repro.run(name, keep_raw=False, recorder=TimelineRecorder())
+    recorded_s = time.perf_counter() - t0
+    return {
+        "bare_wall_s": bare_s,
+        "recorded_wall_s": recorded_s,
+        "overhead_frac": (recorded_s - bare_s) / bare_s if bare_s > 0 else 0.0,
+    }
+
+
+def _json_payload(name: str, report, profile, overhead: dict, smoke: bool) -> dict:
+    """The ``BENCH_profile.json`` record.
+
+    Schema keys asserted by CI: ``bench``, ``smoke``, ``scenario``,
+    ``total_s``, ``phase_s``, ``fractions`` (must sum to ~1.0),
+    ``overhead``.  Wall seconds are machine-dependent; the fractions and
+    the overhead ratio are the cross-machine-comparable signals.
+    """
+    return {
+        "bench": "profile",
+        "smoke": smoke,
+        "scenario": name,
+        "completed": report.completed,
+        "shed": report.shed,
+        "makespan_s": report.makespan_s,
+        "total_s": profile.total_s,
+        "phase_s": dict(profile.phase_s),
+        "fractions": profile.fractions,
+        "overhead": overhead,
+    }
+
+
+def _format(name: str, profile, overhead: dict, smoke: bool) -> str:
+    rows = [
+        [phase, profile.phase_s[phase], profile.fractions[phase]]
+        for phase in PROFILE_PHASES
+    ]
+    rows.append(["total", profile.total_s, sum(profile.fractions.values())])
+    table = format_table(
+        ["phase", "wall s", "fraction"],
+        rows,
+        title=f"Simulator self-profile — {name}" + (" (smoke)" if smoke else ""),
+    )
+    extra = (
+        f"\ntelemetry overhead: bare {overhead['bare_wall_s']:.2f}s vs recorded "
+        f"{overhead['recorded_wall_s']:.2f}s ({overhead['overhead_frac']:+.1%})"
+    )
+    return table + extra
+
+
+def test_profile(benchmark, results_dir):
+    from conftest import publish, publish_json
+
+    name, report, profile = run_profile(smoke=True)
+    benchmark.pedantic(lambda: run_profile(smoke=True), rounds=1, iterations=1)
+    overhead = run_overhead(smoke=True)
+    publish(results_dir, "profile_smoke", _format(name, profile, overhead, smoke=True))
+    payload = _json_payload(name, report, profile, overhead, smoke=True)
+    publish_json(results_dir, "BENCH_profile_smoke", payload)
+
+    # the profiler's core contract: every phase reported, fractions sum to 1
+    assert set(profile.phase_s) == set(PROFILE_PHASES)
+    assert profile.total_s > 0.0
+    assert abs(sum(profile.fractions.values()) - 1.0) < 1e-9
+    assert report.completed + report.shed == 2000
+
+
+def main() -> int:
+    import argparse
+
+    from conftest import publish_json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized variant: the smoke day preset"
+    )
+    args = parser.parse_args()
+
+    name, report, profile = run_profile(smoke=args.smoke)
+    overhead = run_overhead(smoke=args.smoke)
+    table = _format(name, profile, overhead, smoke=args.smoke)
+    print(table)
+
+    results = Path(__file__).parent / "results"
+    results.mkdir(exist_ok=True)
+    out_name = "BENCH_profile_smoke" if args.smoke else "BENCH_profile"
+    payload = _json_payload(name, report, profile, overhead, smoke=args.smoke)
+    out = publish_json(results, out_name, payload)
+    (results / ("profile_smoke.txt" if args.smoke else "profile.txt")).write_text(table + "\n")
+    print(f"machine-readable trajectory: {out}")
+    return 0 if abs(sum(profile.fractions.values()) - 1.0) < 1e-9 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,8 @@ Model Inference" (Yao et al.), rebuilt as a self-contained simulation stack:
   ILP-based expert placement, context coherence, the ExFlow facade.
 * :mod:`repro.engine` — distributed inference simulation + comparisons.
 * :mod:`repro.fleet` — multi-replica serving: router, admission, autoscaler.
+* :mod:`repro.obs` — observability: metric timelines, Chrome-trace export,
+  simulator self-profiling (attach via ``Scenario.telemetry``).
 * :mod:`repro.training` — affinity/balance dynamics during training.
 * :mod:`repro.analysis` — heatmaps, Table I formulas, report formatting.
 * :mod:`repro.scenarios` — the front door: declarative :class:`Scenario`
@@ -118,12 +120,19 @@ from repro.fleet import (
     simulate_fleet_serving,
 )
 from repro.model import MoETransformer, generate
+from repro.obs import (
+    NullRecorder,
+    PhaseProfiler,
+    TimelineRecorder,
+    validate_chrome_trace,
+)
 from repro.scenarios import (
     DriftSpec,
     FlashCrowdSpec,
     ReplacementSpec,
     Scenario,
     SimReport,
+    TelemetrySpec,
     get_scenario,
     list_scenarios,
     register_scenario,
@@ -203,11 +212,17 @@ __all__ = [
     # model
     "MoETransformer",
     "generate",
+    # obs (telemetry)
+    "NullRecorder",
+    "PhaseProfiler",
+    "TimelineRecorder",
+    "validate_chrome_trace",
     # scenarios (the run() facade)
     "Scenario",
     "DriftSpec",
     "ReplacementSpec",
     "FlashCrowdSpec",
+    "TelemetrySpec",
     "SimReport",
     "run",
     "run_sweep",

@@ -5,6 +5,9 @@ Wraps the common workflows so the library is usable without writing Python:
 * ``run`` — execute any scenario: a registered preset by name or a JSON
   spec file (``--scenario``).  The one entry point that covers batch
   comparisons, single-replica serving, online re-placement and fleets.
+  ``--trace``/``--metrics`` export Chrome-trace and metric-timeline JSON.
+* ``report`` — terminal summary (headline + per-replica utilization) of
+  an exported metrics timeline.
 * ``scenarios`` — enumerate the registered presets (``scenarios list``).
 * ``models`` — list the Table II model presets.
 * ``profile`` — sample a routing trace (Markov router) to an ``.npz`` file.
@@ -22,6 +25,7 @@ Every command takes ``--seed`` and prints deterministic output.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import Any
@@ -47,6 +51,7 @@ from repro.core.placement.base import placement_locality
 from repro.core.placement.registry import SOLVERS, solve_placement
 from repro.engine.comparison import ComparisonRow, compare_modes
 from repro.engine.workload import DRIFT_KINDS
+from repro.obs.recorder import TimelineRecorder
 from repro.scenarios import (
     SCENARIO_KINDS,
     DriftSpec,
@@ -91,6 +96,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--out-spec",
         metavar="FILE",
         help="write the resolved scenario spec JSON here (for reproduction)",
+    )
+    p.add_argument(
+        "--trace",
+        metavar="FILE",
+        help=(
+            "record the run and write a Chrome-trace JSON (open in "
+            "ui.perfetto.dev); serving and fleet scenarios only"
+        ),
+    )
+    p.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help=(
+            "record the run and write the per-window metric timeline JSON "
+            "(readable with `repro report`); serving and fleet scenarios only"
+        ),
+    )
+
+    p = sub.add_parser(
+        "report", help="summarize a metrics/report JSON file in the terminal"
+    )
+    p.add_argument(
+        "file",
+        help=(
+            "metrics JSON from `repro run --metrics` or a report JSON from "
+            "`repro run --out` (needs a telemetry timeline)"
+        ),
     )
 
     p = sub.add_parser("scenarios", help="enumerate the registered scenario presets")
@@ -416,13 +448,27 @@ def _print_fleet_result(res: Any, router_label: str, title: str) -> None:
             s.served,
             s.decode_steps,
             s.mean_batch_size,
+            f"{s.utilization:.1%}",
+            s.busy_s,
+            s.gpu_hours,
             s.replacements,
         ]
         for s in res.replicas
     ]
     print(
         format_table(
-            ["replica", "regime", "state", "served", "steps", "mean batch", "replacements"],
+            [
+                "replica",
+                "regime",
+                "state",
+                "served",
+                "steps",
+                "mean batch",
+                "util",
+                "busy s",
+                "GPU-h",
+                "replacements",
+            ],
             per_replica,
             title="per-replica",
         )
@@ -493,7 +539,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
-    report = run_scenario(scenario)
+    recorder = None
+    if args.trace or args.metrics:
+        if scenario.kind not in ("serving", "fleet"):
+            print(
+                f"error: --trace/--metrics record serving and fleet scenarios, "
+                f"not kind {scenario.kind!r}",
+                file=sys.stderr,
+            )
+            return 2
+        tele = scenario.telemetry
+        recorder = (
+            TimelineRecorder(
+                window_s=tele.window_s,
+                max_windows=tele.max_windows,
+                spans=tele.spans,
+                max_span_events=tele.max_span_events,
+            )
+            if tele is not None
+            else TimelineRecorder()
+        )
+    report = run_scenario(scenario, recorder=recorder)
     if args.json:
         print(report.to_json())
     else:
@@ -507,9 +573,111 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.out_spec:
             scenario.save(args.out_spec)
             print(f"wrote scenario spec to {args.out_spec}", file=sys.stderr)
+        if args.trace:
+            assert recorder is not None
+            recorder.write_chrome_trace(args.trace)
+            print(
+                f"wrote Chrome trace to {args.trace} (open in ui.perfetto.dev)",
+                file=sys.stderr,
+            )
+        if args.metrics:
+            assert recorder is not None
+            doc = {
+                "scenario": scenario.name,
+                "kind": scenario.kind,
+                "metrics": recorder.timeline(),
+            }
+            with open(args.metrics, "w") as fh:
+                fh.write(json.dumps(doc) + "\n")
+            print(f"wrote metrics timeline to {args.metrics}", file=sys.stderr)
     except OSError as exc:
         print(f"error: cannot write output: {exc}", file=sys.stderr)
         return 2
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Terminal summary of a metrics timeline (or a report carrying one)."""
+    try:
+        with open(args.file) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.file!r}: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(doc, dict):
+        print(f"error: {args.file!r} is not a JSON object", file=sys.stderr)
+        return 2
+    if "traceEvents" in doc:
+        print(
+            f"error: {args.file!r} is a Chrome-trace file — open it in "
+            "ui.perfetto.dev or chrome://tracing.  `repro report` reads the "
+            "metrics JSON from `repro run --metrics` (or a report from "
+            "`repro run --out` with a telemetry timeline).",
+            file=sys.stderr,
+        )
+        return 2
+    timeline = None
+    for key in ("metrics", "timeline"):
+        if isinstance(doc.get(key), dict):
+            timeline = doc[key]
+            break
+    if timeline is None:
+        print(
+            f"error: {args.file!r} carries no metric timeline; produce one "
+            "with `repro run --metrics FILE` or a scenario telemetry section",
+            file=sys.stderr,
+        )
+        return 2
+    scenario = doc.get("scenario", "?")
+    kind = doc.get("kind", "?")
+    totals = timeline.get("totals", {})
+    span_s = float(timeline.get("t_end_s", 0.0)) - float(timeline.get("t0_s", 0.0))
+    print(
+        f"scenario `{scenario}` ({kind}): "
+        f"{totals.get('admitted', 0)} admitted, "
+        f"{totals.get('completed', 0)} completed, "
+        f"{totals.get('shed', 0)} shed over {span_s:.3f} s"
+    )
+    print(
+        f"timeline: {timeline.get('num_windows', 0)} windows of "
+        f"{float(timeline.get('window_s', 0.0)):.6g} s, "
+        f"{timeline.get('num_replicas', 0)} replica(s), "
+        f"{totals.get('dropped_span_events', 0)} span event(s) dropped"
+    )
+    rows = []
+    for r in timeline.get("replicas", []):
+        util = float(r.get("utilization", 0.0))
+        rows.append(
+            [
+                r.get("replica"),
+                r.get("regime"),
+                r.get("final_state"),
+                r.get("admitted"),
+                r.get("completed"),
+                r.get("steps"),
+                r.get("tokens"),
+                float(r.get("busy_s", 0.0)),
+                f"{util:.1%}",
+            ]
+        )
+    if rows:
+        print(
+            format_table(
+                [
+                    "replica",
+                    "regime",
+                    "state",
+                    "admitted",
+                    "completed",
+                    "steps",
+                    "tokens",
+                    "busy s",
+                    "util",
+                ],
+                rows,
+                title="per-replica utilization",
+            )
+        )
     return 0
 
 
@@ -759,6 +927,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "report": _cmd_report,
     "scenarios": _cmd_scenarios,
     "models": _cmd_models,
     "profile": _cmd_profile,

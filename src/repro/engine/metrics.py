@@ -17,7 +17,17 @@ import numpy as np
 from repro.cluster.traffic import TrafficLedger
 from repro.config import ExecutionMode
 
-__all__ = ["OpBreakdown", "RunResult", "LatencyStats"]
+__all__ = ["OpBreakdown", "RunResult", "LatencyStats", "LATENCY_HIST_EDGES_S"]
+
+#: Fixed log-spaced bucket edges (seconds) for :attr:`LatencyStats.histogram`.
+#: Bucket ``i`` counts samples in ``[edges[i-1], edges[i])`` (bucket 0 is
+#: everything below ``edges[0]``, the last bucket everything at or above
+#: ``edges[-1]``).  Fixed edges make histograms from different runs — and
+#: different engines — directly comparable and mergeable by addition.
+LATENCY_HIST_EDGES_S: tuple[float, ...] = (
+    0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5,
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+)
 
 
 @dataclass(frozen=True)
@@ -26,6 +36,9 @@ class LatencyStats:
 
     ``p50_s``/``p95_s``/``p99_s`` use numpy's linear-interpolation
     percentiles; an empty sample yields all-zero stats with ``count == 0``.
+    ``histogram`` holds per-bucket counts over the fixed
+    :data:`LATENCY_HIST_EDGES_S` edges (``len(edges) + 1`` buckets), so
+    ``sum(histogram) == count`` always.
     """
 
     count: int
@@ -34,15 +47,22 @@ class LatencyStats:
     p95_s: float
     p99_s: float
     max_s: float
+    histogram: tuple[int, ...] = ()
 
     @classmethod
     def from_samples(cls, samples: Iterable[float]) -> "LatencyStats":
         arr = np.asarray(list(samples), dtype=np.float64)
+        num_buckets = len(LATENCY_HIST_EDGES_S) + 1
         if arr.size == 0:
-            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, (0,) * num_buckets)
         if (arr < 0).any():
             raise ValueError("latency samples must be non-negative")
         p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+        edges = np.asarray(LATENCY_HIST_EDGES_S, dtype=np.float64)
+        # side="right": a sample equal to an edge lands in the bucket above
+        # it, matching the [lo, hi) bucket convention documented on the edges
+        buckets = np.searchsorted(edges, arr, side="right")
+        counts = np.bincount(buckets, minlength=num_buckets)
         return cls(
             count=int(arr.size),
             mean_s=float(arr.mean()),
@@ -50,6 +70,7 @@ class LatencyStats:
             p95_s=float(p95),
             p99_s=float(p99),
             max_s=float(arr.max()),
+            histogram=tuple(int(c) for c in counts),
         )
 
     def as_dict(self) -> dict[str, float]:
@@ -61,6 +82,17 @@ class LatencyStats:
             "p99_s": self.p99_s,
             "max_s": self.max_s,
         }
+
+    def histogram_dict(self) -> dict[str, int]:
+        """Bucket counts keyed by their upper edge (``"+inf"`` for the tail).
+
+        Returns an empty dict when the stats were built without a histogram
+        (e.g. deserialized from a pre-histogram report).
+        """
+        if not self.histogram:
+            return {}
+        labels = [f"<{edge:g}s" for edge in LATENCY_HIST_EDGES_S] + ["+inf"]
+        return dict(zip(labels, self.histogram, strict=True))
 
 
 @dataclass(frozen=True)

@@ -62,6 +62,7 @@ from repro.engine.workload import (
     make_decode_workload,
     make_drift_scenario,
 )
+from repro.obs.recorder import MetricsRecorder
 from repro.trace.markov import MarkovRoutingModel
 
 __all__ = [
@@ -219,6 +220,7 @@ def _simulate_serving(
     requests: Iterable[Request],
     step_time: Callable[[int], float],
     max_batch_requests: int = 64,
+    recorder: MetricsRecorder | None = None,
 ) -> ServingResult:
     """Serve ``requests`` with iteration-level continuous batching.
 
@@ -229,6 +231,11 @@ def _simulate_serving(
     immediately.  ``step_time(batch_size)`` prices one decode iteration for
     the given number of active requests — use :func:`engine_step_time` to
     derive it from the vectorized engine.
+
+    An attached ``recorder`` observes the run as a one-replica fleet
+    (replica 0, regime 0, always active): enqueue at each arrival, free
+    admission at each step boundary, step and completion hooks as the
+    batch advances.  Recording never changes scheduling or float order.
 
     Returns the full :class:`ServingResult`, including p50/p95/p99 latency
     and queueing statistics.
@@ -248,9 +255,24 @@ def _simulate_serving(
     active: list[list] = []  # [request, tokens_remaining, admitted_s]
     completed: list[CompletedRequest] = []
 
+    # telemetry: the single global batch reports as replica 0; arrivals
+    # enqueue lazily (in arrival order, stamped at their arrival time) the
+    # first time the clock passes them
+    arrivals = list(pending) if recorder is not None else []
+    enq_ptr = 0
+    if recorder is not None:
+        recorder.on_run_start(first_arrival, {})
+        recorder.on_replica_start(first_arrival, 0, 0, False, first_arrival, first_arrival)
+
     while pending or active:
         if not active and pending and pending[0].arrival_s > now:
             now = pending[0].arrival_s  # idle: jump to the next arrival
+        if recorder is not None:
+            while enq_ptr < len(arrivals) and arrivals[enq_ptr].arrival_s <= now:
+                q = arrivals[enq_ptr]
+                recorder.on_enqueue(q.arrival_s, 0, q.req_id)
+                enq_ptr += 1
+        admitted_ids: list[int] = []
         while (
             pending
             and pending[0].arrival_s <= now
@@ -258,6 +280,10 @@ def _simulate_serving(
         ):
             req = pending.popleft()
             active.append([req, req.generate_len, now])
+            if recorder is not None:
+                admitted_ids.append(req.req_id)
+        if recorder is not None and admitted_ids:
+            recorder.on_admit(now, 0, admitted_ids, 0.0)
 
         dt = float(step_time(len(active)))
         if not dt > 0:
@@ -266,16 +292,25 @@ def _simulate_serving(
         busy += dt
         steps += 1
         weighted_batch += len(active) * dt
+        if recorder is not None:
+            recorder.on_step_end(now, 0, dt, len(active))
 
         still_running: list[list] = []
         for entry in active:
             entry[1] -= 1
             if entry[1] == 0:
                 completed.append(CompletedRequest(entry[0], entry[2], now))
+                if recorder is not None:
+                    recorder.on_complete(
+                        now, 0, entry[0].req_id, entry[0].arrival_s, entry[2],
+                        entry[0].generate_len,
+                    )
             else:
                 still_running.append(entry)
         active = still_running
 
+    if recorder is not None:
+        recorder.on_run_end(now)
     makespan = now - first_arrival
     tokens = sum(c.request.generate_len for c in completed)
     return ServingResult(
@@ -401,6 +436,7 @@ def _simulate_cluster_serving(
     affinity: float = 0.85,
     placement_strategy: str = "staged",
     cost_model: CostModel | None = None,
+    recorder: MetricsRecorder | None = None,
 ) -> ServingResult:
     """End-to-end serving scenario from a :class:`~repro.config.ServingConfig`.
 
@@ -424,7 +460,10 @@ def _simulate_cluster_serving(
     rng = np.random.default_rng(serving.seed)
     requests = make_arrivals(serving, rng)
     return _simulate_serving(
-        requests, step, max_batch_requests=serving.max_batch_requests
+        requests,
+        step,
+        max_batch_requests=serving.max_batch_requests,
+        recorder=recorder,
     )
 
 

@@ -47,6 +47,7 @@ array form, so the tick engine rejects them — use ``engine="event"``.
 from __future__ import annotations
 
 import math
+from time import perf_counter
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -61,6 +62,7 @@ from repro.fleet.autoscaler import ReactiveAutoscaler, ScaleEvent, price_cold_st
 from repro.fleet.replica import _STEP_EWMA_ALPHA, ArrayQueue, ReplicaState, ReplicaStats
 from repro.fleet.requests import FleetCompleted, FleetRequest, ShedRecord
 from repro.fleet.result import (
+    FleetObs,
     FleetResult,
     finalize_fleet_result,
     sample_paths_grouped,
@@ -78,6 +80,8 @@ from repro.fleet.router import (
     p2c_select,
     rr_positions,
 )
+from repro.obs.profile import PhaseProfiler
+from repro.obs.recorder import MetricsRecorder
 from repro.trace.markov import MarkovRoutingModel
 
 __all__ = ["simulate_fleet_tick"]
@@ -117,6 +121,8 @@ class _TickFleet:
         replace_halflife_tokens: float | None,
         dtype_bytes: int,
         rng: np.random.Generator,
+        recorder: MetricsRecorder | None = None,
+        profiler: PhaseProfiler | None = None,
     ) -> None:
         self.model = model
         self.cluster = cluster
@@ -212,6 +218,12 @@ class _TickFleet:
         self.cursor = 0
         self.done = 0
         self.first_arrival = float(self.arr_t[0])
+
+        # -- telemetry (observation-only; hooks shared with the oracle) --------
+        self.obs = FleetObs(recorder) if recorder is not None else None
+        self.profiler = profiler
+        if self.obs is not None:
+            self.obs.run_start(self.first_arrival, cluster)
 
         # -- outcome ledgers ---------------------------------------------------
         self.comp_i: list[int] = []
@@ -320,6 +332,9 @@ class _TickFleet:
         self.num_replicas = rid + 1
         if state == _BOOTING:
             self.n_booting += 1
+        if self.obs is not None:
+            billed = float(self.billed_from[rid])
+            self.obs.replica_start(billed, rid, regime, state == _BOOTING, booted_at, billed)
         return rid
 
     def _kept_row(self, placement: Placement) -> np.ndarray:
@@ -373,6 +388,8 @@ class _TickFleet:
         ):
             self.state[rid] = _STOPPED
             self.stopped_at[rid] = t
+            if self.obs is not None:
+                self.obs.stop(t, rid)
 
     def _start_step(self, rid: int, t: float) -> None:
         """Admit at the boundary and launch one decode step (or go idle)."""
@@ -400,7 +417,15 @@ class _TickFleet:
             self.admit_ctr[rid] += m
             self.n_act[rid] = base + m
             self.queue_len[rid] -= m
+            profiler = self.profiler
+            _pt = perf_counter() if profiler is not None else 0.0
             adm = self.timer.admission_time(homes, self.prompt[popped])
+            if profiler is not None:
+                profiler.add("pricing", perf_counter() - _pt)
+            if self.obs is not None:
+                self.obs.admit(
+                    t, rid, [self.reqs[i].req_id for i in popped.tolist()], adm
+                )
             if adm > 0:
                 t += adm
                 self.busy[rid] += adm
@@ -412,18 +437,25 @@ class _TickFleet:
             self._finish_if_drained(rid, t)
             return
         regs = self.act_reg[rid, :n]
+        profiler = self.profiler
+        _pt = perf_counter() if profiler is not None else 0.0
         paths = sample_paths_grouped(regs, self.regimes, self.rng, self.L)
         secondary = (
             sample_paths_grouped(regs, self.regimes, self.rng, self.L)
             if self.top2
             else None
         )
+        if profiler is not None:
+            profiler.add("pricing", perf_counter() - _pt)
         replacer = self.replacers[rid]
         if replacer is not None:
             replacer.observe(paths)
         home = self.act_home[rid, :n]
         ctx = self.prompt[self.act_req[rid, :n]] + self.act_gen[rid, :n]
+        _pt = perf_counter() if profiler is not None else 0.0
         dt = self.timer.step_time(paths, home, ctx, self.placements[rid], secondary)
+        if profiler is not None:
+            profiler.add("pricing", perf_counter() - _pt)
         if not dt > 0:
             raise ValueError(f"step_time must be positive seconds, got {dt}")
         self.stepping[rid] = True
@@ -439,6 +471,8 @@ class _TickFleet:
         self.weighted[rid] += n * dt
         est = float(self.est_step[rid])
         self.est_step[rid] = dt if est != est else est + _STEP_EWMA_ALPHA * (dt - est)
+        if self.obs is not None:
+            self.obs.step_end(t, rid, dt, n)
         toks = self.act_tok[rid, :n]
         toks -= 1
         self.act_gen[rid, :n] += 1
@@ -453,6 +487,13 @@ class _TickFleet:
             self.served[rid] += m
             self.done += m
             self.load[rid] -= m
+            if self.obs is not None:
+                adm_rows = self.act_adm[rid, fidx].tolist()
+                for ri, adm_s in zip(
+                    self.act_req[rid, fidx].tolist(), adm_rows, strict=True
+                ):
+                    q = self.reqs[ri]
+                    self.obs.complete(t, rid, q.req_id, q.arrival_s, adm_s, q.generate_len)
             keep = np.flatnonzero(~fin)
             kn = keep.size
             if kn:
@@ -482,6 +523,8 @@ class _TickFleet:
         self.n_booting -= 1
         self._refresh_routable()
         self.peak_routable = max(self.peak_routable, int(self.routable_ids.size))
+        if self.obs is not None:
+            self.obs.boot_ready(t, rid)
 
     def _migrate_queued(self, victim: int, t: float) -> None:
         """Re-route a draining replica's queued requests (oracle semantics)."""
@@ -491,15 +534,21 @@ class _TickFleet:
             return
         self.queue_len[victim] = 0
         self.load[victim] -= orphans.size
+        if self.obs is not None:
+            self.obs.requeue(t, victim, int(orphans.size))
         cap = self.fleet.max_queue_per_replica
         for i in orphans.tolist():
             rids = self.routable_ids
             targets = rids[self.queue_len[rids] < cap]
             if targets.size == 0:
                 self._enqueue(i, victim)  # nowhere with room: drain in place
+                if self.obs is not None:
+                    self.obs.enqueue(t, victim, self.reqs[i].req_id)
                 continue
             rid = self._choose_one(i, targets)
             self._enqueue(i, rid)
+            if self.obs is not None:
+                self.obs.enqueue(t, rid, self.reqs[i].req_id)
             if not self.stepping[rid]:
                 self._start_step(rid, t)
 
@@ -542,10 +591,15 @@ class _TickFleet:
                 ScaleEvent(t, "up", per, int(live.size) + booting,
                            int(live.size) + booting + 1, cold.total_s)
             )
+            if self.obs is not None:
+                self.obs.scale(t, "up", per, int(live.size) + booting,
+                               int(live.size) + booting + 1, cold.total_s)
         elif decision == "down":
             victim = int(live[np.argmin(self.load[live])])
             self.state[victim] = _DRAINING
             self._refresh_routable()
+            if self.obs is not None:
+                self.obs.drain(t, victim)
             if self.fleet.migrate_on_drain:
                 self._migrate_queued(victim, t)
             self._finish_if_drained(victim, t)
@@ -553,6 +607,9 @@ class _TickFleet:
                 ScaleEvent(t, "down", per, int(live.size) + booting,
                            int(live.size) + booting - 1, 0.0)
             )
+            if self.obs is not None:
+                self.obs.scale(t, "down", per, int(live.size) + booting,
+                               int(live.size) + booting - 1, 0.0)
         if self.done < self.total:
             self.scale_t = t + self.fleet.autoscale_check_every_s
             self.scale_seq = self._next_seq()
@@ -571,11 +628,23 @@ class _TickFleet:
             SHED_REASONS[int(c)] or "" for c in codes.tolist()
         )
         self.done += hi - lo
+        if self.obs is not None:
+            for i, rid, c in zip(
+                range(lo, hi), chosen.tolist(), codes.tolist(), strict=True
+            ):
+                self.obs.shed(
+                    float(self.arr_t[i]),
+                    self.reqs[i].req_id,
+                    int(rid),
+                    SHED_REASONS[int(c)] or "",
+                )
 
     def _arrivals_chunk(self, cur: int, hi: int) -> tuple[int, bool]:
         """One frozen-state pass for round-robin / jsq / affinity windows."""
         k = hi - cur
         rids = self.routable_ids
+        profiler = self.profiler
+        _pt = perf_counter() if profiler is not None else 0.0
         if self.policy == "round-robin":
             rt = self.router
             assert isinstance(rt, RoundRobinRouter)
@@ -589,6 +658,9 @@ class _TickFleet:
             chosen = np.empty(k, dtype=np.int64)
             for kreg in np.unique(regs):
                 chosen[regs == kreg] = self._affinity_pick(rids, int(kreg))
+        if profiler is not None:
+            profiler.add("routing", perf_counter() - _pt)
+            _pt = perf_counter()
         codes = self.admission.assess_codes(
             self.gen_len[cur:hi],
             self.slo[cur:hi],
@@ -596,6 +668,8 @@ class _TickFleet:
             self.est_step[chosen],
             self.max_batch,
         )
+        if profiler is not None:
+            profiler.add("admission", perf_counter() - _pt)
         admits = codes == ADMIT
         first = int(np.argmax(admits)) if admits.any() else k
         if first > 0:
@@ -605,6 +679,10 @@ class _TickFleet:
         if first < k:
             rid = int(chosen[first])
             self._enqueue(cur + first, rid)
+            if self.obs is not None:
+                self.obs.enqueue(
+                    float(self.arr_t[cur + first]), rid, self.reqs[cur + first].req_id
+                )
             consumed += 1
             if not self.stepping[rid]:
                 self._start_step(rid, float(self.arr_t[cur + first]))
@@ -626,32 +704,49 @@ class _TickFleet:
         mb = self.max_batch
         slack = self.admission.shed_slack
         qcap = self.admission.max_queue_per_replica
+        obs = self.obs
+        profiler = self.profiler
         i = cur
         while i < hi:
+            _pt = perf_counter() if profiler is not None else 0.0
             if ncand == 1:
                 rid = int(rids[0])
             else:
                 a_, b_ = rng.choice(ncand, size=2, replace=False)
                 ra, rb = int(rids[int(a_)]), int(rids[int(b_)])
                 rid = rb if (load[rb], rb) < (load[ra], ra) else ra
+            if profiler is not None:
+                profiler.add("routing", perf_counter() - _pt)
+                _pt = perf_counter()
             ql = int(qlen[rid])
             if ql >= qcap:
+                if profiler is not None:
+                    profiler.add("admission", perf_counter() - _pt)
                 self.shed_i.append(i)
                 self.shed_time.append(float(self.arr_t[i]))
                 self.shed_reason.append("queue-full")
                 self.shed_rid.append(rid)
                 self.done += 1
+                if obs is not None:
+                    obs.shed(float(self.arr_t[i]), self.reqs[i].req_id, rid, "queue-full")
             else:
                 e = float(est[rid])
                 gen = int(self.gen_len[i])
-                if e == e and ql * gen * e / mb + gen * e > slack * float(self.slo[i]):
+                deadline = e == e and ql * gen * e / mb + gen * e > slack * float(self.slo[i])
+                if profiler is not None:
+                    profiler.add("admission", perf_counter() - _pt)
+                if deadline:
                     self.shed_i.append(i)
                     self.shed_time.append(float(self.arr_t[i]))
                     self.shed_reason.append("deadline")
                     self.shed_rid.append(rid)
                     self.done += 1
+                    if obs is not None:
+                        obs.shed(float(self.arr_t[i]), self.reqs[i].req_id, rid, "deadline")
                 else:
                     self._enqueue(i, rid)
+                    if obs is not None:
+                        obs.enqueue(float(self.arr_t[i]), rid, self.reqs[i].req_id)
                     if not self.stepping[rid]:
                         self._start_step(rid, float(self.arr_t[i]))
                         return i + 1, True
@@ -676,6 +771,11 @@ class _TickFleet:
                 self.shed_reason.extend(["no-capacity"] * (hi - cur))
                 self.shed_rid.extend([None] * (hi - cur))
                 self.done += hi - cur
+                if self.obs is not None:
+                    for i in range(cur, hi):
+                        self.obs.shed(
+                            float(self.arr_t[i]), self.reqs[i].req_id, None, "no-capacity"
+                        )
                 cur = hi
                 break
             if self.policy == "p2c":
@@ -726,6 +826,8 @@ class _TickFleet:
         return best_kind, best_t, best_rid
 
     def run(self) -> FleetResult:
+        if self.profiler is not None:
+            self.profiler.run_start()
         while True:
             kind, ev_t, ev_rid = self._pick_event()
             if self.cursor < self.total and self.arr_t[self.cursor] <= ev_t:
@@ -741,6 +843,8 @@ class _TickFleet:
                 self._on_scale(ev_t)
             else:
                 self.scale_t = _INF
+        if self.profiler is not None:
+            self.profiler.run_end()
 
         completed = [
             FleetCompleted(self.reqs[i], adm, fin, rid)
@@ -763,6 +867,7 @@ class _TickFleet:
             self.admission,
             self.peak_routable,
             self.cluster,
+            obs=self.obs,
         )
 
     def _stats_at(self, sim_end: float) -> tuple[ReplicaStats, ...]:
@@ -773,6 +878,9 @@ class _TickFleet:
             busy = float(self.busy[rid])
             end = sim_end if stopped is None else stopped
             gpu_h = max(0.0, end - float(self.billed_from[rid])) * self.g / 3600.0
+            # same expression as Replica.stats, so the two engines report
+            # bit-identical utilization
+            life_s = end - float(self.booted_at[rid])
             out.append(
                 ReplicaStats(
                     replica_id=rid,
@@ -787,6 +895,7 @@ class _TickFleet:
                     booted_at_s=float(self.booted_at[rid]),
                     stopped_at_s=stopped,
                     gpu_hours=gpu_h,
+                    utilization=min(1.0, busy / life_s) if life_s > 0 else 0.0,
                 )
             )
         return tuple(out)
@@ -808,6 +917,8 @@ def simulate_fleet_tick(
     replace_halflife_tokens: float | None = None,
     dtype_bytes: int = 2,
     rng: np.random.Generator | None = None,
+    recorder: MetricsRecorder | None = None,
+    profiler: PhaseProfiler | None = None,
 ) -> FleetResult:
     """Tick-engine counterpart of
     :func:`~repro.fleet.reference.simulate_fleet_reference` — same
@@ -860,5 +971,7 @@ def simulate_fleet_tick(
         replace_halflife_tokens,
         dtype_bytes,
         rng,
+        recorder=recorder,
+        profiler=profiler,
     )
     return sim.run()

@@ -28,6 +28,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import Counter
+from time import perf_counter
 from typing import Iterable, Sequence, cast
 
 import numpy as np
@@ -42,12 +43,15 @@ from repro.fleet.autoscaler import ReactiveAutoscaler, ScaleEvent, price_cold_st
 from repro.fleet.replica import ActiveEntry, Replica, ReplicaState, ReplicaStats
 from repro.fleet.requests import FleetCompleted, FleetRequest, ShedRecord
 from repro.fleet.result import (
+    FleetObs,
     FleetResult,
     finalize_fleet_result,
     sample_paths_grouped,
     validate_fleet_inputs,
 )
 from repro.fleet.router import Router, make_router
+from repro.obs.profile import PhaseProfiler
+from repro.obs.recorder import MetricsRecorder
 from repro.trace.markov import MarkovRoutingModel
 
 __all__ = ["simulate_fleet_reference"]
@@ -80,6 +84,8 @@ def simulate_fleet_reference(
     replace_halflife_tokens: float | None = None,
     dtype_bytes: int = 2,
     rng: np.random.Generator | None = None,
+    recorder: MetricsRecorder | None = None,
+    profiler: PhaseProfiler | None = None,
 ) -> FleetResult:
     """Serve ``requests`` on a fleet of replicas behind a router.
 
@@ -93,6 +99,12 @@ def simulate_fleet_reference(
     point).  With ``fleet.replace`` on, each replica's re-placement loop
     uses ``replace_policy`` and a streaming estimator with
     ``replace_halflife_tokens`` (defaults when ``None``).
+
+    ``recorder`` attaches observation-only telemetry (hooks driven through
+    the shared :class:`~repro.fleet.result.FleetObs` adapter, so the tick
+    engine reports the identical stream); ``profiler`` accumulates the
+    wall-time phase split (routing / admission / pricing / bookkeeping).
+    Neither perturbs the simulation.
     """
     reqs = sorted(requests, key=lambda q: (q.arrival_s, q.req_id))
     validate_fleet_inputs(
@@ -114,6 +126,7 @@ def simulate_fleet_reference(
     if not reqs:
         return FleetResult((), (), empty_stats, empty_stats, 0.0, (), (), {})
 
+    obs = FleetObs(recorder) if recorder is not None else None
     replicas: list[Replica] = []
 
     def new_replica(
@@ -147,9 +160,20 @@ def simulate_fleet_reference(
             billed_from_s=billed_from,
         )
         replicas.append(r)
+        if obs is not None:
+            obs.replica_start(
+                billed_from if billed_from is not None else booted_at,
+                r.replica_id,
+                regime,
+                state is ReplicaState.BOOTING,
+                booted_at,
+                r.billed_from_s,
+            )
         return r
 
     first_arrival = reqs[0].arrival_s
+    if obs is not None:
+        obs.run_start(first_arrival, cluster)
     for i in range(fleet.num_replicas):
         new_replica(i % len(regimes), ReplicaState.ACTIVE, first_arrival)
 
@@ -180,15 +204,22 @@ def simulate_fleet_reference(
         if r.state is ReplicaState.DRAINING and r.drained:
             r.state = ReplicaState.STOPPED
             r.stopped_at_s = t
+            if obs is not None:
+                obs.stop(t, r.replica_id)
 
     def start_step(r: Replica, t: float) -> None:
         """Admit at the boundary and launch one decode step (or go idle)."""
         newly = r.admit_up_to_capacity(t)
         if newly:
+            _pt = perf_counter() if profiler is not None else 0.0
             adm = timer.admission_time(
                 np.array([e.home_gpu for e in newly], dtype=np.int64),
                 np.array([e.request.prompt_len for e in newly], dtype=np.int64),
             )
+            if profiler is not None:
+                profiler.add("pricing", perf_counter() - _pt)
+            if obs is not None:
+                obs.admit(t, r.replica_id, [e.request.req_id for e in newly], adm)
             if adm > 0:
                 t += adm
                 r.note_admission(adm)
@@ -196,15 +227,21 @@ def simulate_fleet_reference(
             r.stepping = False
             finish_if_drained(r, t)
             return
+        _pt = perf_counter() if profiler is not None else 0.0
         paths = _sample_paths(r.active, regimes, rng, L)
         secondary = _sample_paths(r.active, regimes, rng, L) if top2 else None
+        if profiler is not None:
+            profiler.add("pricing", perf_counter() - _pt)
         if r.replacer is not None:
             r.replacer.observe(paths)
         home = np.array([e.home_gpu for e in r.active], dtype=np.int64)
         ctx = np.array(
             [e.request.prompt_len + e.generated for e in r.active], dtype=np.int64
         )
+        _pt = perf_counter() if profiler is not None else 0.0
         dt = timer.step_time(paths, home, ctx, r.placement, secondary)
+        if profiler is not None:
+            profiler.add("pricing", perf_counter() - _pt)
         if not dt > 0:
             raise ValueError(f"step_time must be positive seconds, got {dt}")
         r.stepping = True
@@ -218,14 +255,26 @@ def simulate_fleet_reference(
             # rather than queueing on a replica that may never come up
             shed.append(ShedRecord(q, t, "no-capacity", None))
             done += 1
+            if obs is not None:
+                obs.shed(t, q.req_id, None, "no-capacity")
             return
+        _pt = perf_counter() if profiler is not None else 0.0
         r = router.choose(q, cands, rng)
+        if profiler is not None:
+            profiler.add("routing", perf_counter() - _pt)
+        _pt = perf_counter() if profiler is not None else 0.0
         reason = admission.assess(q, r, t)
+        if profiler is not None:
+            profiler.add("admission", perf_counter() - _pt)
         if reason is not None:
             shed.append(ShedRecord(q, t, reason, r.replica_id))
             done += 1
+            if obs is not None:
+                obs.shed(t, q.req_id, r.replica_id, reason)
             return
         r.enqueue(q)
+        if obs is not None:
+            obs.enqueue(t, r.replica_id, q.req_id)
         if not r.stepping:
             start_step(r, t)
 
@@ -233,6 +282,8 @@ def simulate_fleet_reference(
         nonlocal done
         batch = len(r.active)
         r.note_step(dt, batch)
+        if obs is not None:
+            obs.step_end(t, r.replica_id, dt, batch)
         still: list[ActiveEntry] = []
         for e in r.active:
             e.tokens_remaining -= 1
@@ -243,6 +294,15 @@ def simulate_fleet_reference(
                 )
                 r.served += 1
                 done += 1
+                if obs is not None:
+                    obs.complete(
+                        t,
+                        r.replica_id,
+                        e.request.req_id,
+                        e.request.arrival_s,
+                        e.admitted_s,
+                        e.request.generate_len,
+                    )
             else:
                 still.append(e)
         r.active = still
@@ -272,6 +332,8 @@ def simulate_fleet_reference(
         orphans = victim.take_queued()
         if not orphans:
             return
+        if obs is not None:
+            obs.requeue(t, victim.replica_id, len(orphans))
         for q in orphans:
             # victim is already DRAINING, hence excluded from routable()
             targets = [
@@ -279,9 +341,13 @@ def simulate_fleet_reference(
             ]
             if not targets:
                 victim.enqueue(q)  # nowhere with room: drain it in place
+                if obs is not None:
+                    obs.enqueue(t, victim.replica_id, q.req_id)
                 continue
             target = router.choose(q, targets, rng)
             target.enqueue(q)
+            if obs is not None:
+                obs.enqueue(t, target.replica_id, q.req_id)
             if not target.stepping:
                 start_step(target, t)
 
@@ -317,9 +383,14 @@ def simulate_fleet_reference(
                 ScaleEvent(t, "up", per, len(live) + len(booting),
                            len(live) + len(booting) + 1, cold.total_s)
             )
+            if obs is not None:
+                obs.scale(t, "up", per, len(live) + len(booting),
+                          len(live) + len(booting) + 1, cold.total_s)
         elif decision == "down":
             victim = min(live, key=lambda r: (r.load, r.replica_id))
             victim.state = ReplicaState.DRAINING
+            if obs is not None:
+                obs.drain(t, victim.replica_id)
             if fleet.migrate_on_drain:
                 migrate_queued(victim, t)
             finish_if_drained(victim, t)
@@ -327,9 +398,14 @@ def simulate_fleet_reference(
                 ScaleEvent(t, "down", per, len(live) + len(booting),
                            len(live) + len(booting) - 1, 0.0)
             )
+            if obs is not None:
+                obs.scale(t, "down", per, len(live) + len(booting),
+                          len(live) + len(booting) - 1, 0.0)
         if done < total:
             push(t + fleet.autoscale_check_every_s, "scale", None)
 
+    if profiler is not None:
+        profiler.run_start()
     while heap:
         t, _, kind, data = heapq.heappop(heap)
         if kind == "arrival":
@@ -341,8 +417,12 @@ def simulate_fleet_reference(
             r = cast(Replica, data)
             r.state = ReplicaState.ACTIVE
             peak_routable = max(peak_routable, len(routable()))
+            if obs is not None:
+                obs.boot_ready(t, r.replica_id)
         elif kind == "scale" and autoscaler is not None and done < total:
             on_scale(t)
+    if profiler is not None:
+        profiler.run_end()
 
     def stats_at(sim_end: float) -> tuple[ReplicaStats, ...]:
         return tuple(r.stats(sim_end) for r in replicas)
@@ -356,4 +436,5 @@ def simulate_fleet_reference(
         admission,
         peak_routable,
         cluster,
+        obs=obs,
     )

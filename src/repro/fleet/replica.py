@@ -132,6 +132,9 @@ class ReplicaStats:
     booted_at_s: float
     stopped_at_s: float | None
     gpu_hours: float = 0.0
+    #: busy fraction of the replica's routable lifetime (boot-ready →
+    #: stop/sim-end), clamped to 1.0; 0.0 when the lifetime is empty
+    utilization: float = 0.0
 
 
 class Replica:
@@ -267,6 +270,10 @@ class Replica:
         return max(0.0, stop - self.billed_from_s) * self.num_gpus / 3600.0
 
     def stats(self, end_s: float) -> ReplicaStats:
+        # same expression as the tick engine's _stats_at, so the two
+        # engines report bit-identical utilization
+        stop = self.stopped_at_s if self.stopped_at_s is not None else end_s
+        life_s = stop - self.booted_at_s
         return ReplicaStats(
             replica_id=self.replica_id,
             regime=self.regime,
@@ -280,4 +287,5 @@ class Replica:
             booted_at_s=self.booted_at_s,
             stopped_at_s=self.stopped_at_s,
             gpu_hours=self.gpu_hours(end_s),
+            utilization=min(1.0, self.busy_s / life_s) if life_s > 0 else 0.0,
         )

@@ -44,6 +44,8 @@ from repro.fleet.reference import simulate_fleet_reference
 from repro.fleet.requests import FleetRequest, make_fleet_requests
 from repro.fleet.result import FleetResult
 from repro.fleet.router import Router
+from repro.obs.profile import PhaseProfiler
+from repro.obs.recorder import MetricsRecorder
 from repro.trace.markov import MarkovRoutingModel
 
 __all__ = ["FleetResult", "simulate_fleet_serving", "simulate_fleet_cluster_serving"]
@@ -65,6 +67,8 @@ def _simulate_fleet_serving(
     replace_halflife_tokens: float | None = None,
     dtype_bytes: int = 2,
     rng: np.random.Generator | None = None,
+    recorder: MetricsRecorder | None = None,
+    profiler: PhaseProfiler | None = None,
 ) -> FleetResult:
     """Serve ``requests`` on a fleet of replicas behind a router.
 
@@ -100,6 +104,8 @@ def _simulate_fleet_serving(
         replace_halflife_tokens=replace_halflife_tokens,
         dtype_bytes=dtype_bytes,
         rng=rng,
+        recorder=recorder,
+        profiler=profiler,
     )
 
 
@@ -122,6 +128,8 @@ def _simulate_fleet_cluster_serving(
     replace_policy: ReplacementPolicy | None = None,
     replace_halflife_tokens: float | None = None,
     cost_model: CostModel | None = None,
+    recorder: MetricsRecorder | None = None,
+    profiler: PhaseProfiler | None = None,
 ) -> FleetResult:
     """End-to-end fleet scenario from ``ServingConfig`` + ``FleetConfig``.
 
@@ -192,6 +200,8 @@ def _simulate_fleet_cluster_serving(
         replace_policy=replace_policy,
         replace_halflife_tokens=replace_halflife_tokens,
         rng=np.random.default_rng(serving.seed + 9),
+        recorder=recorder,
+        profiler=profiler,
     )
 
 

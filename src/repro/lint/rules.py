@@ -44,6 +44,7 @@ SIM_SCOPE: tuple[str, ...] = (
     "repro/fleet",
     "repro/core",
     "repro/scenarios",
+    "repro/obs",
 )
 
 
@@ -216,13 +217,16 @@ _CLOCK_CALLS = frozenset(
 class WallClockRead(Rule):
     """RPL002 — simulator logic must not read clocks or the environment.
 
-    The engine/fleet/core/scenarios packages compute results that must be
-    a pure function of (spec, seed): a ``time.time()`` or ``os.environ``
-    read makes outputs depend on when/where the run happened, which the
-    bit-identical equivalence suites cannot detect (they run both engines
-    in the same process seconds apart).  ``time.perf_counter`` is *not*
-    flagged: measuring how long the simulator took is fine as long as the
-    measurement never feeds back into simulated results.
+    The engine/fleet/core/scenarios/obs packages compute results that
+    must be a pure function of (spec, seed): a ``time.time()`` or
+    ``os.environ`` read makes outputs depend on when/where the run
+    happened, which the bit-identical equivalence suites cannot detect
+    (they run both engines in the same process seconds apart).
+    ``time.perf_counter`` is *not* flagged: measuring how long the
+    simulator took is fine as long as the measurement never feeds back
+    into simulated results — that allowance is what lets the
+    self-profiling phase timers (``repro.obs.profile``, bracketed with
+    ``perf_counter`` inside both fleet engines) live in scope.
     """
 
     code = "RPL002"

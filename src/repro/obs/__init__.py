@@ -1,0 +1,37 @@
+"""Observation-only telemetry for the simulators.
+
+Three pieces, all optional and all zero-cost when absent:
+
+* :mod:`repro.obs.recorder` — the :class:`MetricsRecorder` hook protocol,
+  the no-op :class:`NullRecorder`, and :class:`TimelineRecorder`, which
+  turns the engines' event hooks into per-window metric time-series and
+  request/replica lifecycle spans.
+* :mod:`repro.obs.trace` — Chrome-trace (``chrome://tracing`` /
+  Perfetto) JSON export plus a structural validator used by tests & CI.
+* :mod:`repro.obs.profile` — :class:`PhaseProfiler`, wall-clock phase
+  timers (routing vs admission vs step pricing vs bookkeeping) for the
+  fleet engines; published as ``BENCH_profile.json``.
+
+The oracle-safety contract: recording is *observation only*.  Hooks may
+read simulated state but never draw rng samples, never change float
+evaluation order, and never feed anything back into the simulation — so
+the bit-identical event/tick fleet contract survives with telemetry
+attached (``tests/test_fleet_equivalence.py`` enforces this).
+"""
+
+from repro.obs.profile import MEASURED_PHASES, PROFILE_PHASES, PhaseProfile, PhaseProfiler
+from repro.obs.recorder import MetricsRecorder, NullRecorder, TimelineRecorder
+from repro.obs.trace import chrome_trace, validate_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "MetricsRecorder",
+    "NullRecorder",
+    "TimelineRecorder",
+    "PhaseProfiler",
+    "PhaseProfile",
+    "MEASURED_PHASES",
+    "PROFILE_PHASES",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

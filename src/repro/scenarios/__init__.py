@@ -38,6 +38,7 @@ from repro.scenarios.spec import (
     ReplacementSpec,
     SCENARIO_KINDS,
     Scenario,
+    TelemetrySpec,
 )
 
 __all__ = [
@@ -45,6 +46,7 @@ __all__ = [
     "DriftSpec",
     "ReplacementSpec",
     "FlashCrowdSpec",
+    "TelemetrySpec",
     "SCENARIO_KINDS",
     "REGIME_MIXES",
     "SimReport",

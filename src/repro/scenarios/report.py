@@ -49,6 +49,9 @@ class SimReport:
     latency_p95_s: float = 0.0
     latency_p99_s: float = 0.0
     queue_p95_s: float = 0.0
+    # fixed-bucket latency histogram: upper-edge label -> count (see
+    # repro.engine.metrics.LATENCY_HIST_EDGES_S); empty for batch runs
+    latency_hist: dict = field(default_factory=dict)
 
     # placement / drift account (online + fleet)
     kept_mass_initial: float | None = None
@@ -71,6 +74,10 @@ class SimReport:
     # per-mode extensions (e.g. batch comparisons: speedups, comm shares)
     extra: dict = field(default_factory=dict)
 
+    # per-window metric timeline (scenarios run with a telemetry section);
+    # the nested document a TimelineRecorder.timeline() returns, or None
+    timeline: dict | None = field(default=None, repr=False)
+
     # the full underlying result object; excluded from serde and equality
     raw: object = field(default=None, repr=False, compare=False)
 
@@ -79,10 +86,14 @@ class SimReport:
             raise ValueError(f"unknown report kind {self.kind!r}")
 
     def is_finite(self) -> bool:
-        """True when every numeric field (incl. extras) is a finite number."""
+        """True when every numeric field (incl. extras) is a finite number.
+
+        Nested non-numeric values (the ``timeline`` document's lists,
+        string labels in dicts) are skipped, not rejected.
+        """
         values = []
         for f in fields(self):
-            if f.name == "raw":
+            if f.name in ("raw", "timeline"):
                 continue
             v = getattr(self, f.name)
             if isinstance(v, dict):
@@ -90,7 +101,7 @@ class SimReport:
             else:
                 values.append(v)
         for v in values:
-            if v is None or isinstance(v, (str, bool)):
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
                 continue
             if not math.isfinite(v):
                 return False
@@ -108,3 +119,20 @@ class SimReport:
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimReport":
+        """Rebuild a report from :meth:`to_dict` output (``raw`` stays None).
+
+        Unknown keys are rejected so a mistyped field name in a hand-edited
+        report fails loudly instead of silently dropping data.
+        """
+        known = {f.name for f in fields(cls) if f.name != "raw"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown SimReport field(s) {sorted(unknown)}")
+        return cls(**{k: data[k] for k in data})
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimReport":
+        return cls.from_dict(json.loads(text))

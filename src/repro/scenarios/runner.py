@@ -28,6 +28,8 @@ from repro.engine.serving import (
 )
 from repro.fleet.requests import flash_crowd_arrivals
 from repro.fleet.simulate import _simulate_fleet_cluster_serving
+from repro.obs.profile import PhaseProfiler
+from repro.obs.recorder import MetricsRecorder, TimelineRecorder
 from repro.scenarios.report import SimReport
 from repro.scenarios.spec import Scenario
 
@@ -98,7 +100,7 @@ def _run_batch(s: Scenario) -> SimReport:
     )
 
 
-def _run_serving(s: Scenario) -> SimReport:
+def _run_serving(s: Scenario, recorder: MetricsRecorder | None = None) -> SimReport:
     res = _simulate_cluster_serving(
         s.model,
         s.cluster,
@@ -106,6 +108,7 @@ def _run_serving(s: Scenario) -> SimReport:
         mode=s.mode,
         affinity=s.affinity,
         placement_strategy=s.placement_strategy,
+        recorder=recorder,
     )
     return SimReport(
         scenario=s.name,
@@ -122,6 +125,7 @@ def _run_serving(s: Scenario) -> SimReport:
         latency_p95_s=res.latency.p95_s,
         latency_p99_s=res.latency.p99_s,
         queue_p95_s=res.queue.p95_s,
+        latency_hist=res.latency.histogram_dict(),
         **_cost_fields(s, res.makespan_s, res.generated_tokens),
         raw=res,
     )
@@ -179,7 +183,11 @@ def _diurnal_mix(horizon_s: float) -> Callable[[float], tuple[float, float]]:
     return weights
 
 
-def _run_fleet(s: Scenario) -> SimReport:
+def _run_fleet(
+    s: Scenario,
+    recorder: MetricsRecorder | None = None,
+    profiler: PhaseProfiler | None = None,
+) -> SimReport:
     arrivals = None
     if s.flash is not None:
         arrivals = flash_crowd_arrivals(
@@ -204,6 +212,8 @@ def _run_fleet(s: Scenario) -> SimReport:
         replace_halflife_tokens=(
             s.replacement.halflife_tokens if s.replacement is not None else None
         ),
+        recorder=recorder,
+        profiler=profiler,
     )
     busy = sum(r.busy_s for r in res.replicas)
     weighted = sum(r.mean_batch_size * r.busy_s for r in res.replicas)
@@ -224,6 +234,7 @@ def _run_fleet(s: Scenario) -> SimReport:
         latency_p95_s=res.latency.p95_s,
         latency_p99_s=res.latency.p99_s,
         queue_p95_s=res.queue.p95_s,
+        latency_hist=res.latency.histogram_dict(),
         num_replacements=sum(r.replacements for r in res.replicas),
         migration_stall_s=sum(r.migration_stall_s for r in res.replicas),
         shed=len(res.shed),
@@ -246,16 +257,67 @@ _RUNNERS = {
 }
 
 
-def run(scenario: Scenario | str, *, keep_raw: bool = True) -> SimReport:
+def run(
+    scenario: Scenario | str,
+    *,
+    keep_raw: bool = True,
+    recorder: MetricsRecorder | None = None,
+    profiler: PhaseProfiler | None = None,
+) -> SimReport:
     """Execute one scenario (object or registered preset name).
 
     Dispatch follows :attr:`Scenario.kind`; the returned
     :class:`SimReport` always has the shared schema filled, with the
     simulator's native result on ``raw`` (dropped when ``keep_raw`` is
     false — the sweep runner does this to keep IPC payloads small).
+
+    Telemetry: a scenario with a ``telemetry`` section automatically gets
+    a fresh :class:`~repro.obs.recorder.TimelineRecorder` (and, with
+    ``profile=True``, a :class:`~repro.obs.profile.PhaseProfiler`)
+    attached; pass ``recorder``/``profiler`` explicitly to override (e.g.
+    to keep the recorder for Chrome-trace export).  When the recorder is
+    a ``TimelineRecorder``, its timeline document lands on
+    ``report.timeline``; profiler phase seconds/fractions land in
+    ``report.extra`` under ``profile_*`` keys.  Recorders attach to
+    serving and fleet scenarios, profilers to fleet scenarios only.
     """
     s = _resolve(scenario)
-    report = _RUNNERS[s.kind](s)
+    tele = s.telemetry
+    if recorder is None and tele is not None:
+        recorder = TimelineRecorder(
+            window_s=tele.window_s,
+            max_windows=tele.max_windows,
+            spans=tele.spans,
+            max_span_events=tele.max_span_events,
+        )
+    if profiler is None and tele is not None and tele.profile:
+        profiler = PhaseProfiler()
+    if recorder is not None and s.kind not in ("serving", "fleet"):
+        raise ValueError(
+            f"recorders attach to serving and fleet scenarios, not kind {s.kind!r}"
+        )
+    if profiler is not None and s.kind != "fleet":
+        raise ValueError(
+            f"profilers attach to fleet scenarios (phase timers live in the "
+            f"fleet engines), not kind {s.kind!r}"
+        )
+    if s.kind == "fleet":
+        report = _run_fleet(s, recorder=recorder, profiler=profiler)
+    elif s.kind == "serving":
+        report = _run_serving(s, recorder=recorder)
+    else:
+        report = _RUNNERS[s.kind](s)
+    if isinstance(recorder, TimelineRecorder):
+        report = dataclasses.replace(report, timeline=recorder.timeline())
+    if profiler is not None:
+        prof = profiler.profile()
+        extra = dict(report.extra)
+        extra["profile_total_s"] = prof.total_s
+        for phase, seconds in prof.phase_s.items():
+            extra[f"profile_{phase}_s"] = seconds
+        for phase, frac in prof.fractions.items():
+            extra[f"profile_{phase}_frac"] = frac
+        report = dataclasses.replace(report, extra=extra)
     if not keep_raw:
         report = dataclasses.replace(report, raw=None)
     return report

@@ -50,6 +50,7 @@ __all__ = [
     "DriftSpec",
     "ReplacementSpec",
     "FlashCrowdSpec",
+    "TelemetrySpec",
     "Scenario",
     "REGIME_MIXES",
     "SCENARIO_KINDS",
@@ -86,6 +87,34 @@ class ReplacementSpec:
     def __post_init__(self) -> None:
         if self.halflife_tokens is not None and self.halflife_tokens <= 0:
             raise ValueError("halflife_tokens must be positive when set")
+
+
+@dataclass(frozen=True)
+class TelemetrySpec:
+    """Observability attachment: per-window timelines, spans, self-profiling.
+
+    Mirrors the :class:`repro.obs.recorder.TimelineRecorder` constructor —
+    ``window_s=None`` enables the deterministic auto-sizing window,
+    ``spans=False`` keeps timelines but drops Chrome-trace span logging,
+    ``max_span_events`` bounds span memory.  ``profile=True`` additionally
+    attaches a :class:`repro.obs.profile.PhaseProfiler` (fleet scenarios
+    only — the phase timers live in the fleet engines) and reports the
+    phase breakdown in ``SimReport.extra``.
+    """
+
+    window_s: float | None = None
+    max_windows: int = 128
+    spans: bool = True
+    max_span_events: int = 20_000
+    profile: bool = False
+
+    def __post_init__(self) -> None:
+        if self.window_s is not None and not self.window_s > 0.0:
+            raise ValueError("telemetry window_s must be > 0 when set")
+        if self.max_windows < 2:
+            raise ValueError("telemetry max_windows must be >= 2")
+        if self.max_span_events < 0:
+            raise ValueError("telemetry max_span_events must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -205,6 +234,11 @@ class Scenario:
     profile_tokens:
         Offline profiling trace length for affinity placements in the
         online and fleet paths.
+    telemetry:
+        Optional observability attachment (serving and fleet kinds): a
+        :class:`TelemetrySpec` makes ``run`` record a per-window metric
+        timeline (``SimReport.timeline``), span traces, and — with
+        ``profile=True`` — the simulator's own phase breakdown.
     """
 
     name: str
@@ -223,6 +257,7 @@ class Scenario:
     regime_mix: str = "uniform"
     flash: FlashCrowdSpec | None = None
     profile_tokens: int = 2048
+    telemetry: TelemetrySpec | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -284,6 +319,16 @@ class Scenario:
             raise ValueError(
                 "a fleet scenario with a replacement section needs fleet.replace=True"
             )
+        if self.telemetry is not None:
+            if self.kind not in ("serving", "fleet"):
+                raise ValueError(
+                    "telemetry sections apply to serving and fleet scenarios only"
+                )
+            if self.telemetry.profile and self.fleet is None:
+                raise ValueError(
+                    "telemetry.profile requires a fleet section "
+                    "(the phase timers live in the fleet engines)"
+                )
 
     @property
     def kind(self) -> str:

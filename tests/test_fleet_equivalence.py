@@ -202,6 +202,112 @@ def test_vanilla_mode():
     assert_identical(event, tick)
 
 
+class TestTelemetryEquivalence:
+    """Recording must be invisible to results and identical across engines."""
+
+    FLEET = FleetConfig(
+        num_replicas=2,
+        router="jsq",
+        num_regimes=2,
+        autoscale=True,
+        min_replicas=1,
+        max_replicas=4,
+        slo_ms=50.0,
+        batch_slo_ms=500.0,
+        autoscale_check_every_s=0.002,
+        scale_up_queue_per_replica=4.0,
+        scale_down_queue_per_replica=0.5,
+        scale_dwell_checks=2,
+    )
+    BUSY = ServingConfig(
+        arrival_rate_rps=15000.0,
+        num_requests=300,
+        generate_len=6,
+        max_batch_requests=8,
+        prompt_len=8,
+        seed=7,
+    )
+
+    def run_with_recorders(self):
+        from repro.obs.recorder import TimelineRecorder
+
+        rec_event = TimelineRecorder()
+        rec_tick = TimelineRecorder()
+        event = _simulate_fleet_cluster_serving(
+            MODEL,
+            CLUSTER,
+            self.BUSY,
+            dataclasses.replace(self.FLEET, engine="event"),
+            recorder=rec_event,
+        )
+        tick = _simulate_fleet_cluster_serving(
+            MODEL,
+            CLUSTER,
+            self.BUSY,
+            dataclasses.replace(self.FLEET, engine="tick"),
+            recorder=rec_tick,
+        )
+        return event, tick, rec_event, rec_tick
+
+    def test_results_identical_with_recorder_attached(self):
+        event, tick, _, _ = self.run_with_recorders()
+        assert event.served > 0
+        assert_identical(event, tick)
+
+    def test_recording_is_observation_only(self):
+        # a bare run (no recorder) must be bit-identical to a recorded one
+        event, tick, _, _ = self.run_with_recorders()
+        bare_event, bare_tick = run_both(self.FLEET, serving=self.BUSY)
+        assert_identical(bare_event, event)
+        assert_identical(bare_tick, tick)
+
+    def test_timelines_identical_across_engines(self):
+        _, _, rec_event, rec_tick = self.run_with_recorders()
+        tl_event = rec_event.timeline()
+        tl_tick = rec_tick.timeline()
+        assert tl_event == tl_tick
+        assert tl_event["totals"]["completed"] > 0
+        assert tl_event["num_windows"] > 0
+
+    def test_chrome_traces_identical_and_valid(self, tmp_path):
+        import json
+
+        from repro.obs.trace import validate_chrome_trace
+
+        _, _, rec_event, rec_tick = self.run_with_recorders()
+        doc_event = rec_event.to_chrome_trace()
+        doc_tick = rec_tick.to_chrome_trace()
+        assert doc_event == doc_tick
+        assert validate_chrome_trace(doc_event) > 0
+        # the written artefact must itself schema-validate after JSON round-trip
+        out = rec_tick.write_chrome_trace(tmp_path / "fleet.trace.json")
+        loaded = json.loads(out.read_text())
+        assert validate_chrome_trace(loaded) == len(doc_tick["traceEvents"])
+
+
+def test_profiler_does_not_perturb_results():
+    from repro.obs.profile import PhaseProfiler
+
+    fleet = FleetConfig(num_replicas=3, router="p2c", num_regimes=2)
+    bare_event, bare_tick = run_both(fleet)
+    prof_event = PhaseProfiler()
+    prof_tick = PhaseProfiler()
+    event = _simulate_fleet_cluster_serving(
+        MODEL, CLUSTER, SERVING, dataclasses.replace(fleet, engine="event"),
+        profiler=prof_event,
+    )
+    tick = _simulate_fleet_cluster_serving(
+        MODEL, CLUSTER, SERVING, dataclasses.replace(fleet, engine="tick"),
+        profiler=prof_tick,
+    )
+    assert_identical(bare_event, event)
+    assert_identical(bare_tick, tick)
+    for prof in (prof_event, prof_tick):
+        p = prof.profile()
+        assert p.total_s > 0.0
+        assert sum(p.fractions.values()) == pytest.approx(1.0)
+
+
 def test_tick_rejects_custom_components():
     from repro.core.placement.vanilla import vanilla_placement
     from repro.fleet.admission import AdmissionController

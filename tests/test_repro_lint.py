@@ -206,11 +206,26 @@ class TestRPL002WallClock:
         src = "import time\nt0 = time.perf_counter()\n"
         assert lint_snippet(src) == []
 
+    def test_perf_counter_allowed_in_obs(self):
+        # the self-profiling phase timers bracket simulator phases with
+        # perf_counter; RPL002's allowance is what lets repro.obs exist
+        src = (
+            "from time import perf_counter\n"
+            "t0 = perf_counter()\n"
+            "elapsed = perf_counter() - t0\n"
+        )
+        assert lint_snippet(src, path="src/repro/obs/profile.py") == []
+
+    def test_wall_clock_flagged_in_obs(self):
+        # obs is simulator scope: telemetry must not stamp wall-clock times
+        src = "import time\nt = time.time()\n"
+        assert codes(lint_snippet(src, path="src/repro/obs/recorder.py")) == ["RPL002"]
+
     def test_only_fires_inside_simulator_packages(self):
         src = "import time\nt = time.time()\n"
         assert lint_snippet(src, path="benchmarks/bench_x.py") == []
         assert lint_snippet(src, path="src/repro/analysis/report.py") == []
-        for pkg in ("engine", "fleet", "core", "scenarios"):
+        for pkg in ("engine", "fleet", "core", "scenarios", "obs"):
             path = f"src/repro/{pkg}/mod.py"
             assert codes(lint_snippet(src, path=path)) == ["RPL002"], pkg
 
