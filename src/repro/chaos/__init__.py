@@ -1,0 +1,29 @@
+"""Deterministic fault injection for the fleet engines.
+
+``repro.chaos`` owns the *what breaks* vocabulary — frozen injection
+specs (:class:`ChaosSpec` and friends) and seeded schedule builders — and
+deliberately none of the *how it breaks* mechanics, which live twice (and
+must match bit-for-bit) in :mod:`repro.fleet.reference` and
+:mod:`repro.fleet.engine`.
+"""
+
+from repro.chaos.schedule import bad_day_schedule, brownout_factor
+from repro.chaos.spec import (
+    CHAOS_FAULT_KINDS,
+    BrownoutSpec,
+    ChaosSpec,
+    CrashSpec,
+    PreemptSpec,
+    RetryPolicy,
+)
+
+__all__ = [
+    "BrownoutSpec",
+    "ChaosSpec",
+    "CrashSpec",
+    "PreemptSpec",
+    "RetryPolicy",
+    "CHAOS_FAULT_KINDS",
+    "bad_day_schedule",
+    "brownout_factor",
+]

@@ -1,0 +1,104 @@
+"""Seeded schedule builders and the shared brownout evaluation helper.
+
+Engines never draw randomness for chaos: :func:`bad_day_schedule` spends
+its seed once, here, and hands both engines the same frozen
+:class:`~repro.chaos.spec.ChaosSpec`.  :func:`brownout_factor` is the one
+piece of chaos float arithmetic evaluated *during* simulation, so both
+engines call this exact function rather than each writing its own loop.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.chaos.spec import (
+    BrownoutSpec,
+    ChaosSpec,
+    CrashSpec,
+    PreemptSpec,
+    RetryPolicy,
+)
+
+__all__ = ["bad_day_schedule", "brownout_factor"]
+
+
+def brownout_factor(
+    brownouts: Sequence[BrownoutSpec], replica_id: int, t_s: float
+) -> float:
+    """Combined step-time inflation on ``replica_id`` at step-start ``t_s``.
+
+    Windows are half-open ``[start_s, start_s + duration_s)``; overlapping
+    windows on the same replica multiply, in spec order.  Returns 1.0 when
+    no window covers ``t_s``.
+    """
+    f = 1.0
+    for b in brownouts:
+        if b.replica == replica_id and b.start_s <= t_s < b.start_s + b.duration_s:
+            f = f * b.factor
+    return f
+
+
+def bad_day_schedule(
+    *,
+    num_replicas: int,
+    horizon_s: float,
+    seed: int = 0,
+    crashes: int = 1,
+    preemptions: int = 1,
+    brownouts: int = 1,
+    grace_s: float | None = None,
+    brownout_factor_x: float = 3.0,
+    brownout_duration_s: float | None = None,
+    retry: RetryPolicy | None = None,
+    recover: bool = True,
+) -> ChaosSpec:
+    """Build one seeded "bad day" over ``[0, horizon_s)``.
+
+    Fault times land in the middle 60% of the horizon (``[0.15h, 0.75h)``)
+    so the fleet has warmed up before the first fault and has runway to
+    recover before the run ends; targets are drawn uniformly from the
+    *initial* replica ids ``[0, num_replicas)`` (autoscaled replicas get
+    ids above that and are never targeted, which keeps the schedule
+    meaningful whether or not scaling is enabled).  Same arguments, same
+    spec — the returned ``ChaosSpec`` is frozen and JSON-round-trippable.
+    """
+    if num_replicas < 1:
+        raise ValueError("num_replicas must be >= 1")
+    if not horizon_s > 0.0:
+        raise ValueError("horizon_s must be > 0")
+    rng = np.random.default_rng(seed)
+    lo, hi = 0.15 * horizon_s, 0.75 * horizon_s
+    if grace_s is None:
+        grace_s = horizon_s / 50.0
+    if brownout_duration_s is None:
+        brownout_duration_s = horizon_s / 4.0
+
+    def times(n: int) -> list[float]:
+        return sorted(float(rng.uniform(lo, hi)) for _ in range(n))
+
+    crash_specs = tuple(
+        CrashSpec(time_s=t, replica=int(rng.integers(num_replicas)))
+        for t in times(crashes)
+    )
+    preempt_specs = tuple(
+        PreemptSpec(time_s=t, replica=int(rng.integers(num_replicas)), grace_s=grace_s)
+        for t in times(preemptions)
+    )
+    brownout_specs = tuple(
+        BrownoutSpec(
+            start_s=t,
+            duration_s=brownout_duration_s,
+            replica=int(rng.integers(num_replicas)),
+            factor=brownout_factor_x,
+        )
+        for t in times(brownouts)
+    )
+    return ChaosSpec(
+        crashes=crash_specs,
+        preemptions=preempt_specs,
+        brownouts=brownout_specs,
+        retry=retry if retry is not None else RetryPolicy(),
+        recover=recover,
+    )

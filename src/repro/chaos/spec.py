@@ -1,0 +1,195 @@
+"""Frozen fault-injection specs: what breaks, when, and how hard.
+
+A :class:`ChaosSpec` declares a *deterministic* injection schedule — every
+event carries an absolute simulated time and a target replica id, so the
+two fleet engines (the event-heap oracle and the vectorized tick engine)
+can replay the identical bad day and produce bit-identical
+:class:`~repro.fleet.result.FleetResult`\\ s.  Randomness, when wanted,
+happens once at *spec build time* (see
+:func:`repro.chaos.schedule.bad_day_schedule`), never inside an engine.
+
+Three fault families:
+
+* :class:`CrashSpec` — a hard replica failure: the in-flight decode batch
+  and every queued request are lost at ``time_s``; each lost request goes
+  through the :class:`RetryPolicy` (re-enter routing after backoff, or be
+  recorded lost once attempts are exhausted).
+* :class:`PreemptSpec` — a spot-instance reclaim: the replica receives
+  notice at ``time_s``, drains for ``grace_s`` (queued requests re-route
+  through the existing ``migrate_on_drain`` path when enabled), and any
+  work still on it when the grace expires is lost like a crash.
+* :class:`BrownoutSpec` — a soft failure: decode steps on one replica are
+  inflated by ``factor`` inside a time window, so the admission
+  controller's EWMA step estimate and the load-aware routers *feel* the
+  slow replica instead of being told about it.
+
+Everything here is a frozen dataclass of scalars and nested frozen
+dataclasses, so a ``ChaosSpec`` obeys the same JSON round-trip and
+unknown-field rules as every other scenario section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "RetryPolicy",
+    "CrashSpec",
+    "PreemptSpec",
+    "BrownoutSpec",
+    "ChaosSpec",
+    "CHAOS_FAULT_KINDS",
+]
+
+#: The ``kind`` values a :class:`~repro.fleet.requests.FailureRecord` (and
+#: a lost request's ``reason``) can carry.
+CHAOS_FAULT_KINDS: tuple[str, ...] = ("crash", "preempt", "timeout")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed request attempts re-enter routing.
+
+    An attempt fails when its replica crashes or is preempt-killed while
+    the request is queued or decoding, or when the request has waited
+    longer than ``attempt_timeout_s`` by the time it reaches the head of
+    the admission queue.  Attempt ``n`` (1-based) of a request with
+    ``n < max_attempts`` is retried: the request re-enters routing after
+    ``backoff_base_s * backoff_factor ** (n - 1)`` seconds (exponential
+    backoff modelled as re-admission delay).  Once ``max_attempts`` is
+    reached the request is recorded as *lost* — a terminal outcome
+    distinct from admission shedding.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.002
+    backoff_factor: float = 2.0
+    #: ``None`` disables per-attempt timeouts (keeps the spec JSON-clean —
+    #: no infinities).
+    attempt_timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0.0:
+            raise ValueError("backoff_base_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.attempt_timeout_s is not None and not self.attempt_timeout_s > 0.0:
+            raise ValueError("attempt_timeout_s must be > 0 when set")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Re-admission delay after failed attempt ``attempt`` (1-based).
+
+        The exact float expression both engines evaluate — keep it here so
+        they cannot diverge.
+        """
+        return self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """A hard failure of replica ``replica`` at ``time_s``.
+
+    No-op if the target does not exist yet or is not RUNNING/DRAINING at
+    ``time_s`` (booting, already failed, or stopped) — keeping the no-op
+    rule explicit keeps schedules deterministic under autoscaling.
+    """
+
+    time_s: float
+    replica: int
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0.0:
+            raise ValueError("crash time_s must be >= 0")
+        if self.replica < 0:
+            raise ValueError("crash replica must be >= 0")
+
+
+@dataclass(frozen=True)
+class PreemptSpec:
+    """A spot preemption notice for replica ``replica`` at ``time_s``.
+
+    The replica stops taking new traffic immediately (DRAINING) and has
+    ``grace_s`` seconds to finish in-flight work; whatever remains when
+    the grace expires is lost as in a crash.  No-op unless the target is
+    RUNNING at notice time.
+    """
+
+    time_s: float
+    replica: int
+    grace_s: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0.0:
+            raise ValueError("preempt time_s must be >= 0")
+        if self.replica < 0:
+            raise ValueError("preempt replica must be >= 0")
+        if self.grace_s < 0.0:
+            raise ValueError("preempt grace_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class BrownoutSpec:
+    """Step-time inflation on replica ``replica`` over one time window.
+
+    Every decode step *started* in ``[start_s, start_s + duration_s)``
+    takes ``factor`` times as long.  Overlapping windows on the same
+    replica multiply.
+    """
+
+    start_s: float
+    duration_s: float
+    replica: int
+    factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0.0:
+            raise ValueError("brownout start_s must be >= 0")
+        if not self.duration_s > 0.0:
+            raise ValueError("brownout duration_s must be > 0")
+        if self.replica < 0:
+            raise ValueError("brownout replica must be >= 0")
+        if not self.factor > 0.0:
+            raise ValueError("brownout factor must be > 0")
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One deterministic bad day: crash/preempt/brownout schedules + retries.
+
+    ``recover=True`` orders a replacement replica — through the
+    autoscaler's priced cold-start boot path — the moment a crash lands or
+    a preemption notice arrives; the failure's time-to-recover is the span
+    from that moment to the replacement going routable.
+    """
+
+    crashes: tuple[CrashSpec, ...] = ()
+    preemptions: tuple[PreemptSpec, ...] = ()
+    brownouts: tuple[BrownoutSpec, ...] = ()
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    recover: bool = True
+
+    def __post_init__(self) -> None:
+        # accept lists for ergonomic construction; store tuples so the
+        # spec stays hashable and value-comparable
+        for name in ("crashes", "preemptions", "brownouts"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+        for c in self.crashes:
+            if not isinstance(c, CrashSpec):
+                raise TypeError("crashes must contain CrashSpec entries")
+        for p in self.preemptions:
+            if not isinstance(p, PreemptSpec):
+                raise TypeError("preemptions must contain PreemptSpec entries")
+        for b in self.brownouts:
+            if not isinstance(b, BrownoutSpec):
+                raise TypeError("brownouts must contain BrownoutSpec entries")
+        if not isinstance(self.retry, RetryPolicy):
+            raise TypeError("retry must be a RetryPolicy")
+
+    @property
+    def has_faults(self) -> bool:
+        """True when the schedule can actually lose work (crash/preempt)."""
+        return bool(self.crashes or self.preemptions)

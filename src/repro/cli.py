@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.analysis.heatmap import ascii_heatmap
 from repro.analysis.report import format_table
+from repro.chaos import bad_day_schedule
 from repro.config import (
     FLEET_ENGINES,
     PAPER_MODELS,
@@ -141,6 +142,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--names", action="store_true", help="bare names, one per line (for scripts)"
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output: JSON list of preset summaries",
     )
 
     sub.add_parser("models", help="list the paper's model presets")
@@ -281,6 +287,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "fleet simulation engine: the event-heap oracle or the "
             "vectorized tick engine (identical results, built for scale)"
+        ),
+    )
+    p.add_argument(
+        "--chaos",
+        action="store_true",
+        help=(
+            "inject a seeded 'bad day' (replica crashes, spot preemptions, "
+            "brownouts) with retry-with-backoff serving; schedule derives "
+            "from --seed"
         ),
     )
 
@@ -486,6 +501,36 @@ def _print_fleet_result(res: Any, router_label: str, title: str) -> None:
                 title="autoscaler actions",
             )
         )
+    if res.failures or res.lost or res.retries:
+        fault_rows = [
+            [
+                f.kind,
+                f.time_s,
+                f.replica_id,
+                f.lost_active,
+                f.lost_queued,
+                (
+                    f"{(f.recovered_at_s - f.time_s) * 1e3:.2f}"
+                    if f.recovered_at_s is not None
+                    else "-"
+                ),
+            ]
+            for f in res.failures
+        ]
+        if fault_rows:
+            print(
+                format_table(
+                    ["fault", "t (s)", "replica", "lost act", "lost q", "recover ms"],
+                    fault_rows,
+                    title="chaos: injected failures",
+                )
+            )
+        print(
+            f"chaos: {len(res.lost)} request(s) lost after retries, "
+            f"{res.retries} retry(ies), availability {res.availability:.2%}, "
+            f"goodput {res.goodput_rps:.1f} req/s, "
+            f"mean time-to-recover {res.mean_time_to_recover_s * 1e3:.2f} ms"
+        )
 
 
 def _print_report(scenario: Scenario, report: SimReport) -> None:
@@ -688,9 +733,30 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     elif args.full_only:
         smoke = False
     names = list_scenarios(kind=args.kind, smoke=smoke)
+    if args.names and args.json:
+        print("error: --names and --json are mutually exclusive", file=sys.stderr)
+        return 2
     if args.names:
         for name in names:
             print(name)
+        return 0
+    if args.json:
+        entries = []
+        for name in names:
+            s = get_scenario(name)
+            entries.append(
+                {
+                    "name": name,
+                    "kind": s.kind,
+                    "model": s.model.name,
+                    "gpus": s.cluster.num_gpus,
+                    "smoke": name.endswith("-smoke"),
+                    "chaos": s.chaos is not None
+                    or (s.fleet is not None and s.fleet.chaos is not None),
+                    "description": s.description,
+                }
+            )
+        print(json.dumps(entries, indent=2))
         return 0
     rows = []
     for name in names:
@@ -857,6 +923,16 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         ),
         replace=args.replace,
         engine=args.engine,
+        chaos=(
+            bad_day_schedule(
+                num_replicas=args.replicas,
+                # nominal horizon; faults land in its middle 60%
+                horizon_s=args.requests / args.rate,
+                seed=args.seed,
+            )
+            if args.chaos
+            else None
+        ),
     )
     scenario = Scenario(
         name=f"cli-fleet-{args.router}",

@@ -23,6 +23,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Iterator, Sequence
 
+from repro.chaos.spec import ChaosSpec
+
 __all__ = [
     "GatingKind",
     "ExecutionMode",
@@ -456,6 +458,11 @@ class FleetConfig:
         default 1.0 trades one full batch of backlog against one unit of
         kept mass — enough to spill traffic off a matched-but-congested
         replica instead of herding.
+    chaos:
+        Optional deterministic fault-injection schedule
+        (:class:`~repro.chaos.spec.ChaosSpec`): replica crashes, spot
+        preemptions, brownouts, and the retry policy governing failed
+        request attempts.  ``None`` (the default) is a sunny day.
     """
 
     num_replicas: int = 4
@@ -478,6 +485,7 @@ class FleetConfig:
     replace: bool = False
     affinity_load_weight: float = 1.0
     engine: str = "event"
+    chaos: ChaosSpec | None = None
 
     def __post_init__(self) -> None:
         if self.num_replicas <= 0:
@@ -520,6 +528,8 @@ class FleetConfig:
             raise ValueError(
                 f"unknown fleet engine {self.engine!r}; choose from {FLEET_ENGINES}"
             )
+        if self.chaos is not None and not isinstance(self.chaos, ChaosSpec):
+            raise TypeError("chaos must be a ChaosSpec or None")
 
     @property
     def slo_s(self) -> float:

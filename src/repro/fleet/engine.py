@@ -46,12 +46,15 @@ array form, so the tick engine rejects them — use ``engine="event"``.
 
 from __future__ import annotations
 
+import heapq
 import math
 from time import perf_counter
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.chaos.schedule import brownout_factor
+from repro.chaos.spec import PreemptSpec
 from repro.config import ClusterConfig, ExecutionMode, FleetConfig, ModelConfig
 from repro.core.online import OnlineReplacer, ReplacementPolicy, model_kept_mass
 from repro.core.placement.base import Placement
@@ -60,7 +63,13 @@ from repro.engine.serving import PlacementStepTimer
 from repro.fleet.admission import ADMIT, SHED_REASONS, AdmissionController
 from repro.fleet.autoscaler import ReactiveAutoscaler, ScaleEvent, price_cold_start
 from repro.fleet.replica import _STEP_EWMA_ALPHA, ArrayQueue, ReplicaState, ReplicaStats
-from repro.fleet.requests import FleetCompleted, FleetRequest, ShedRecord
+from repro.fleet.requests import (
+    FailureRecord,
+    FleetCompleted,
+    FleetRequest,
+    LostRecord,
+    ShedRecord,
+)
 from repro.fleet.result import (
     FleetObs,
     FleetResult,
@@ -89,17 +98,22 @@ __all__ = ["simulate_fleet_tick"]
 _INF = math.inf
 
 # replica states as int8 codes (column ``state``); order mirrors the
-# BOOTING → ACTIVE → DRAINING → STOPPED lifecycle
-_BOOTING, _ACTIVE, _DRAINING, _STOPPED = 0, 1, 2, 3
+# PENDING → BOOTING → RUNNING → DRAINING → FAILED/STOPPED lifecycle
+_PENDING, _BOOTING, _RUNNING, _DRAINING, _FAILED, _STOPPED = 0, 1, 2, 3, 4, 5
 _STATE_VALUES = (
+    ReplicaState.PENDING.value,
     ReplicaState.BOOTING.value,
-    ReplicaState.ACTIVE.value,
+    ReplicaState.RUNNING.value,
     ReplicaState.DRAINING.value,
+    ReplicaState.FAILED.value,
     ReplicaState.STOPPED.value,
 )
 
 # dynamic event kinds competing with the arrival cursor
-_EV_STEP, _EV_BOOT, _EV_SCALE, _EV_NONE = 0, 1, 2, 3
+_EV_STEP, _EV_BOOT, _EV_SCALE, _EV_CHAOS, _EV_NONE = 0, 1, 2, 3, 4
+
+# chaos event codes inside the pending heap (payload discriminator)
+_CH_CRASH, _CH_PREEMPT, _CH_KILL, _CH_RETRY = 0, 1, 2, 3
 
 
 class _TickFleet:
@@ -235,10 +249,39 @@ class _TickFleet:
         self.shed_reason: list[str] = []
         self.shed_rid: list[int | None] = []
         self.scale_events: list[ScaleEvent] = []
+        self.lost_i: list[int] = []
+        self.lost_time: list[float] = []
+        self.lost_rid: list[int] = []
+        self.lost_att: list[int] = []
+        self.lost_reason: list[str] = []
+        self.retries = 0
+        # failure records as parallel columns (same layout as the oracle:
+        # lost counts land at kill time, recovery time at replacement boot)
+        self.fail_time: list[float] = []
+        self.fail_rid: list[int] = []
+        self.fail_kind: list[str] = []
+        self.fail_act: list[int] = []
+        self.fail_q: list[int] = []
+        self.fail_rec: list[float | None] = []
+        self.recovery_for: dict[int, tuple[int, float]] = {}
+
+        # -- chaos schedule (frozen spec; mirrors the oracle's heap pushes) ----
+        self.chaos = fleet.chaos
+        self.retry_pol = self.chaos.retry if self.chaos is not None else None
+        self.attempt_timeout = (
+            self.retry_pol.attempt_timeout_s if self.retry_pol is not None else None
+        )
+        # per-request attempt number and current-attempt start (the oracle's
+        # dict defaults: attempt 1, started at arrival)
+        self.att_n = np.ones(self.total, dtype=np.int64)
+        self.att_start = self.arr_t.copy()
+        # pending chaos events as (time, seq, code, payload); seqs continue
+        # the shared counter so ties resolve exactly like the oracle's heap
+        self.pending: list[tuple[float, int, int, object]] = []
 
         for i in range(fleet.num_replicas):
             self._new_replica(
-                i % len(regimes), _ACTIVE, booted_at=self.first_arrival
+                i % len(regimes), _RUNNING, booted_at=self.first_arrival
             )
         self._refresh_routable()
         self.peak_routable = fleet.num_replicas
@@ -250,6 +293,16 @@ class _TickFleet:
         else:
             self.scale_t = _INF
             self.scale_seq = -1
+        if self.chaos is not None:
+            # spec order fixes the seq tie-break, matching the oracle
+            for c in self.chaos.crashes:
+                heapq.heappush(
+                    self.pending, (c.time_s, self._next_seq(), _CH_CRASH, c.replica)
+                )
+            for p in self.chaos.preemptions:
+                heapq.heappush(
+                    self.pending, (p.time_s, self._next_seq(), _CH_PREEMPT, p)
+                )
 
     # -- infrastructure --------------------------------------------------------
 
@@ -259,7 +312,7 @@ class _TickFleet:
         return s
 
     def _refresh_routable(self) -> None:
-        self.routable_ids = np.flatnonzero(self.state[: self.num_replicas] == _ACTIVE)
+        self.routable_ids = np.flatnonzero(self.state[: self.num_replicas] == _RUNNING)
 
     def _grow(self) -> None:
         old = self.cap
@@ -394,16 +447,40 @@ class _TickFleet:
     def _start_step(self, rid: int, t: float) -> None:
         """Admit at the boundary and launch one decode step (or go idle)."""
         free = self.max_batch - int(self.n_act[rid])
+        popped: np.ndarray | None = None
         if free > 0 and self.queue_len[rid] > 0:
-            parts = []
-            for lane in self.queues[rid]:
-                if free <= 0:
-                    break
-                if len(lane):
-                    got = lane.pop_many(free)
-                    free -= got.size
-                    parts.append(got)
-            popped = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            if self.attempt_timeout is None:
+                parts = []
+                for lane in self.queues[rid]:
+                    if free <= 0:
+                        break
+                    if len(lane):
+                        got = lane.pop_many(free)
+                        free -= got.size
+                        parts.append(got)
+                popped = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            else:
+                # scalar mirror of Replica.admit_with_timeout: expiry is
+                # evaluated lazily per pop, timed-out pops consume no slot
+                to = self.attempt_timeout
+                adm_l: list[int] = []
+                timed: list[int] = []
+                for lane in self.queues[rid]:
+                    while len(lane) and len(adm_l) < free:
+                        i = int(lane.pop_many(1)[0])
+                        if t - float(self.att_start[i]) > to:
+                            timed.append(i)
+                        else:
+                            adm_l.append(i)
+                    if len(adm_l) >= free:
+                        break
+                if timed:
+                    self.queue_len[rid] -= len(timed)
+                    self.load[rid] -= len(timed)
+                    for i in timed:
+                        self._fail_attempt(i, t, rid, "timeout", was_active=False)
+                popped = np.array(adm_l, dtype=np.int64)
+        if popped is not None and popped.size:
             m = popped.size
             base = int(self.n_act[rid])
             sl = slice(base, base + m)
@@ -456,6 +533,10 @@ class _TickFleet:
         dt = self.timer.step_time(paths, home, ctx, self.placements[rid], secondary)
         if profiler is not None:
             profiler.add("pricing", perf_counter() - _pt)
+        if self.chaos is not None and self.chaos.brownouts:
+            f = brownout_factor(self.chaos.brownouts, rid, t)
+            if f != 1.0:
+                dt = dt * f
         if not dt > 0:
             raise ValueError(f"step_time must be positive seconds, got {dt}")
         self.stepping[rid] = True
@@ -518,13 +599,19 @@ class _TickFleet:
         self._start_step(rid, t_next)
 
     def _on_boot(self, rid: int, t: float) -> None:
-        self.state[rid] = _ACTIVE
+        self.state[rid] = _RUNNING
         self.boot_t[rid] = _INF
         self.n_booting -= 1
         self._refresh_routable()
         self.peak_routable = max(self.peak_routable, int(self.routable_ids.size))
         if self.obs is not None:
             self.obs.boot_ready(t, rid)
+        info = self.recovery_for.pop(rid, None)
+        if info is not None:
+            idx, cold_s = info
+            self.fail_rec[idx] = t
+            if self.obs is not None:
+                self.obs.recover(t, rid, self.fail_rid[idx], cold_s)
 
     def _migrate_queued(self, victim: int, t: float) -> None:
         """Re-route a draining replica's queued requests (oracle semantics)."""
@@ -551,6 +638,179 @@ class _TickFleet:
                 self.obs.enqueue(t, rid, self.reqs[i].req_id)
             if not self.stepping[rid]:
                 self._start_step(rid, t)
+
+    # -- chaos (mirrors the oracle's handlers event for event) -----------------
+
+    def _fail_attempt(
+        self, req_idx: int, t: float, rid: int, reason: str, was_active: bool
+    ) -> None:
+        """One attempt of request ``req_idx`` died on ``rid``: retry or lose."""
+        n = int(self.att_n[req_idx])
+        pol = self.retry_pol
+        q = self.reqs[req_idx]
+        if pol is not None and n < pol.max_attempts:
+            delay = pol.backoff_s(n)
+            self.retries += 1
+            heapq.heappush(
+                self.pending, (t + delay, self._next_seq(), _CH_RETRY, req_idx)
+            )
+            if self.obs is not None:
+                self.obs.retry(t, q.req_id, rid, n, delay, was_active)
+        else:
+            self.lost_i.append(req_idx)
+            self.lost_time.append(t)
+            self.lost_rid.append(rid)
+            self.lost_att.append(n)
+            self.lost_reason.append(reason)
+            self.done += 1
+            if self.obs is not None:
+                self.obs.lost(t, q.req_id, rid, n, reason, was_active)
+
+    def _open_failure(self, t: float, rid: int, kind: str) -> int:
+        self.fail_time.append(t)
+        self.fail_rid.append(rid)
+        self.fail_kind.append(kind)
+        self.fail_act.append(0)
+        self.fail_q.append(0)
+        self.fail_rec.append(None)
+        return len(self.fail_time) - 1
+
+    def _kill_replica(self, rid: int, t: float, kind: str, idx: int) -> None:
+        """Hard-stop ``rid``: destroy the batch and queue (oracle order —
+        active slots first, then lane-FCFS queue)."""
+        n = int(self.n_act[rid])
+        doomed_active = self.act_req[rid, :n].tolist()
+        parts = [lane.drain() for lane in self.queues[rid]]
+        doomed_queued = np.concatenate(parts).tolist()
+        self.fail_act[idx] += n
+        self.fail_q[idx] += len(doomed_queued)
+        self.n_act[rid] = 0
+        self.queue_len[rid] = 0
+        self.load[rid] = 0
+        self.state[rid] = _FAILED
+        self.stopped_at[rid] = t
+        self.stepping[rid] = False
+        self.next_step_t[rid] = _INF
+        self._refresh_routable()
+        if self.obs is not None:
+            self.obs.fail(t, rid, kind, n, len(doomed_queued))
+        for i in doomed_active:
+            self._fail_attempt(i, t, rid, kind, was_active=True)
+        for i in doomed_queued:
+            self._fail_attempt(i, t, rid, kind, was_active=False)
+
+    def _order_recovery(self, victim: int, t: float, idx: int) -> None:
+        """Boot a replacement for ``victim`` through the priced cold start."""
+        regime = int(self.regime_of[victim])
+        cold = price_cold_start(
+            self.model,
+            self.cluster,
+            self.placements_by_regime[regime],
+            self.dtype_bytes,
+            self.fleet.boot_overhead_s,
+        )
+        rid = self._new_replica(
+            regime, _BOOTING, booted_at=t + cold.total_s, billed_from=t
+        )
+        self.boot_t[rid] = t + cold.total_s
+        self.boot_seq[rid] = self._next_seq()
+        self.recovery_for[rid] = (idx, cold.total_s)
+
+    def _on_crash(self, rid: int, t: float) -> None:
+        if rid >= self.num_replicas:
+            return
+        st = int(self.state[rid])
+        if st != _RUNNING and st != _DRAINING:
+            return
+        idx = self._open_failure(t, rid, "crash")
+        self._kill_replica(rid, t, "crash", idx)
+        if self.chaos is not None and self.chaos.recover:
+            self._order_recovery(rid, t, idx)
+
+    def _on_preempt(self, p: PreemptSpec, t: float) -> None:
+        rid = p.replica
+        if rid >= self.num_replicas or int(self.state[rid]) != _RUNNING:
+            return
+        idx = self._open_failure(t, rid, "preempt")
+        self.state[rid] = _DRAINING
+        self._refresh_routable()
+        if self.obs is not None:
+            self.obs.preempt(t, rid, p.grace_s)
+        if self.fleet.migrate_on_drain:
+            self._migrate_queued(rid, t)
+        self._finish_if_drained(rid, t)
+        heapq.heappush(
+            self.pending, (t + p.grace_s, self._next_seq(), _CH_KILL, (rid, idx))
+        )
+        if self.chaos is not None and self.chaos.recover:
+            self._order_recovery(rid, t, idx)
+
+    def _on_kill(self, rid: int, idx: int, t: float) -> None:
+        if int(self.state[rid]) != _DRAINING:
+            return  # drained clean inside the grace period; lost stays 0/0
+        self._kill_replica(rid, t, "preempt", idx)
+
+    def _retry_arrival(self, i: int, t: float) -> None:
+        """Scalar re-admission of a retried request (oracle's on_arrival)."""
+        rids = self.routable_ids
+        q = self.reqs[i]
+        if rids.size == 0:
+            self.shed_i.append(i)
+            self.shed_time.append(t)
+            self.shed_reason.append("no-capacity")
+            self.shed_rid.append(None)
+            self.done += 1
+            if self.obs is not None:
+                self.obs.shed(t, q.req_id, None, "no-capacity")
+            return
+        rid = self._choose_one(i, rids)
+        ql = int(self.queue_len[rid])
+        reason: str | None
+        if ql >= self.admission.max_queue_per_replica:
+            reason = "queue-full"
+        else:
+            # same scalar expression order as _arrivals_p2c / the oracle's
+            # AdmissionController.assess, so floats agree bit for bit
+            e = float(self.est_step[rid])
+            gen = int(self.gen_len[i])
+            deadline = (
+                e == e
+                and ql * gen * e / self.max_batch + gen * e
+                > self.admission.shed_slack * float(self.slo[i])
+            )
+            reason = "deadline" if deadline else None
+        if reason is not None:
+            self.shed_i.append(i)
+            self.shed_time.append(t)
+            self.shed_reason.append(reason)
+            self.shed_rid.append(rid)
+            self.done += 1
+            if self.obs is not None:
+                self.obs.shed(t, q.req_id, rid, reason)
+            return
+        self._enqueue(i, rid)
+        if self.obs is not None:
+            self.obs.enqueue(t, rid, q.req_id)
+        if not self.stepping[rid]:
+            self._start_step(rid, t)
+
+    def _on_retry(self, req_idx: int, t: float) -> None:
+        self.att_n[req_idx] += 1
+        self.att_start[req_idx] = t
+        self._retry_arrival(req_idx, t)
+
+    def _on_chaos(self, t: float) -> None:
+        _, _, code, data = heapq.heappop(self.pending)
+        if code == _CH_CRASH:
+            self._on_crash(int(data), t)  # type: ignore[call-overload]
+        elif code == _CH_PREEMPT:
+            assert isinstance(data, PreemptSpec)
+            self._on_preempt(data, t)
+        elif code == _CH_KILL:
+            rid, idx = data  # type: ignore[misc]
+            self._on_kill(rid, idx, t)
+        else:
+            self._on_retry(int(data), t)  # type: ignore[call-overload]
 
     def _on_scale(self, t: float) -> None:
         assert self.autoscaler is not None
@@ -822,7 +1082,13 @@ class _TickFleet:
         if self.scale_t < _INF and (
             best_t == _INF or (self.scale_t, self.scale_seq) < (best_t, best_seq)
         ):
-            best_kind, best_t, best_rid = _EV_SCALE, self.scale_t, -1
+            best_kind, best_t, best_seq, best_rid = (
+                _EV_SCALE, self.scale_t, self.scale_seq, -1,
+            )
+        if self.pending:
+            ch_t, ch_seq = self.pending[0][0], self.pending[0][1]
+            if best_t == _INF or (ch_t, ch_seq) < (best_t, best_seq):
+                best_kind, best_t, best_rid = _EV_CHAOS, ch_t, -1
         return best_kind, best_t, best_rid
 
     def run(self) -> FleetResult:
@@ -839,6 +1105,8 @@ class _TickFleet:
                 self._on_step_end(ev_rid, ev_t)
             elif kind == _EV_BOOT:
                 self._on_boot(ev_rid, ev_t)
+            elif kind == _EV_CHAOS:
+                self._on_chaos(ev_t)
             elif self.done < self.total:
                 self._on_scale(ev_t)
             else:
@@ -858,6 +1126,28 @@ class _TickFleet:
                 self.shed_i, self.shed_time, self.shed_reason, self.shed_rid, strict=True
             )
         ]
+        lost = [
+            LostRecord(self.reqs[i], t, rid, att, reason)
+            for i, t, rid, att, reason in zip(
+                self.lost_i,
+                self.lost_time,
+                self.lost_rid,
+                self.lost_att,
+                self.lost_reason,
+                strict=True,
+            )
+        ]
+        failures = tuple(
+            FailureRecord(
+                self.fail_time[i],
+                self.fail_rid[i],
+                self.fail_kind[i],
+                self.fail_act[i],
+                self.fail_q[i],
+                self.fail_rec[i],
+            )
+            for i in range(len(self.fail_time))
+        )
         return finalize_fleet_result(
             completed,
             shed,
@@ -868,6 +1158,9 @@ class _TickFleet:
             self.peak_routable,
             self.cluster,
             obs=self.obs,
+            failures=failures,
+            lost=lost,
+            retries=self.retries,
         )
 
     def _stats_at(self, sim_end: float) -> tuple[ReplicaStats, ...]:

@@ -16,11 +16,22 @@ the prompt AllGather at admission.  Above the replicas sit the router
 (periodic ticks that boot or drain replicas, cold starts priced through
 :func:`~repro.fleet.autoscaler.price_cold_start`).
 
-The event heap carries four event kinds — request arrival, replica step
-completion, replica boot completion, autoscaler tick — with a sequence
-counter as tie-break, so the simulation is deterministic given the rng.
-``tests/test_fleet_equivalence.py`` holds the tick engine to this loop's
-exact :class:`~repro.fleet.result.FleetResult`, field for field.
+The event heap carries eight event kinds — request arrival, replica step
+completion, replica boot completion, autoscaler tick, and the chaos
+subsystem's crash / preemption-notice / preemption-kill / request-retry
+events — with a sequence counter as tie-break, so the simulation is
+deterministic given the rng.  Chaos schedules come frozen in
+``fleet.chaos`` (a :class:`~repro.chaos.spec.ChaosSpec`): a crash loses
+the victim's in-flight batch and queue (each lost request re-enters
+routing per the retry policy, or is recorded lost), a preemption notice
+drains the victim for its grace period before killing what remains, and
+brownouts inflate step times through the shared
+:func:`~repro.chaos.schedule.brownout_factor` helper so admission's EWMA
+estimate feels the slowdown.  Recovery (when enabled) orders a
+replacement replica through the same priced cold-start boot path the
+autoscaler uses.  ``tests/test_fleet_equivalence.py`` holds the tick
+engine to this loop's exact :class:`~repro.fleet.result.FleetResult`,
+field for field.
 """
 
 from __future__ import annotations
@@ -33,6 +44,8 @@ from typing import Iterable, Sequence, cast
 
 import numpy as np
 
+from repro.chaos.schedule import brownout_factor
+from repro.chaos.spec import PreemptSpec
 from repro.config import ClusterConfig, ExecutionMode, FleetConfig, ModelConfig
 from repro.core.online import OnlineReplacer, ReplacementPolicy
 from repro.core.placement.base import Placement
@@ -41,7 +54,13 @@ from repro.engine.serving import PlacementStepTimer
 from repro.fleet.admission import AdmissionController
 from repro.fleet.autoscaler import ReactiveAutoscaler, ScaleEvent, price_cold_start
 from repro.fleet.replica import ActiveEntry, Replica, ReplicaState, ReplicaStats
-from repro.fleet.requests import FleetCompleted, FleetRequest, ShedRecord
+from repro.fleet.requests import (
+    FailureRecord,
+    FleetCompleted,
+    FleetRequest,
+    LostRecord,
+    ShedRecord,
+)
 from repro.fleet.result import (
     FleetObs,
     FleetResult,
@@ -175,9 +194,12 @@ def simulate_fleet_reference(
     if obs is not None:
         obs.run_start(first_arrival, cluster)
     for i in range(fleet.num_replicas):
-        new_replica(i % len(regimes), ReplicaState.ACTIVE, first_arrival)
+        new_replica(i % len(regimes), ReplicaState.RUNNING, first_arrival)
 
     autoscaler = ReactiveAutoscaler(fleet) if fleet.autoscale else None
+    chaos = fleet.chaos
+    retry_pol = chaos.retry if chaos is not None else None
+    attempt_timeout = retry_pol.attempt_timeout_s if retry_pol is not None else None
 
     heap: list[tuple[float, int, str, object]] = []
     seq = itertools.count()
@@ -189,6 +211,12 @@ def simulate_fleet_reference(
         push(q.arrival_s, "arrival", q)
     if autoscaler is not None:
         push(first_arrival + fleet.autoscale_check_every_s, "scale", None)
+    if chaos is not None:
+        # spec order fixes the seq tie-break; the tick engine mirrors it
+        for c in chaos.crashes:
+            push(c.time_s, "crash", c.replica)
+        for p in chaos.preemptions:
+            push(p.time_s, "preempt", p)
 
     total = len(reqs)
     done = 0
@@ -196,20 +224,43 @@ def simulate_fleet_reference(
     shed: list[ShedRecord] = []
     scale_events: list[ScaleEvent] = []
     peak_routable = fleet.num_replicas
+    lost: list[LostRecord] = []
+    retries = 0
+    attempts: dict[int, int] = {}
+    attempt_started: dict[int, float] = {}
+    # Failure records accumulate as parallel columns: the lost counts are
+    # only known at kill time (a preemption's record opens at the notice)
+    # and the recovery time only when the replacement replica boots.
+    fail_time: list[float] = []
+    fail_rid: list[int] = []
+    fail_kind: list[str] = []
+    fail_act: list[int] = []
+    fail_q: list[int] = []
+    fail_rec: list[float | None] = []
+    recovery_for: dict[int, tuple[int, float]] = {}
 
     def routable() -> list[Replica]:
         return [r for r in replicas if r.routable]
 
     def finish_if_drained(r: Replica, t: float) -> None:
         if r.state is ReplicaState.DRAINING and r.drained:
-            r.state = ReplicaState.STOPPED
+            r.transition_to(ReplicaState.STOPPED)
             r.stopped_at_s = t
             if obs is not None:
                 obs.stop(t, r.replica_id)
 
     def start_step(r: Replica, t: float) -> None:
         """Admit at the boundary and launch one decode step (or go idle)."""
-        newly = r.admit_up_to_capacity(t)
+        if attempt_timeout is None:
+            newly = r.admit_up_to_capacity(t)
+        else:
+            newly, timed_out = r.admit_with_timeout(
+                t,
+                lambda q: t - attempt_started.get(q.req_id, q.arrival_s)
+                > attempt_timeout,
+            )
+            for q in timed_out:
+                fail_attempt(q, t, r.replica_id, "timeout", was_active=False)
         if newly:
             _pt = perf_counter() if profiler is not None else 0.0
             adm = timer.admission_time(
@@ -242,10 +293,14 @@ def simulate_fleet_reference(
         dt = timer.step_time(paths, home, ctx, r.placement, secondary)
         if profiler is not None:
             profiler.add("pricing", perf_counter() - _pt)
+        if chaos is not None and chaos.brownouts:
+            f = brownout_factor(chaos.brownouts, r.replica_id, t)
+            if f != 1.0:
+                dt = dt * f
         if not dt > 0:
             raise ValueError(f"step_time must be positive seconds, got {dt}")
         r.stepping = True
-        push(t + dt, "step", (r, dt))
+        push(t + dt, "step", (r, dt, r.epoch))
 
     def on_arrival(q: FleetRequest, t: float) -> None:
         nonlocal done
@@ -351,6 +406,111 @@ def simulate_fleet_reference(
             if not target.stepping:
                 start_step(target, t)
 
+    def fail_attempt(
+        q: FleetRequest, t: float, rid: int, reason: str, was_active: bool
+    ) -> None:
+        """One attempt of ``q`` just died on ``rid``: retry or record lost."""
+        nonlocal done, retries
+        n = attempts.get(q.req_id, 1)
+        if retry_pol is not None and n < retry_pol.max_attempts:
+            delay = retry_pol.backoff_s(n)
+            retries += 1
+            push(t + delay, "retry", q)
+            if obs is not None:
+                obs.retry(t, q.req_id, rid, n, delay, was_active)
+        else:
+            lost.append(LostRecord(q, t, rid, n, reason))
+            done += 1
+            if obs is not None:
+                obs.lost(t, q.req_id, rid, n, reason, was_active)
+
+    def kill_replica(r: Replica, t: float, kind: str, failure_idx: int) -> None:
+        """Hard-stop ``r`` now: in-flight batch and queue are destroyed.
+
+        Lost work re-enters routing in a canonical order — active entries
+        in slot order, then the queue in lane-FCFS order — so both engines
+        schedule identical retry events.  Bumping the epoch invalidates the
+        in-flight step-completion event still sitting in the heap.
+        """
+        doomed_active = [e.request for e in r.active]
+        doomed_queued = r.take_queued()
+        fail_act[failure_idx] += len(doomed_active)
+        fail_q[failure_idx] += len(doomed_queued)
+        r.active = []
+        r.transition_to(ReplicaState.FAILED)
+        r.stopped_at_s = t
+        r.stepping = False
+        r.epoch += 1
+        if obs is not None:
+            obs.fail(t, r.replica_id, kind, len(doomed_active), len(doomed_queued))
+        for q in doomed_active:
+            fail_attempt(q, t, r.replica_id, kind, was_active=True)
+        for q in doomed_queued:
+            fail_attempt(q, t, r.replica_id, kind, was_active=False)
+
+    def order_recovery(victim: Replica, t: float, failure_idx: int) -> None:
+        """Boot a replacement for ``victim`` through the priced cold start."""
+        cold = price_cold_start(
+            model,
+            cluster,
+            placements_by_regime[victim.regime],
+            dtype_bytes,
+            fleet.boot_overhead_s,
+        )
+        r = new_replica(
+            victim.regime, ReplicaState.BOOTING, t + cold.total_s, billed_from=t
+        )
+        recovery_for[r.replica_id] = (failure_idx, cold.total_s)
+        push(t + cold.total_s, "boot", r)
+
+    def open_failure(t: float, rid: int, kind: str) -> int:
+        fail_time.append(t)
+        fail_rid.append(rid)
+        fail_kind.append(kind)
+        fail_act.append(0)
+        fail_q.append(0)
+        fail_rec.append(None)
+        return len(fail_time) - 1
+
+    def on_crash(rid: int, t: float) -> None:
+        if rid >= len(replicas):
+            return
+        r = replicas[rid]
+        if r.state not in (ReplicaState.RUNNING, ReplicaState.DRAINING):
+            return
+        idx = open_failure(t, rid, "crash")
+        kill_replica(r, t, "crash", idx)
+        if chaos is not None and chaos.recover:
+            order_recovery(r, t, idx)
+
+    def on_preempt(p: PreemptSpec, t: float) -> None:
+        if p.replica >= len(replicas):
+            return
+        r = replicas[p.replica]
+        if r.state is not ReplicaState.RUNNING:
+            return
+        idx = open_failure(t, p.replica, "preempt")
+        r.transition_to(ReplicaState.DRAINING)
+        if obs is not None:
+            obs.preempt(t, p.replica, p.grace_s)
+        if fleet.migrate_on_drain:
+            migrate_queued(r, t)
+        finish_if_drained(r, t)
+        push(t + p.grace_s, "kill", (p.replica, idx))
+        if chaos is not None and chaos.recover:
+            order_recovery(r, t, idx)
+
+    def on_kill(rid: int, idx: int, t: float) -> None:
+        r = replicas[rid]
+        if r.state is not ReplicaState.DRAINING:
+            return  # drained clean inside the grace period; lost stays 0/0
+        kill_replica(r, t, "preempt", idx)
+
+    def on_retry_pop(q: FleetRequest, t: float) -> None:
+        attempts[q.req_id] = attempts.get(q.req_id, 1) + 1
+        attempt_started[q.req_id] = t
+        on_arrival(q, t)
+
     def on_scale(t: float) -> None:
         assert autoscaler is not None  # caller gates on fleet.autoscale
         live = routable()
@@ -388,7 +548,7 @@ def simulate_fleet_reference(
                           len(live) + len(booting) + 1, cold.total_s)
         elif decision == "down":
             victim = min(live, key=lambda r: (r.load, r.replica_id))
-            victim.state = ReplicaState.DRAINING
+            victim.transition_to(ReplicaState.DRAINING)
             if obs is not None:
                 obs.drain(t, victim.replica_id)
             if fleet.migrate_on_drain:
@@ -411,22 +571,45 @@ def simulate_fleet_reference(
         if kind == "arrival":
             on_arrival(cast(FleetRequest, data), t)
         elif kind == "step":
-            r, dt = cast("tuple[Replica, float]", data)
+            r, dt, epoch = cast("tuple[Replica, float, int]", data)
+            if epoch != r.epoch:
+                continue  # stale: the replica was killed mid-step
             on_step_end(r, dt, t)
         elif kind == "boot":
             r = cast(Replica, data)
-            r.state = ReplicaState.ACTIVE
+            r.transition_to(ReplicaState.RUNNING)
             peak_routable = max(peak_routable, len(routable()))
             if obs is not None:
                 obs.boot_ready(t, r.replica_id)
+            rec_info = recovery_for.pop(r.replica_id, None)
+            if rec_info is not None:
+                idx, cold_s = rec_info
+                fail_rec[idx] = t
+                if obs is not None:
+                    obs.recover(t, r.replica_id, fail_rid[idx], cold_s)
         elif kind == "scale" and autoscaler is not None and done < total:
             on_scale(t)
+        elif kind == "crash":
+            on_crash(cast(int, data), t)
+        elif kind == "preempt":
+            on_preempt(cast(PreemptSpec, data), t)
+        elif kind == "kill":
+            rid, idx = cast("tuple[int, int]", data)
+            on_kill(rid, idx, t)
+        elif kind == "retry":
+            on_retry_pop(cast(FleetRequest, data), t)
     if profiler is not None:
         profiler.run_end()
 
     def stats_at(sim_end: float) -> tuple[ReplicaStats, ...]:
         return tuple(r.stats(sim_end) for r in replicas)
 
+    failures = tuple(
+        FailureRecord(
+            fail_time[i], fail_rid[i], fail_kind[i], fail_act[i], fail_q[i], fail_rec[i]
+        )
+        for i in range(len(fail_time))
+    )
     return finalize_fleet_result(
         completed,
         shed,
@@ -437,4 +620,7 @@ def simulate_fleet_reference(
         peak_routable,
         cluster,
         obs=obs,
+        failures=failures,
+        lost=lost,
+        retries=retries,
     )

@@ -5,11 +5,23 @@ placement (possibly fit to a different routing regime than its peers),
 priced per decode step by the shared
 :class:`~repro.engine.serving.PlacementStepTimer`, optionally running its
 own PR-2 online re-placement loop.  The fleet simulator drives replicas
-through a small state machine:
+through an explicit lifecycle state machine::
 
-``BOOTING`` (paying the cold-start cost) → ``ACTIVE`` (routable) →
-``DRAINING`` (scale-down: finishes queued work, receives nothing new) →
-``STOPPED``.
+    PENDING ──> BOOTING ──> RUNNING ──> DRAINING ──> STOPPED
+       │           │           │            │
+       │           └───────────┼────────────┼──> FAILED
+       └── (t=0 replicas skip the boot) ────┘
+
+``PENDING`` is the instant between construction and the first transition
+(t=0 replicas go straight to ``RUNNING``; scaled-up and recovery replicas
+go through ``BOOTING`` while the priced cold start elapses).  ``RUNNING``
+is the only routable state.  ``DRAINING`` replicas (scale-down victims
+and preemption-noticed spot replicas) finish queued work and receive
+nothing new; a clean drain ends in ``STOPPED``.  ``FAILED`` is the chaos
+subsystem's terminal state — a crash or an expired preemption grace
+period — and loses whatever work was still on the replica.  Legal
+transitions live in :data:`STATE_TRANSITIONS` and are enforced by
+:meth:`Replica.transition_to`.
 
 The replica owns per-priority wait queues (admission is FCFS *within* a
 class, strict priority *across* classes) and the continuous-batching
@@ -22,6 +34,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from enum import Enum
+from typing import Callable
 
 import numpy as np
 
@@ -29,7 +42,14 @@ from repro.core.online import OnlineReplacer
 from repro.core.placement.base import Placement
 from repro.fleet.requests import FleetRequest
 
-__all__ = ["ReplicaState", "Replica", "ReplicaStats", "ActiveEntry", "ArrayQueue"]
+__all__ = [
+    "ReplicaState",
+    "STATE_TRANSITIONS",
+    "Replica",
+    "ReplicaStats",
+    "ActiveEntry",
+    "ArrayQueue",
+]
 
 # EWMA smoothing for the observed step-time estimate admission control
 # reads; one step contributes 25% so the estimate tracks load shifts within
@@ -38,10 +58,26 @@ _STEP_EWMA_ALPHA = 0.25
 
 
 class ReplicaState(str, Enum):
+    PENDING = "pending"
     BOOTING = "booting"
-    ACTIVE = "active"
+    RUNNING = "running"
+    # alias kept for call sites written before the lifecycle grew FAILED;
+    # same member object, so `state is ReplicaState.RUNNING` still holds
+    ACTIVE = "running"
     DRAINING = "draining"
+    FAILED = "failed"
     STOPPED = "stopped"
+
+
+#: Legal lifecycle moves.  FAILED and STOPPED are terminal.
+STATE_TRANSITIONS: dict[ReplicaState, tuple[ReplicaState, ...]] = {
+    ReplicaState.PENDING: (ReplicaState.BOOTING, ReplicaState.RUNNING),
+    ReplicaState.BOOTING: (ReplicaState.RUNNING, ReplicaState.FAILED),
+    ReplicaState.RUNNING: (ReplicaState.DRAINING, ReplicaState.FAILED),
+    ReplicaState.DRAINING: (ReplicaState.STOPPED, ReplicaState.FAILED),
+    ReplicaState.FAILED: (),
+    ReplicaState.STOPPED: (),
+}
 
 
 class ArrayQueue:
@@ -148,7 +184,7 @@ class Replica:
         max_batch_requests: int,
         num_gpus: int,
         num_priorities: int = 2,
-        state: ReplicaState = ReplicaState.ACTIVE,
+        state: ReplicaState = ReplicaState.RUNNING,
         booted_at_s: float = 0.0,
         replacer: OnlineReplacer | None = None,
         billed_from_s: float | None = None,
@@ -163,7 +199,13 @@ class Replica:
         self.regime = regime
         self.max_batch = max_batch_requests
         self.num_gpus = num_gpus
-        self.state = state
+        # every replica is born PENDING and immediately moved to its first
+        # real state through the transition table
+        self.state = ReplicaState.PENDING
+        self.transition_to(state)
+        # bumped when a crash/preempt-kill cancels the in-flight step, so
+        # the event engine can discard the stale step-end event on pop
+        self.epoch = 0
         self.booted_at_s = booted_at_s
         # billing starts at the scale-up *decision* (the GPUs are reserved
         # while the replica boots), which precedes booted_at_s by the cold
@@ -198,12 +240,22 @@ class Replica:
 
     @property
     def routable(self) -> bool:
-        return self.state is ReplicaState.ACTIVE
+        return self.state is ReplicaState.RUNNING
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def transition_to(self, state: ReplicaState) -> None:
+        """Move to ``state``, enforcing :data:`STATE_TRANSITIONS`."""
+        if state not in STATE_TRANSITIONS[self.state]:
+            raise RuntimeError(
+                f"illegal replica transition {self.state.value} -> {state.value}"
+            )
+        self.state = state
 
     # -- queue / batch transitions ---------------------------------------------
 
     def enqueue(self, request: FleetRequest) -> None:
-        if self.state in (ReplicaState.STOPPED, ReplicaState.BOOTING):
+        if self.state not in (ReplicaState.RUNNING, ReplicaState.DRAINING):
             raise RuntimeError(f"cannot enqueue on a {self.state.value} replica")
         pri = min(request.priority, len(self.queues) - 1)
         self.queues[pri].append(request)
@@ -225,6 +277,33 @@ class Replica:
             if len(self.active) >= self.max_batch:
                 break
         return admitted
+
+    def admit_with_timeout(
+        self, now: float, expired: Callable[[FleetRequest], bool]
+    ) -> tuple[list[ActiveEntry], list[FleetRequest]]:
+        """:meth:`admit_up_to_capacity`, dropping attempts that timed out.
+
+        ``expired(request) -> bool`` is evaluated lazily as each request
+        reaches the head of its lane; a timed-out request consumes no
+        batch slot and is returned (pop order) for the caller to retry or
+        record lost.  Used when the chaos retry policy sets a per-attempt
+        timeout.
+        """
+        admitted: list[ActiveEntry] = []
+        timed_out: list[FleetRequest] = []
+        for q in self.queues:
+            while q and len(self.active) < self.max_batch:
+                req = q.popleft()
+                if expired(req):
+                    timed_out.append(req)
+                    continue
+                entry = ActiveEntry(req, now, self._admit_counter % self.num_gpus)
+                self._admit_counter += 1
+                self.active.append(entry)
+                admitted.append(entry)
+            if len(self.active) >= self.max_batch:
+                break
+        return admitted, timed_out
 
     def note_step(self, dt: float, batch_size: int) -> None:
         """Account one completed decode step of ``batch_size`` requests."""

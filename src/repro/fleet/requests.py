@@ -32,6 +32,8 @@ __all__ = [
     "FleetRequest",
     "FleetCompleted",
     "ShedRecord",
+    "LostRecord",
+    "FailureRecord",
     "flash_crowd_arrivals",
     "make_fleet_requests",
 ]
@@ -83,6 +85,43 @@ class ShedRecord:
     time_s: float
     reason: str
     replica_id: int | None = None
+
+
+@dataclass(frozen=True)
+class LostRecord:
+    """A request whose retry budget ran out — the chaos terminal outcome.
+
+    Distinct from a :class:`ShedRecord`: shedding is admission *refusing*
+    work it predicts will miss its SLO, loss is accepted work destroyed by
+    faults (crash, preemption kill, or per-attempt timeout — ``reason``)
+    after ``attempts`` tries.  ``replica_id`` is the replica on which the
+    final attempt died.
+    """
+
+    request: FleetRequest
+    time_s: float
+    replica_id: int
+    attempts: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One injected replica failure and its recovery, for the fleet account.
+
+    ``kind`` is ``"crash"`` or ``"preempt"``.  For preemptions, ``time_s``
+    is the *notice* time and the lost counts are whatever the grace period
+    failed to drain (both zero for a clean drain).  ``recovered_at_s`` is
+    when the ordered replacement replica went routable, or ``None`` when
+    recovery was disabled or never completed before the run ended.
+    """
+
+    time_s: float
+    replica_id: int
+    kind: str
+    lost_active: int
+    lost_queued: int
+    recovered_at_s: float | None = None
 
 
 def flash_crowd_arrivals(

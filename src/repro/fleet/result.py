@@ -37,7 +37,13 @@ from repro.engine.metrics import LatencyStats
 from repro.fleet.admission import AdmissionController
 from repro.fleet.autoscaler import ScaleEvent
 from repro.fleet.replica import ReplicaState, ReplicaStats
-from repro.fleet.requests import FleetCompleted, FleetRequest, ShedRecord
+from repro.fleet.requests import (
+    FailureRecord,
+    FleetCompleted,
+    FleetRequest,
+    LostRecord,
+    ShedRecord,
+)
 from repro.obs.recorder import MetricsRecorder
 from repro.trace.markov import MarkovRoutingModel
 
@@ -119,6 +125,27 @@ class FleetObs:
             t, direction, queue_per_replica, replicas_before, replicas_after, cold_start_s
         )
 
+    # -- chaos hooks -----------------------------------------------------------
+
+    def preempt(self, t: float, rid: int, grace_s: float) -> None:
+        self.rec.on_preempt(t, rid, grace_s)
+
+    def fail(self, t: float, rid: int, kind: str, lost_active: int, lost_queued: int) -> None:
+        self.rec.on_fail(t, rid, kind, lost_active, lost_queued)
+
+    def retry(
+        self, t: float, req_id: int, rid: int, attempt: int, delay_s: float, was_active: bool
+    ) -> None:
+        self.rec.on_retry(t, req_id, rid, attempt, delay_s, was_active)
+
+    def lost(
+        self, t: float, req_id: int, rid: int, attempts: int, reason: str, was_active: bool
+    ) -> None:
+        self.rec.on_lost(t, req_id, rid, attempts, reason, was_active)
+
+    def recover(self, t: float, rid: int, for_rid: int, cold_start_s: float) -> None:
+        self.rec.on_recover(t, rid, for_rid, cold_start_s)
+
     def run_end(self, sim_end: float) -> None:
         self.rec.on_run_end(sim_end)
 
@@ -142,6 +169,13 @@ class FleetResult:
     #: autoscaler trades against p95
     gpu_hours: float = 0.0
     cost_usd: float = 0.0
+    # chaos account: injected replica failures, requests destroyed after
+    # exhausting their retry budget, total retry re-admissions, and the
+    # completions that met their class SLO (the goodput numerator)
+    failures: tuple[FailureRecord, ...] = ()
+    lost: tuple[LostRecord, ...] = ()
+    retries: int = 0
+    slo_met: int = 0
 
     @property
     def served(self) -> int:
@@ -156,7 +190,7 @@ class FleetResult:
 
     @property
     def offered(self) -> int:
-        return len(self.completed) + len(self.shed)
+        return len(self.completed) + len(self.shed) + len(self.lost)
 
     @property
     def shed_fraction(self) -> float:
@@ -169,6 +203,36 @@ class FleetResult:
         if self.makespan_s <= 0:
             return 0.0
         return self.served / self.makespan_s
+
+    @property
+    def availability(self) -> float:
+        """Fraction of offered requests that completed (1.0 on zero offered)."""
+        if self.offered == 0:
+            return 1.0
+        return self.served / self.offered
+
+    @property
+    def goodput_rps(self) -> float:
+        """Completions that met their class SLO, per second of makespan."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.slo_met / self.makespan_s
+
+    @property
+    def mean_time_to_recover_s(self) -> float:
+        """Mean failure → replacement-routable span over recovered failures.
+
+        0.0 when nothing failed or nothing recovered — callers must check
+        ``failures`` before reading meaning into the zero.
+        """
+        spans = [
+            f.recovered_at_s - f.time_s
+            for f in self.failures
+            if f.recovered_at_s is not None
+        ]
+        if not spans:
+            return 0.0
+        return sum(spans) / len(spans)
 
     @property
     def final_replicas(self) -> int:
@@ -238,6 +302,9 @@ def finalize_fleet_result(
     peak_routable: int,
     cluster: ClusterConfig,
     obs: FleetObs | None = None,
+    failures: Sequence[FailureRecord] = (),
+    lost: Sequence[LostRecord] = (),
+    retries: int = 0,
 ) -> FleetResult:
     """Assemble the :class:`FleetResult` epilogue shared by both engines.
 
@@ -246,7 +313,11 @@ def finalize_fleet_result(
     Every accumulation below iterates in a deterministic order so the two
     engines cannot diverge in float rounding.
     """
-    end_times = [c.finished_s for c in completed] + [s.time_s for s in shed]
+    end_times = (
+        [c.finished_s for c in completed]
+        + [s.time_s for s in shed]
+        + [loss.time_s for loss in lost]
+    )
     makespan = max(end_times) - first_arrival if end_times else 0.0
     sim_end = first_arrival + makespan
     if obs is not None:
@@ -254,7 +325,7 @@ def finalize_fleet_result(
     replica_stats = stats_at(sim_end)
     gpu_hours = sum(s.gpu_hours for s in replica_stats)
 
-    # per-class SLO attainment over *offered* traffic: shed = missed
+    # per-class SLO attainment over *offered* traffic: shed/lost = missed
     offered_by_class: Counter[str] = Counter()
     met_by_class: Counter[str] = Counter()
     for c in completed:
@@ -264,6 +335,8 @@ def finalize_fleet_result(
             met_by_class[name] += 1
     for s in shed:
         offered_by_class[admission.class_of(s.request).name] += 1
+    for loss in lost:
+        offered_by_class[admission.class_of(loss.request).name] += 1
     attainment = {
         cls.name: (
             met_by_class[cls.name] / offered_by_class[cls.name]
@@ -286,4 +359,8 @@ def finalize_fleet_result(
         generated_tokens=sum(c.request.generate_len for c in completed),
         gpu_hours=gpu_hours,
         cost_usd=gpu_hours * cluster.gpu_hour_usd,
+        failures=tuple(failures),
+        lost=tuple(lost),
+        retries=retries,
+        slo_met=sum(met_by_class.values()),
     )

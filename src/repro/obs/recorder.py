@@ -90,6 +90,33 @@ class MetricsRecorder(Protocol):
         cold_start_s: float,
     ) -> None: ...
 
+    def on_preempt(self, t_s: float, rid: int, grace_s: float) -> None:
+        """Replica ``rid`` received a preemption notice; drains for ``grace_s``."""
+        ...
+
+    def on_fail(
+        self, t_s: float, rid: int, kind: str, lost_active: int, lost_queued: int
+    ) -> None:
+        """Replica ``rid`` failed hard (``kind``: crash/preempt), losing work."""
+        ...
+
+    def on_retry(
+        self, t_s: float, req_id: int, rid: int, attempt: int, delay_s: float, was_active: bool
+    ) -> None:
+        """Attempt ``attempt`` of ``req_id`` died on ``rid``; re-enters routing
+        after ``delay_s``.  ``was_active``: decoding (vs still queued)."""
+        ...
+
+    def on_lost(
+        self, t_s: float, req_id: int, rid: int, attempts: int, reason: str, was_active: bool
+    ) -> None:
+        """``req_id`` exhausted its retry budget and is terminally lost."""
+        ...
+
+    def on_recover(self, t_s: float, rid: int, for_rid: int, cold_start_s: float) -> None:
+        """Replacement replica ``rid`` went routable, recovering failed ``for_rid``."""
+        ...
+
     def on_run_end(self, t_s: float) -> None: ...
 
 
@@ -144,6 +171,27 @@ class NullRecorder:
         replicas_after: int,
         cold_start_s: float,
     ) -> None:
+        pass
+
+    def on_preempt(self, t_s: float, rid: int, grace_s: float) -> None:
+        pass
+
+    def on_fail(
+        self, t_s: float, rid: int, kind: str, lost_active: int, lost_queued: int
+    ) -> None:
+        pass
+
+    def on_retry(
+        self, t_s: float, req_id: int, rid: int, attempt: int, delay_s: float, was_active: bool
+    ) -> None:
+        pass
+
+    def on_lost(
+        self, t_s: float, req_id: int, rid: int, attempts: int, reason: str, was_active: bool
+    ) -> None:
+        pass
+
+    def on_recover(self, t_s: float, rid: int, for_rid: int, cold_start_s: float) -> None:
         pass
 
     def on_run_end(self, t_s: float) -> None:
@@ -233,6 +281,7 @@ class TimelineRecorder:
         self._b_routable: list[int] = []
         self._b_booting: list[int] = []
         self._b_draining: list[int] = []
+        self._b_failed: list[int] = []
         self._b_cost: list[float] = []
         self._b_cum_admitted: list[int] = []
         self._b_cum_completed: list[int] = []
@@ -256,6 +305,9 @@ class TimelineRecorder:
         self._cum_admitted = 0
         self._cum_completed = 0
         self._cum_shed = 0
+        self._cum_failures = 0
+        self._cum_retries = 0
+        self._cum_lost = 0
 
         # span logs (consumed by repro.obs.trace)
         self._span_steps: list[tuple[int, float, float, int]] = []  # rid, start_s, dur_s, batch
@@ -265,6 +317,13 @@ class TimelineRecorder:
         self._span_decode: list[tuple[int, int, float, float]] = []
         self._span_sheds: list[tuple[float, int, int, str]] = []  # t_s, req, rid(-1=none), reason
         self._scale_events: list[tuple[float, str, float, int, int, float]] = []
+        # chaos span logs: preempt/fail/retry/lost instants + outage windows
+        self._span_preempts: list[tuple[float, int, float]] = []  # t_s, rid, grace_s
+        self._span_fails: list[tuple[float, int, str, int, int]] = []  # t, rid, kind, act, q
+        self._span_retries: list[tuple[float, int, int, int, float]] = []  # t, req, rid, n, delay
+        self._span_losts: list[tuple[float, int, int, int, str]] = []  # t, req, rid, n, reason
+        self._span_outages: list[tuple[int, float, float]] = []  # rid, start_s, dur_s
+        self._open_outage: dict[int, float] = {}
         self._open_queue: dict[int, float] = {}
         self._open_decode: dict[int, tuple[float, int]] = {}
         self._span_used = 0
@@ -318,9 +377,10 @@ class TimelineRecorder:
         self._b_queue.append([r.queue for r in reps])
         self._b_active.append([r.active for r in reps])
         self._b_busy.append([r.busy_s for r in reps])
-        self._b_routable.append(sum(1 for r in reps if r.state == "active"))
+        self._b_routable.append(sum(1 for r in reps if r.state == "running"))
         self._b_booting.append(sum(1 for r in reps if r.state == "booting"))
         self._b_draining.append(sum(1 for r in reps if r.state == "draining"))
+        self._b_failed.append(sum(1 for r in reps if r.state == "failed"))
         self._b_cost.append(self._cost_usd_at(b_s))
         self._b_cum_admitted.append(self._cum_admitted)
         self._b_cum_completed.append(self._cum_completed)
@@ -348,6 +408,7 @@ class TimelineRecorder:
             self._b_routable.pop()
             self._b_booting.pop()
             self._b_draining.pop()
+            self._b_failed.pop()
             self._b_cost.pop()
             self._b_cum_admitted.pop()
             self._b_cum_completed.pop()
@@ -365,6 +426,7 @@ class TimelineRecorder:
         self._b_routable = self._b_routable[1::2]
         self._b_booting = self._b_booting[1::2]
         self._b_draining = self._b_draining[1::2]
+        self._b_failed = self._b_failed[1::2]
         self._b_cost = self._b_cost[1::2]
         self._b_cum_admitted = self._b_cum_admitted[1::2]
         self._b_cum_completed = self._b_cum_completed[1::2]
@@ -410,14 +472,14 @@ class TimelineRecorder:
         self._flush(t_s)
         if rid != len(self._reps):
             raise ValueError(f"replica ids must arrive densely; got {rid}, expected {len(self._reps)}")
-        state = "booting" if booting else "active"
+        state = "booting" if booting else "running"
         self._reps.append(_ReplicaTrack(rid, regime, state, ready_s, billed_from_s))
         if booting and self._take_span_budget():
             self._span_boots.append((rid, t_s, max(0.0, ready_s - t_s)))
 
     def on_boot_ready(self, t_s: float, rid: int) -> None:
         self._flush(t_s)
-        self._reps[rid].state = "active"
+        self._reps[rid].state = "running"
 
     def on_drain(self, t_s: float, rid: int) -> None:
         self._flush(t_s)
@@ -511,6 +573,72 @@ class TimelineRecorder:
             (t_s, direction, queue_per_replica, replicas_before, replicas_after, cold_start_s)
         )
 
+    def on_preempt(self, t_s: float, rid: int, grace_s: float) -> None:
+        self._flush(t_s)
+        r = self._reps[rid]
+        r.state = "draining"
+        r.drain_from_s = t_s
+        if self._take_span_budget():
+            self._span_preempts.append((t_s, rid, grace_s))
+
+    def on_fail(
+        self, t_s: float, rid: int, kind: str, lost_active: int, lost_queued: int
+    ) -> None:
+        # census counters (queue/active) are adjusted by the per-request
+        # on_retry/on_lost hooks that follow, not here — one owner each
+        self._flush(t_s)
+        r = self._reps[rid]
+        if r.drain_from_s is not None:
+            if self._take_span_budget():
+                self._span_drains.append((rid, r.drain_from_s, t_s - r.drain_from_s))
+            r.drain_from_s = None
+        r.state = "failed"
+        r.stopped_s = t_s
+        self._cum_failures += 1
+        if self._take_span_budget():
+            self._span_fails.append((t_s, rid, kind, lost_active, lost_queued))
+        if self._spans:
+            self._open_outage[rid] = t_s
+
+    def on_retry(
+        self, t_s: float, req_id: int, rid: int, attempt: int, delay_s: float, was_active: bool
+    ) -> None:
+        self._flush(t_s)
+        r = self._reps[rid]
+        if was_active:
+            r.active -= 1
+        else:
+            r.queue -= 1
+        self._cum_retries += 1
+        if self._spans:
+            # the aborted attempt's decode span is discarded (it produced
+            # nothing); a still-queued request keeps its original wait start
+            self._open_decode.pop(req_id, None)
+        if self._take_span_budget():
+            self._span_retries.append((t_s, req_id, rid, attempt, delay_s))
+
+    def on_lost(
+        self, t_s: float, req_id: int, rid: int, attempts: int, reason: str, was_active: bool
+    ) -> None:
+        self._flush(t_s)
+        r = self._reps[rid]
+        if was_active:
+            r.active -= 1
+        else:
+            r.queue -= 1
+        self._cum_lost += 1
+        if self._spans:
+            self._open_decode.pop(req_id, None)
+            self._open_queue.pop(req_id, None)
+        if self._take_span_budget():
+            self._span_losts.append((t_s, req_id, rid, attempts, reason))
+
+    def on_recover(self, t_s: float, rid: int, for_rid: int, cold_start_s: float) -> None:
+        self._flush(t_s)
+        start_s = self._open_outage.pop(for_rid, None)
+        if start_s is not None and self._take_span_budget():
+            self._span_outages.append((for_rid, start_s, t_s - start_s))
+
     def on_run_end(self, t_s: float) -> None:
         self._flush(t_s)
         if not self._b_t or self._b_t[-1] < t_s:
@@ -519,6 +647,10 @@ class TimelineRecorder:
             if r.drain_from_s is not None and self._take_span_budget():
                 self._span_drains.append((r.rid, r.drain_from_s, t_s - r.drain_from_s))
                 r.drain_from_s = None
+        for rid in sorted(self._open_outage):  # unrecovered failures span to run end
+            if self._take_span_budget():
+                self._span_outages.append((rid, self._open_outage[rid], t_s - self._open_outage[rid]))
+        self._open_outage.clear()
         self._t_end = t_s
 
     # -- exports -----------------------------------------------------------
@@ -570,6 +702,9 @@ class TimelineRecorder:
                 "admitted": self._cum_admitted,
                 "completed": self._cum_completed,
                 "shed": self._cum_shed,
+                "failures": self._cum_failures,
+                "retries": self._cum_retries,
+                "lost": self._cum_lost,
                 "dropped_span_events": self.dropped_span_events,
             },
             "windows": {
@@ -583,6 +718,7 @@ class TimelineRecorder:
                 "routable": list(self._b_routable),
                 "booting": list(self._b_booting),
                 "draining": list(self._b_draining),
+                "failed": list(self._b_failed),
                 "cum_admitted": list(self._b_cum_admitted),
                 "cum_completed": list(self._b_cum_completed),
                 "cum_shed": list(self._b_cum_shed),

@@ -10,7 +10,10 @@ timestamps are microseconds relative to the run's first arrival:
   ``cat: "request"`` + the request id) on ``pid 1`` ("requests"): a
   ``queue`` span from enqueue to admission, then a ``decode`` span from
   admission to completion;
-* sheds and autoscale decisions are instants (``ph: "i"``);
+* sheds and autoscale decisions are instants (``ph: "i"``), as are the
+  chaos subsystem's preempt notices, replica failures, request retries
+  and terminal losses; a failed replica's outage (failure → replacement
+  routable, or run end if it never recovered) is a complete-span;
 * the per-window timeline is mirrored as counter tracks (``ph: "C"``)
   so queue depth / active batch / replica census plot natively.
 
@@ -109,6 +112,71 @@ def chrome_trace(rec: TimelineRecorder) -> dict[str, object]:
                 "tid": max(0, rid),
                 "ts": us(t_s),
                 "args": {"req": req_id, "reason": reason},
+            }
+        )
+    for rid, start_s, dur_s in rec._span_outages:
+        evs.append(
+            {
+                "name": "outage",
+                "cat": "chaos",
+                "ph": "X",
+                "pid": _FLEET_PID,
+                "tid": rid,
+                "ts": us(start_s),
+                "dur": round(max(0.0, dur_s) * 1e6, 3),
+                "args": {},
+            }
+        )
+    for t_s, rid, grace_s in rec._span_preempts:
+        evs.append(
+            {
+                "name": "preempt",
+                "cat": "chaos",
+                "ph": "i",
+                "s": "g",
+                "pid": _FLEET_PID,
+                "tid": rid,
+                "ts": us(t_s),
+                "args": {"grace_s": grace_s},
+            }
+        )
+    for t_s, rid, kind, lost_active, lost_queued in rec._span_fails:
+        evs.append(
+            {
+                "name": "fail",
+                "cat": "chaos",
+                "ph": "i",
+                "s": "g",
+                "pid": _FLEET_PID,
+                "tid": rid,
+                "ts": us(t_s),
+                "args": {"kind": kind, "lost_active": lost_active, "lost_queued": lost_queued},
+            }
+        )
+    for t_s, req_id, rid, attempt, delay_s in rec._span_retries:
+        evs.append(
+            {
+                "name": "retry",
+                "cat": "chaos",
+                "ph": "i",
+                "s": "g",
+                "pid": _FLEET_PID,
+                "tid": rid,
+                "ts": us(t_s),
+                "args": {"req": req_id, "attempt": attempt, "delay_s": delay_s},
+            }
+        )
+    for t_s, req_id, rid, attempts, reason in rec._span_losts:
+        evs.append(
+            {
+                "name": "lost",
+                "cat": "chaos",
+                "ph": "i",
+                "s": "g",
+                "pid": _FLEET_PID,
+                "tid": rid,
+                "ts": us(t_s),
+                "args": {"req": req_id, "attempts": attempts, "reason": reason},
             }
         )
     for t_s, direction, queue_per_replica, before, after, cold_start_s in rec._scale_events:

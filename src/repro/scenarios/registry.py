@@ -16,6 +16,7 @@ reproduces the benchmark's headline numbers.
 
 from __future__ import annotations
 
+from repro.chaos import RetryPolicy, bad_day_schedule
 from repro.config import (
     ClusterConfig,
     FleetConfig,
@@ -38,6 +39,7 @@ __all__ = [
     "get_scenario",
     "list_scenarios",
     "fig10_panel",
+    "fleet_bad_day",
     "SCENARIOS",
 ]
 
@@ -363,6 +365,78 @@ def _fig16_flash(autoscale: bool, smoke: bool) -> Scenario:
 for _auto in (True, False):
     register_scenario(_fig16_flash(_auto, smoke=False))
     register_scenario(_fig16_flash(_auto, smoke=True))
+
+
+# -- bad-day presets (the chaos subsystem's headline experiment) ---------------
+
+
+def fleet_bad_day(autoscale: bool, smoke: bool) -> Scenario:
+    """One seeded bad day: crash + preemption + brownout under pressure.
+
+    The chaos schedule derives from the *nominal* horizon (requests /
+    offered rate) so both arms of the benchmark — this autoscaled preset
+    and the static fleet ``bench_chaos.py`` derives from it with
+    ``dataclasses.replace`` — replay the exact same faults.  Retries use
+    a short backoff so re-admitted requests land inside the run.  The
+    offered rate overloads the initial three replicas (~15k req/s each at
+    smoke scale) so the arms separate: the static arm sheds at the queue
+    cap all day while the autoscaled arm absorbs both the crowd and the
+    faults (availability margin ≈ +0.45 at both scales, stable across
+    schedule seeds).
+    """
+    serving = ServingConfig(
+        arrival_rate_rps=60000.0 if smoke else 15000.0,
+        num_requests=800 if smoke else 1500,
+        generate_len=8 if smoke else 16,
+        max_batch_requests=4 if smoke else 8,
+        prompt_len=16 if smoke else 32,
+        seed=0,
+    )
+    fleet = FleetConfig(
+        num_replicas=3,
+        router="p2c",
+        autoscale=autoscale,
+        min_replicas=3 if autoscale else 1,
+        max_replicas=8,
+        slo_ms=15.0 if smoke else 60.0,
+        batch_slo_ms=150.0 if smoke else 600.0,
+        max_queue_per_replica=16,
+        autoscale_check_every_s=0.0008 if smoke else 0.004,
+        scale_up_queue_per_replica=4.0,
+        scale_dwell_checks=2,
+    )
+    horizon = serving.num_requests / serving.arrival_rate_rps
+    chaos = bad_day_schedule(
+        num_replicas=3,
+        horizon_s=horizon,
+        seed=9,
+        crashes=1,
+        preemptions=1,
+        brownouts=1,
+        brownout_factor_x=4.0,
+        retry=RetryPolicy(
+            max_attempts=3, backoff_base_s=0.0005 if smoke else 0.002
+        ),
+    )
+    arm = "" if autoscale else "-static"
+    return Scenario(
+        name=f"fleet-bad-day{arm}" + ("-smoke" if smoke else ""),
+        description=(
+            f"seeded bad day (crash+preempt+brownout) on a 3-replica fleet, "
+            f"{'autoscaled' if autoscale else 'static'} arm"
+            + (" (CI smoke)" if smoke else "")
+        ),
+        model=_fig16_model(smoke),
+        cluster=ClusterConfig(num_nodes=2, gpus_per_node=2),
+        affinity=_FIG16_AFFINITY,
+        serving=serving,
+        fleet=fleet,
+        chaos=chaos,
+    )
+
+
+register_scenario(fleet_bad_day(autoscale=True, smoke=False))
+register_scenario(fleet_bad_day(autoscale=True, smoke=True))
 
 
 # -- fleet-at-scale preset (the tick engine's home turf) -----------------------

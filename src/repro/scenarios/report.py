@@ -66,6 +66,14 @@ class SimReport:
     peak_replicas: int = 0
     scale_ups: int = 0
 
+    # chaos account (zero/ideal defaults so pre-chaos reports still load)
+    failures: int = 0
+    lost: int = 0
+    retries: int = 0
+    availability: float = 1.0
+    goodput_rps: float = 0.0
+    mean_time_to_recover_s: float = 0.0
+
     # cost account (GPU-hour pricing from ClusterConfig.gpu_hour_usd)
     gpu_hours: float = 0.0
     cost_usd: float = 0.0

@@ -18,6 +18,7 @@ import dataclasses
 import math
 import multiprocessing
 import os
+import traceback
 from typing import Callable, Iterable, Sequence
 
 from repro.config import ExecutionMode
@@ -33,7 +34,35 @@ from repro.obs.recorder import MetricsRecorder, TimelineRecorder
 from repro.scenarios.report import SimReport
 from repro.scenarios.spec import Scenario
 
-__all__ = ["run", "run_sweep"]
+__all__ = ["SweepError", "run", "run_sweep"]
+
+
+class SweepError(RuntimeError):
+    """A sweep worker failed; carries which scenario and its full spec.
+
+    A bare exception escaping a ``multiprocessing`` worker surfaces as a
+    context-free traceback with no hint of *which* grid point died.  The
+    sweep runner wraps worker failures so the scenario name and its exact
+    spec JSON travel with the error — enough to re-run the single point
+    with :func:`run` and debug it serially.
+
+    Constructed with ``(scenario_name, spec_json, details)`` positional
+    args (all strings) so the instance survives pickling back across the
+    pool boundary.
+    """
+
+    def __init__(self, scenario_name: str, spec_json: str, details: str) -> None:
+        super().__init__(scenario_name, spec_json, details)
+        self.scenario_name = scenario_name
+        self.spec_json = spec_json
+        self.details = details
+
+    def __str__(self) -> str:
+        return (
+            f"sweep worker failed on scenario {self.scenario_name!r}\n"
+            f"--- scenario spec ---\n{self.spec_json}\n"
+            f"--- worker traceback ---\n{self.details}"
+        )
 
 # compare_modes row holding each execution mode's numbers
 _MODE_ROW = {
@@ -197,11 +226,14 @@ def _run_fleet(
     if s.regime_mix == "diurnal":
         horizon = s.serving.num_requests / s.serving.arrival_rate_rps
         regime_weight_at = _diurnal_mix(horizon)
+    fleet = s.fleet
+    if s.chaos is not None:
+        fleet = dataclasses.replace(fleet, chaos=s.chaos)
     res = _simulate_fleet_cluster_serving(
         s.model,
         s.cluster,
         s.serving,
-        s.fleet,
+        fleet,
         mode=s.mode,
         affinity=s.affinity,
         placement_strategy=s.placement_strategy,
@@ -242,6 +274,12 @@ def _run_fleet(
         slo_attainment=dict(res.slo_attainment),
         peak_replicas=res.peak_replicas,
         scale_ups=sum(1 for e in res.scale_events if e.kind == "up"),
+        failures=len(res.failures),
+        lost=len(res.lost),
+        retries=res.retries,
+        availability=res.availability,
+        goodput_rps=res.goodput_rps,
+        mean_time_to_recover_s=res.mean_time_to_recover_s,
         gpu_hours=res.gpu_hours,
         cost_usd=res.cost_usd,
         usd_per_million_tokens=res.usd_per_million_tokens,
@@ -324,7 +362,14 @@ def run(
 
 
 def _run_for_sweep(scenario: Scenario) -> SimReport:
-    return run(scenario, keep_raw=False)
+    try:
+        return run(scenario, keep_raw=False)
+    except SweepError:
+        raise
+    except Exception:
+        raise SweepError(
+            scenario.name, scenario.to_json(), traceback.format_exc()
+        ) from None
 
 
 def run_sweep(
@@ -338,6 +383,9 @@ def run_sweep(
     pass ``1`` to force serial execution (useful under debuggers).  Raw
     result objects are dropped from sweep reports — re-run the single
     scenario with :func:`run` when you need one in full.
+
+    A worker failure raises :class:`SweepError` naming the scenario and
+    carrying its spec JSON, instead of a bare multiprocessing traceback.
     """
     grid: Sequence[Scenario] = [_resolve(s) for s in scenarios]
     if not grid:

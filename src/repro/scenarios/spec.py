@@ -34,6 +34,7 @@ import typing
 from dataclasses import dataclass
 from enum import Enum
 
+from repro.chaos.spec import ChaosSpec
 from repro.config import (
     ClusterConfig,
     ExecutionMode,
@@ -148,6 +149,8 @@ def _encode(obj: object) -> object:
         return {
             f.name: _encode(getattr(obj, f.name)) for f in dataclasses.fields(obj)
         }
+    if isinstance(obj, (list, tuple)):  # chaos schedules: tuples of specs
+        return [_encode(v) for v in obj]
     if obj is None or isinstance(obj, (bool, int, float, str)):
         return obj
     raise TypeError(f"cannot serialize scenario field of type {type(obj).__name__}")
@@ -162,6 +165,17 @@ def _decode(tp: typing.Any, data: typing.Any, where: str) -> typing.Any:
         if len(args) != 1:
             raise TypeError(f"{where}: unsupported union type {tp}")
         return _decode(args[0], data, where)
+    if origin is tuple:
+        args = typing.get_args(tp)
+        if len(args) == 2 and args[1] is Ellipsis:
+            if not isinstance(data, list):
+                raise ValueError(
+                    f"{where}: expected a list, got {type(data).__name__}"
+                )
+            return tuple(
+                _decode(args[0], v, f"{where}[{i}]") for i, v in enumerate(data)
+            )
+        raise TypeError(f"{where}: unsupported tuple type {tp}")
     if isinstance(tp, type) and issubclass(tp, Enum):
         return tp(data)
     if dataclasses.is_dataclass(tp):
@@ -231,6 +245,11 @@ class Scenario:
     regime_mix / flash:
         Fleet-only traffic shaping: the regime mixture process and an
         optional flash-crowd rate spike.
+    chaos:
+        Fleet-only fault injection: a frozen
+        :class:`~repro.chaos.spec.ChaosSpec` (crash / preemption /
+        brownout schedules plus the retry policy), merged into
+        ``fleet.chaos`` at run time.
     profile_tokens:
         Offline profiling trace length for affinity placements in the
         online and fleet paths.
@@ -256,6 +275,7 @@ class Scenario:
     fleet: FleetConfig | None = None
     regime_mix: str = "uniform"
     flash: FlashCrowdSpec | None = None
+    chaos: ChaosSpec | None = None
     profile_tokens: int = 2048
     telemetry: TelemetrySpec | None = None
 
@@ -311,6 +331,14 @@ class Scenario:
                 "use serving.arrival='poisson' (the bursty MMPP stream would "
                 "be silently ignored)"
             )
+        if self.chaos is not None:
+            if self.fleet is None:
+                raise ValueError("chaos sections require a fleet section")
+            if self.fleet.chaos is not None:
+                raise ValueError(
+                    "chaos is declared twice: drop fleet.chaos when the "
+                    "scenario carries a chaos section"
+                )
         if (
             self.fleet is not None
             and self.replacement is not None

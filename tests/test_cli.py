@@ -135,6 +135,30 @@ class TestScenariosCommand:
         with pytest.raises(SystemExit):
             main(["scenarios", "list", "--smoke-only", "--full-only"])
 
+    def test_json_mode_is_machine_readable(self, capsys):
+        assert main(["scenarios", "list", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert [e["name"] for e in entries] == list(list_scenarios())
+        for e in entries:
+            s = get_scenario(e["name"])
+            assert e["kind"] == s.kind
+            assert e["smoke"] == s.is_smoke
+            assert e["description"] == s.description
+        by_name = {e["name"]: e for e in entries}
+        assert by_name["fleet-bad-day"]["chaos"] is True
+        assert by_name["fig10-end-to-end"]["chaos"] is False
+
+    def test_json_respects_filters(self, capsys):
+        assert main(["scenarios", "list", "--json", "--kind", "fleet", "--smoke-only"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert entries and all(
+            e["kind"] == "fleet" and e["smoke"] for e in entries
+        )
+
+    def test_json_and_names_conflict(self, capsys):
+        assert main(["scenarios", "list", "--json", "--names"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
 
 class TestModels:
     def test_lists_presets(self, capsys):
@@ -385,6 +409,26 @@ class TestFleet:
         # surface FleetConfig's ValueError, not silently widen the cap
         with pytest.raises(ValueError):
             main([*self._BASE, "--autoscale", "--max-replicas", "1"])
+
+    def test_chaos_flag_injects_and_reports(self, capsys):
+        # --chaos derives a seeded bad day from the nominal horizon; at
+        # this load at least the crash fires, so the chaos table and the
+        # availability/goodput summary line must render
+        code = main(
+            [*self._BASE, "--requests", "100", "--rate", "2000", "--chaos", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos: injected failures" in out
+        assert "availability" in out
+        assert "time-to-recover" in out
+
+    def test_chaos_is_seed_deterministic(self, capsys):
+        args = [*self._BASE, "--requests", "64", "--rate", "2000", "--chaos", "--seed", "5"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
 
     def test_static_fleet_ignores_autoscaler_bounds(self, capsys):
         # without --autoscale the replica-count bounds are meaningless; a

@@ -25,6 +25,14 @@ from repro.config import (
     ModelConfig,
     ServingConfig,
 )
+from repro.chaos import (
+    BrownoutSpec,
+    ChaosSpec,
+    CrashSpec,
+    PreemptSpec,
+    RetryPolicy,
+    bad_day_schedule,
+)
 from repro.fleet.requests import flash_crowd_arrivals
 from repro.fleet.simulate import _simulate_fleet_cluster_serving
 
@@ -69,7 +77,21 @@ def assert_identical(event, tick):
     assert tick.generated_tokens == event.generated_tokens
     assert tick.gpu_hours == event.gpu_hours
     assert tick.cost_usd == event.cost_usd
+    assert tick.failures == event.failures
+    assert tick.lost == event.lost
+    assert tick.retries == event.retries
     assert tick == event
+
+
+def assert_conserved(result, num_requests):
+    """Every submitted request has exactly one terminal outcome."""
+    done_ids = (
+        [c.request.req_id for c in result.completed]
+        + [s.request.req_id for s in result.shed]
+        + [lo.request.req_id for lo in result.lost]
+    )
+    assert len(done_ids) == num_requests
+    assert len(set(done_ids)) == num_requests
 
 
 @pytest.mark.parametrize("router", ROUTERS)
@@ -306,6 +328,245 @@ def test_profiler_does_not_perturb_results():
         p = prof.profile()
         assert p.total_s > 0.0
         assert sum(p.fractions.values()) == pytest.approx(1.0)
+
+
+CHAOS_RETRY = RetryPolicy(max_attempts=3, backoff_base_s=0.001, backoff_factor=2.0)
+
+
+@pytest.mark.parametrize("router", ROUTERS)
+def test_crash_equivalence(router):
+    chaos = ChaosSpec(
+        crashes=(CrashSpec(0.02, 0), CrashSpec(0.05, 1)), retry=CHAOS_RETRY
+    )
+    fleet = FleetConfig(num_replicas=3, router=router, num_regimes=2, chaos=chaos)
+    event, tick = run_both(fleet)
+    assert len(event.failures) == 2
+    assert all(f.kind == "crash" for f in event.failures)
+    assert all(f.recovered_at_s is not None for f in event.failures)
+    assert event.mean_time_to_recover_s > 0.0
+    assert_conserved(event, SERVING.num_requests)
+    assert_identical(event, tick)
+
+
+def test_crash_all_replicas_retry_exhaustion():
+    # every replica dies at once, queues deep, with a one-attempt budget and
+    # no recovery: in-flight and queued work is lost terminally, later
+    # arrivals shed "no-capacity"
+    overload = ServingConfig(
+        arrival_rate_rps=50000.0,
+        num_requests=300,
+        generate_len=6,
+        max_batch_requests=4,
+        prompt_len=8,
+        seed=9,
+    )
+    chaos = ChaosSpec(
+        crashes=(CrashSpec(0.002, 0), CrashSpec(0.002, 1)),
+        retry=RetryPolicy(max_attempts=1),
+        recover=False,
+    )
+    fleet = FleetConfig(
+        num_replicas=2,
+        router="jsq",
+        num_regimes=2,
+        slo_ms=10000.0,
+        batch_slo_ms=20000.0,
+        max_queue_per_replica=500,
+        chaos=chaos,
+    )
+    event, tick = run_both(fleet, serving=overload)
+    assert len(event.failures) == 2
+    assert all(f.recovered_at_s is None for f in event.failures)
+    assert event.mean_time_to_recover_s == 0.0
+    assert event.retries == 0
+    assert len(event.lost) > 0
+    assert all(lo.attempts == 1 and lo.reason == "crash" for lo in event.lost)
+    assert "no-capacity" in {s.reason for s in event.shed}
+    assert event.availability < 1.0
+    assert_conserved(event, overload.num_requests)
+    assert_identical(event, tick)
+
+
+@pytest.mark.parametrize("migrate", (False, True))
+def test_preemption_equivalence(migrate):
+    # one preemption with a grace period too short to drain the batch
+    # (kill-lost path) and one generous enough to drain clean
+    chaos = ChaosSpec(
+        preemptions=(
+            PreemptSpec(0.02, 0, grace_s=0.00005),
+            PreemptSpec(0.06, 1, grace_s=0.01),
+        ),
+        retry=CHAOS_RETRY,
+    )
+    fleet = FleetConfig(
+        num_replicas=3,
+        router="p2c",
+        num_regimes=2,
+        migrate_on_drain=migrate,
+        chaos=chaos,
+    )
+    event, tick = run_both(fleet)
+    assert len(event.failures) == 2
+    assert all(f.kind == "preempt" for f in event.failures)
+    assert any(f.lost_active + f.lost_queued > 0 for f in event.failures)
+    assert_conserved(event, SERVING.num_requests)
+    assert_identical(event, tick)
+
+
+def test_brownout_equivalence():
+    chaos = ChaosSpec(brownouts=(BrownoutSpec(0.01, 0.08, 0, factor=5.0),))
+    fleet = FleetConfig(num_replicas=2, router="jsq", num_regimes=2, chaos=chaos)
+    event, tick = run_both(fleet)
+    bare_event, _ = run_both(dataclasses.replace(fleet, chaos=None))
+    assert event.makespan_s != bare_event.makespan_s  # the slowdown is real
+    assert not event.failures and not event.lost
+    assert_identical(event, tick)
+
+
+def test_attempt_timeout_equivalence():
+    overload = ServingConfig(
+        arrival_rate_rps=50000.0,
+        num_requests=300,
+        generate_len=6,
+        max_batch_requests=4,
+        prompt_len=8,
+        seed=9,
+    )
+    chaos = ChaosSpec(
+        retry=RetryPolicy(
+            max_attempts=2, backoff_base_s=0.0005, attempt_timeout_s=0.002
+        )
+    )
+    fleet = FleetConfig(
+        num_replicas=2,
+        router="jsq",
+        num_regimes=2,
+        slo_ms=10000.0,
+        batch_slo_ms=20000.0,
+        max_queue_per_replica=500,
+        chaos=chaos,
+    )
+    event, tick = run_both(fleet, serving=overload)
+    assert event.retries > 0  # queue waits exceed the per-attempt timeout
+    assert_conserved(event, overload.num_requests)
+    assert_identical(event, tick)
+
+
+def test_chaos_with_autoscale():
+    base = ServingConfig(
+        arrival_rate_rps=15000.0,
+        num_requests=600,
+        generate_len=8,
+        max_batch_requests=8,
+        prompt_len=8,
+        seed=5,
+    )
+    arrivals = flash_crowd_arrivals(base, 4.0, 0.005, 0.05)
+    chaos = ChaosSpec(
+        crashes=(CrashSpec(0.01, 0),),
+        preemptions=(PreemptSpec(0.02, 1, grace_s=0.001),),
+        retry=CHAOS_RETRY,
+    )
+    fleet = FleetConfig(
+        num_replicas=2,
+        router="jsq",
+        num_regimes=2,
+        autoscale=True,
+        min_replicas=2,
+        max_replicas=8,
+        slo_ms=50.0,
+        batch_slo_ms=500.0,
+        autoscale_check_every_s=0.002,
+        scale_up_queue_per_replica=4.0,
+        scale_dwell_checks=2,
+        chaos=chaos,
+    )
+    event, tick = run_both(fleet, serving=base, arrivals=arrivals)
+    assert len(event.failures) == 2
+    assert event.mean_time_to_recover_s > 0.0
+    assert_conserved(event, base.num_requests)
+    assert_identical(event, tick)
+
+
+def test_bad_day_schedule_equivalence():
+    chaos = bad_day_schedule(
+        num_replicas=3, horizon_s=0.12, seed=2, crashes=1, preemptions=1, brownouts=1
+    )
+    fleet = FleetConfig(num_replicas=3, router="p2c", num_regimes=2, chaos=chaos)
+    event, tick = run_both(fleet)
+    assert len(event.failures) >= 1
+    assert_conserved(event, SERVING.num_requests)
+    assert_identical(event, tick)
+
+
+class TestChaosTelemetryEquivalence:
+    """Recording a chaos run must stay observation-only and engine-identical."""
+
+    CHAOS = ChaosSpec(
+        crashes=(CrashSpec(0.02, 0),),
+        preemptions=(PreemptSpec(0.04, 1, grace_s=0.0001),),
+        brownouts=(BrownoutSpec(0.01, 0.05, 2, factor=3.0),),
+        retry=CHAOS_RETRY,
+    )
+    FLEET = FleetConfig(num_replicas=3, router="jsq", num_regimes=2, chaos=CHAOS)
+
+    def run_with_recorders(self):
+        from repro.obs.recorder import TimelineRecorder
+
+        rec_event = TimelineRecorder()
+        rec_tick = TimelineRecorder()
+        event = _simulate_fleet_cluster_serving(
+            MODEL,
+            CLUSTER,
+            SERVING,
+            dataclasses.replace(self.FLEET, engine="event"),
+            recorder=rec_event,
+        )
+        tick = _simulate_fleet_cluster_serving(
+            MODEL,
+            CLUSTER,
+            SERVING,
+            dataclasses.replace(self.FLEET, engine="tick"),
+            recorder=rec_tick,
+        )
+        return event, tick, rec_event, rec_tick
+
+    def test_results_identical_with_recorder_attached(self):
+        event, tick, _, _ = self.run_with_recorders()
+        assert len(event.failures) == 2
+        assert_identical(event, tick)
+
+    def test_recording_is_observation_only(self):
+        event, tick, _, _ = self.run_with_recorders()
+        bare_event, bare_tick = run_both(self.FLEET)
+        assert_identical(bare_event, event)
+        assert_identical(bare_tick, tick)
+
+    def test_timelines_identical_across_engines(self):
+        _, _, rec_event, rec_tick = self.run_with_recorders()
+        tl_event = rec_event.timeline()
+        tl_tick = rec_tick.timeline()
+        assert tl_event == tl_tick
+        # the recorder counts hard kills; a preemption that drains clean
+        # inside its grace period opens a FailureRecord but never fails
+        assert tl_event["totals"]["failures"] >= 1
+        assert tl_event["totals"]["retries"] + tl_event["totals"]["lost"] > 0
+
+    def test_chrome_traces_identical_and_valid(self, tmp_path):
+        import json
+
+        from repro.obs.trace import validate_chrome_trace
+
+        _, _, rec_event, rec_tick = self.run_with_recorders()
+        doc_event = rec_event.to_chrome_trace()
+        doc_tick = rec_tick.to_chrome_trace()
+        assert doc_event == doc_tick
+        assert validate_chrome_trace(doc_event) > 0
+        names = {e["name"] for e in doc_event["traceEvents"] if e.get("cat") == "chaos"}
+        assert "fail" in names and "outage" in names
+        out = rec_tick.write_chrome_trace(tmp_path / "chaos.trace.json")
+        loaded = json.loads(out.read_text())
+        assert validate_chrome_trace(loaded) == len(doc_tick["traceEvents"])
 
 
 def test_tick_rejects_custom_components():
