@@ -1,0 +1,201 @@
+"""Schema + invariant checks for the committed ``BENCH_*.json`` artefacts.
+
+One checker per benchmark family, dispatched on the ``bench`` key every
+payload carries.  CI runs this over the committed artefacts and the
+fresh smoke ones the workflow just regenerated, so a PR that changes a
+payload shape or regresses a pinned floor (tick-engine speedup, chaos
+availability ordering, profiler accounting, detection recall) fails
+loudly instead of silently rotting the trajectory files.
+
+Pure stdlib on purpose: the checks must hold on the artefacts as bytes
+on disk, independent of the library that produced them.
+
+Usage::
+
+    python benchmarks/check_artifacts.py             # every results/BENCH_*.json
+    python benchmarks/check_artifacts.py PATH [...]  # specific artefacts
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def check_fleet_scale(doc: dict, path: str) -> str:
+    keys = {"bench", "smoke", "comparisons", "surge_speedup", "target_speedup", "full_day"}
+    row_keys = {
+        "regime",
+        "offered_requests",
+        "served",
+        "shed",
+        "event_engine_s",
+        "tick_engine_s",
+        "speedup",
+    }
+    missing = keys - doc.keys()
+    assert not missing, f"{path}: missing keys {sorted(missing)}"
+    assert {"steady", "surge"} == {c["regime"] for c in doc["comparisons"]}
+    for row in doc["comparisons"]:
+        assert row_keys <= row.keys(), f"{path}: bad comparison row {row}"
+    floor = 1.5 if doc["smoke"] else 10.0
+    assert doc["surge_speedup"] >= floor, (
+        f"{path}: surge speedup {doc['surge_speedup']:.2f} < {floor}"
+    )
+    assert doc["full_day"]["completed"] + doc["full_day"]["shed"] > 0
+    return f"surge {doc['surge_speedup']:.1f}x"
+
+
+def check_chaos(doc: dict, path: str) -> str:
+    keys = {"bench", "smoke", "wall_s", "arms", "autoscaled_availability", "static_availability"}
+    arm_keys = {
+        "scenario",
+        "completed",
+        "shed",
+        "shed_fraction",
+        "failures",
+        "lost",
+        "retries",
+        "availability",
+        "goodput_rps",
+        "latency_p95_s",
+        "usd_per_million_tokens",
+        "mean_time_to_recover_s",
+        "peak_replicas",
+    }
+    missing = keys - doc.keys()
+    assert not missing, f"{path}: missing keys {sorted(missing)}"
+    assert {"autoscaled", "static"} == set(doc["arms"])
+    for arm, rec in doc["arms"].items():
+        assert arm_keys <= rec.keys(), f"{path}: bad {arm} record"
+        assert rec["goodput_rps"] > 0, f"{path}: {arm} goodput is zero"
+    assert doc["autoscaled_availability"] >= doc["static_availability"], (
+        f"{path}: autoscaling lost the bad day"
+    )
+    assert doc["arms"]["autoscaled"]["failures"] >= 1
+    assert doc["arms"]["autoscaled"]["mean_time_to_recover_s"] > 0
+    return (
+        f"availability {doc['autoscaled_availability']:.2%} autoscaled vs "
+        f"{doc['static_availability']:.2%} static"
+    )
+
+
+def check_profile(doc: dict, path: str) -> str:
+    keys = {"bench", "smoke", "scenario", "total_s", "phase_s", "fractions", "overhead"}
+    phases = {"routing", "admission", "pricing", "bookkeeping"}
+    missing = keys - doc.keys()
+    assert not missing, f"{path}: missing keys {sorted(missing)}"
+    assert set(doc["phase_s"]) == phases, f"{path}: phases {sorted(doc['phase_s'])}"
+    assert doc["total_s"] > 0.0, f"{path}: empty profile"
+    total_frac = sum(doc["fractions"].values())
+    assert abs(total_frac - 1.0) < 1e-6, f"{path}: fractions sum to {total_frac}"
+    assert all(f >= 0.0 for f in doc["fractions"].values()), f"{path}: negative fraction"
+    overhead = doc["overhead"]
+    overhead_keys = {
+        "bare_wall_s",
+        "recorded_wall_s",
+        "monitored_wall_s",
+        "overhead_frac",
+        "detector_overhead_frac",
+    }
+    missing = overhead_keys - overhead.keys()
+    assert not missing, f"{path}: overhead missing {sorted(missing)}"
+    # the detector's stated bound: its marginal cost stays under one bare run
+    assert overhead["detector_overhead_frac"] < 1.0, (
+        f"{path}: detector overhead {overhead['detector_overhead_frac']:.1%} >= 100%"
+    )
+    return (
+        f"pricing {doc['fractions']['pricing']:.0%} of {doc['total_s']:.1f}s, "
+        f"detector {overhead['detector_overhead_frac']:+.1%}"
+    )
+
+
+def check_detect(doc: dict, path: str) -> str:
+    keys = {
+        "bench",
+        "smoke",
+        "wall_s",
+        "arms",
+        "outage_recall",
+        "outage_precision",
+        "median_detection_latency_s",
+        "brownout_recall",
+        "clean_false_alarms",
+    }
+    missing = keys - doc.keys()
+    assert not missing, f"{path}: missing keys {sorted(missing)}"
+    assert {"bad_day", "steady"} == set(doc["arms"])
+    bad = doc["arms"]["bad_day"]
+    assert bad["outages"]["observable_events"] >= 1, f"{path}: nothing observable"
+    assert doc["outage_recall"] >= 0.9, (
+        f"{path}: outage recall {doc['outage_recall']:.2f} < 0.9"
+    )
+    assert doc["median_detection_latency_s"] > 0.0, f"{path}: zero detection latency"
+    assert bad["pages"] >= 1, f"{path}: the bad day never paged"
+    assert doc["clean_false_alarms"] == 0, (
+        f"{path}: {doc['clean_false_alarms']} false alarm(s) on the clean arm"
+    )
+    assert doc["arms"]["steady"]["slo_ok"], f"{path}: clean arm violated its SLO"
+    return (
+        f"recall {doc['outage_recall']:.0%}, "
+        f"MTTD {doc['median_detection_latency_s'] * 1e3:.2f} ms, clean arm silent"
+    )
+
+
+def check_engine_speed(doc: dict, path: str) -> str:
+    missing = {"bench", "config", "geomean_speedup", "modes", "target_speedup"} - doc.keys()
+    assert not missing, f"{path}: missing keys {sorted(missing)}"
+    assert doc["modes"], f"{path}: no modes measured"
+    assert doc["geomean_speedup"] > 0.0, f"{path}: nonpositive speedup"
+    return f"geomean {doc['geomean_speedup']:.2f}x"
+
+
+def check_fig16_fleet(doc: dict, path: str) -> str:
+    missing = {"bench", "config", "flash", "routing", "smoke"} - doc.keys()
+    assert not missing, f"{path}: missing keys {sorted(missing)}"
+    assert doc["routing"], f"{path}: no routing rows"
+    return f"{len(doc['routing'])} routing rows"
+
+
+CHECKERS = {
+    "fleet_scale": check_fleet_scale,
+    "chaos": check_chaos,
+    "profile": check_profile,
+    "detect": check_detect,
+    "engine_speed": check_engine_speed,
+    "fig16_fleet": check_fig16_fleet,
+}
+
+
+def check_path(path: Path) -> str:
+    with open(path) as fh:
+        doc = json.load(fh)
+    assert isinstance(doc, dict), f"{path}: not a JSON object"
+    bench = doc.get("bench")
+    checker = CHECKERS.get(bench)
+    assert checker is not None, f"{path}: unknown bench kind {bench!r}"
+    return checker(doc, str(path))
+
+
+def main(argv: list[str]) -> int:
+    paths = [Path(a) for a in argv] or sorted(RESULTS_DIR.glob("BENCH_*.json"))
+    if not paths:
+        print(f"error: no BENCH_*.json artefacts under {RESULTS_DIR}", file=sys.stderr)
+        return 2
+    failed = False
+    for path in paths:
+        try:
+            detail = check_path(path)
+        except AssertionError as exc:
+            print(f"FAIL {path}: {exc}", file=sys.stderr)
+            failed = True
+        else:
+            print(f"ok   {path}: {detail}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -123,7 +123,12 @@ from repro.model import MoETransformer, generate
 from repro.obs import (
     NullRecorder,
     PhaseProfiler,
+    SignalDetector,
+    SloSpec,
     TimelineRecorder,
+    openmetrics_text,
+    parse_openmetrics,
+    score_against_chaos,
     validate_chrome_trace,
 )
 from repro.scenarios import (
@@ -135,6 +140,7 @@ from repro.scenarios import (
     TelemetrySpec,
     get_scenario,
     list_scenarios,
+    make_recorder,
     register_scenario,
     run,
     run_sweep,
@@ -212,10 +218,15 @@ __all__ = [
     # model
     "MoETransformer",
     "generate",
-    # obs (telemetry)
+    # obs (telemetry + SLO monitoring)
     "NullRecorder",
     "PhaseProfiler",
+    "SignalDetector",
+    "SloSpec",
     "TimelineRecorder",
+    "openmetrics_text",
+    "parse_openmetrics",
+    "score_against_chaos",
     "validate_chrome_trace",
     # scenarios (the run() facade)
     "Scenario",
@@ -224,6 +235,7 @@ __all__ = [
     "FlashCrowdSpec",
     "TelemetrySpec",
     "SimReport",
+    "make_recorder",
     "run",
     "run_sweep",
     "get_scenario",

@@ -52,14 +52,18 @@ from repro.core.placement.base import placement_locality
 from repro.core.placement.registry import SOLVERS, solve_placement
 from repro.engine.comparison import ComparisonRow, compare_modes
 from repro.engine.workload import DRIFT_KINDS
+from repro.obs.export import openmetrics_text
 from repro.obs.recorder import TimelineRecorder
+from repro.obs.slo import SloSpec
 from repro.scenarios import (
     SCENARIO_KINDS,
     DriftSpec,
     ReplacementSpec,
     Scenario,
+    TelemetrySpec,
     get_scenario,
     list_scenarios,
+    make_recorder,
 )
 from repro.scenarios import run as run_scenario
 from repro.scenarios.report import SimReport
@@ -112,6 +116,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "record the run and write the per-window metric timeline JSON "
             "(readable with `repro report`); serving and fleet scenarios only"
+        ),
+    )
+    p.add_argument(
+        "--openmetrics",
+        metavar="FILE",
+        help=(
+            "write the report as an OpenMetrics text exposition (counters, "
+            "gauges, the request-latency histogram, SLO/alert gauges)"
         ),
     )
 
@@ -296,6 +308,16 @@ def build_parser() -> argparse.ArgumentParser:
             "inject a seeded 'bad day' (replica crashes, spot preemptions, "
             "brownouts) with retry-with-backoff serving; schedule derives "
             "from --seed"
+        ),
+    )
+    p.add_argument(
+        "--slo",
+        action="store_true",
+        help=(
+            "attach SLO monitoring: burn-rate alerts over a recorded "
+            "timeline plus signal-driven outage/brownout detection, printed "
+            "as compliance/alert tables (observation-only — results are "
+            "identical with or without it)"
         ),
     )
 
@@ -533,6 +555,110 @@ def _print_fleet_result(res: Any, router_label: str, title: str) -> None:
         )
 
 
+def _print_slo_summary(
+    slo: dict[str, Any], alerts: list[Any], detection: dict[str, Any]
+) -> None:
+    """Compliance, alert and detection tables for an SLO-monitored run."""
+    if not slo:
+        return
+    ok = "ok" if slo.get("ok") else "VIOLATED"
+    rows = [
+        [
+            "p95 latency",
+            f"{float(slo.get('p95_observed_s', 0.0)) * 1e3:.2f} ms",
+            f"{float(slo.get('p95_target_s', 0.0)) * 1e3:.2f} ms",
+            "ok" if slo.get("p95_ok") else "VIOLATED",
+        ],
+        [
+            "availability",
+            f"{float(slo.get('availability_observed', 0.0)):.2%}",
+            f">= {float(slo.get('availability_target', 0.0)):.2%}",
+            "ok" if slo.get("availability_ok") else "VIOLATED",
+        ],
+        [
+            "shed fraction",
+            f"{float(slo.get('shed_fraction_observed', 0.0)):.2%}",
+            f"<= {float(slo.get('max_shed_fraction', 0.0)):.2%}",
+            "ok" if slo.get("shed_ok") else "VIOLATED",
+        ],
+    ]
+    print(
+        format_table(
+            ["objective", "observed", "target", "status"],
+            rows,
+            title=(
+                f"SLO compliance — {ok} "
+                f"({slo.get('pages', 0)} page(s), {slo.get('warns', 0)} warn(s))"
+            ),
+        )
+    )
+    if alerts:
+        alert_rows = [
+            [
+                a.get("severity"),
+                a.get("signal"),
+                f"{float(a.get('open_s', 0.0)) * 1e3:.3f}",
+                f"{float(a.get('close_s', 0.0)) * 1e3:.3f}",
+                f"{float(a.get('burn_at_open', 0.0)):.1f}x",
+                f"{float(a.get('peak_burn', 0.0)):.1f}x",
+                a.get("windows"),
+            ]
+            for a in alerts
+            if isinstance(a, dict)
+        ]
+        print(
+            format_table(
+                ["severity", "signal", "open ms", "close ms", "burn@open", "peak", "windows"],
+                alert_rows,
+                title="burn-rate alerts",
+            )
+        )
+    outages = detection.get("outages", []) if detection else []
+    brownouts = detection.get("brownouts", []) if detection else []
+    observed_rows = [
+        [
+            "outage",
+            o.get("replica"),
+            o.get("signal"),
+            f"{float(o.get('detected_s', 0.0)) * 1e3:.3f}",
+            f"{float(o.get('closed_s', 0.0)) * 1e3:.3f}",
+            o.get("resolution"),
+        ]
+        for o in outages
+        if isinstance(o, dict)
+    ] + [
+        [
+            "brownout",
+            b.get("replica"),
+            f"z={float(b.get('peak_z', 0.0)):.1f}",
+            f"{float(b.get('detected_s', 0.0)) * 1e3:.3f}",
+            f"{float(b.get('closed_s', 0.0)) * 1e3:.3f}",
+            b.get("resolution"),
+        ]
+        for b in brownouts
+        if isinstance(b, dict)
+    ]
+    if observed_rows:
+        print(
+            format_table(
+                ["event", "replica", "signal", "detected ms", "closed ms", "resolution"],
+                observed_rows,
+                title="signal-driven detections (no chaos channel)",
+            )
+        )
+    scored = detection.get("scored") if detection else None
+    if isinstance(scored, dict) and isinstance(scored.get("outages"), dict):
+        so = scored["outages"]
+        lat = so.get("detection_latency", {})
+        print(
+            f"detection vs ground truth: {so.get('detected', 0)}/"
+            f"{so.get('observable_events', 0)} observable outage(s) detected "
+            f"(recall {float(so.get('recall', 0.0)):.0%}, precision "
+            f"{float(so.get('precision', 0.0)):.0%}), median detection latency "
+            f"{float(lat.get('median_s', 0.0)) * 1e3:.3f} ms"
+        )
+
+
 def _print_report(scenario: Scenario, report: SimReport) -> None:
     """Kind-appropriate tables plus the unified summary line."""
     base_title = (
@@ -550,6 +676,8 @@ def _print_report(scenario: Scenario, report: SimReport) -> None:
         _print_online_events(report.raw, drift_label, scenario.replacement is not None)
     else:
         _print_fleet_result(report.raw, scenario.fleet.router, base_title)
+    if report.slo:
+        _print_slo_summary(report.slo, report.alerts, report.detection)
     print(
         f"summary: {report.completed} served, {report.generated_tokens} tokens, "
         f"p95 {report.latency_p95_s * 1e3:.2f} ms, "
@@ -593,15 +721,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        tele = scenario.telemetry
         recorder = (
-            TimelineRecorder(
-                window_s=tele.window_s,
-                max_windows=tele.max_windows,
-                spans=tele.spans,
-                max_span_events=tele.max_span_events,
-            )
-            if tele is not None
+            make_recorder(scenario)
+            if scenario.telemetry is not None
             else TimelineRecorder()
         )
     report = run_scenario(scenario, recorder=recorder)
@@ -620,7 +742,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"wrote scenario spec to {args.out_spec}", file=sys.stderr)
         if args.trace:
             assert recorder is not None
-            recorder.write_chrome_trace(args.trace)
+            recorder.write_chrome_trace(
+                args.trace, alerts=report.alerts, detections=report.detection
+            )
             print(
                 f"wrote Chrome trace to {args.trace} (open in ui.perfetto.dev)",
                 file=sys.stderr,
@@ -635,6 +759,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             with open(args.metrics, "w") as fh:
                 fh.write(json.dumps(doc) + "\n")
             print(f"wrote metrics timeline to {args.metrics}", file=sys.stderr)
+        if args.openmetrics:
+            with open(args.openmetrics, "w") as fh:
+                fh.write(openmetrics_text(report.to_dict()))
+            print(
+                f"wrote OpenMetrics exposition to {args.openmetrics}",
+                file=sys.stderr,
+            )
     except OSError as exc:
         print(f"error: cannot write output: {exc}", file=sys.stderr)
         return 2
@@ -666,63 +797,83 @@ def _cmd_report(args: argparse.Namespace) -> int:
         if isinstance(doc.get(key), dict):
             timeline = doc[key]
             break
-    if timeline is None:
+    slo = doc.get("slo") if isinstance(doc.get("slo"), dict) else {}
+    alerts = doc.get("alerts") if isinstance(doc.get("alerts"), list) else []
+    detection = doc.get("detection") if isinstance(doc.get("detection"), dict) else {}
+    if timeline is None and not slo:
         print(
-            f"error: {args.file!r} carries no metric timeline; produce one "
-            "with `repro run --metrics FILE` or a scenario telemetry section",
+            f"error: {args.file!r} has no timeline recorded — rerun with "
+            "`repro run --metrics FILE`, or give the scenario a telemetry "
+            "section so `repro run --out` reports carry one",
             file=sys.stderr,
         )
         return 2
+
+    def _f(value: object) -> float:
+        return float(value) if isinstance(value, (int, float)) and not isinstance(value, bool) else 0.0
+
     scenario = doc.get("scenario", "?")
     kind = doc.get("kind", "?")
-    totals = timeline.get("totals", {})
-    span_s = float(timeline.get("t_end_s", 0.0)) - float(timeline.get("t0_s", 0.0))
-    print(
-        f"scenario `{scenario}` ({kind}): "
-        f"{totals.get('admitted', 0)} admitted, "
-        f"{totals.get('completed', 0)} completed, "
-        f"{totals.get('shed', 0)} shed over {span_s:.3f} s"
-    )
-    print(
-        f"timeline: {timeline.get('num_windows', 0)} windows of "
-        f"{float(timeline.get('window_s', 0.0)):.6g} s, "
-        f"{timeline.get('num_replicas', 0)} replica(s), "
-        f"{totals.get('dropped_span_events', 0)} span event(s) dropped"
-    )
-    rows = []
-    for r in timeline.get("replicas", []):
-        util = float(r.get("utilization", 0.0))
-        rows.append(
-            [
-                r.get("replica"),
-                r.get("regime"),
-                r.get("final_state"),
-                r.get("admitted"),
-                r.get("completed"),
-                r.get("steps"),
-                r.get("tokens"),
-                float(r.get("busy_s", 0.0)),
-                f"{util:.1%}",
-            ]
-        )
-    if rows:
+    if timeline is not None:
+        totals = timeline.get("totals", {})
+        if not isinstance(totals, dict):
+            totals = {}
+        span_s = _f(timeline.get("t_end_s")) - _f(timeline.get("t0_s"))
         print(
-            format_table(
-                [
-                    "replica",
-                    "regime",
-                    "state",
-                    "admitted",
-                    "completed",
-                    "steps",
-                    "tokens",
-                    "busy s",
-                    "util",
-                ],
-                rows,
-                title="per-replica utilization",
-            )
+            f"scenario `{scenario}` ({kind}): "
+            f"{totals.get('admitted', 0)} admitted, "
+            f"{totals.get('completed', 0)} completed, "
+            f"{totals.get('shed', 0)} shed over {span_s:.3f} s"
         )
+        print(
+            f"timeline: {timeline.get('num_windows', 0)} windows of "
+            f"{_f(timeline.get('window_s')):.6g} s, "
+            f"{timeline.get('num_replicas', 0)} replica(s), "
+            f"{totals.get('dropped_span_events', 0)} span event(s) dropped"
+        )
+        rows = []
+        replicas = timeline.get("replicas")
+        for r in replicas if isinstance(replicas, list) else []:
+            if not isinstance(r, dict):
+                continue
+            rows.append(
+                [
+                    r.get("replica"),
+                    r.get("regime"),
+                    r.get("final_state"),
+                    r.get("admitted"),
+                    r.get("completed"),
+                    r.get("steps"),
+                    r.get("tokens"),
+                    _f(r.get("busy_s")),
+                    f"{_f(r.get('utilization')):.1%}",
+                ]
+            )
+        if rows:
+            print(
+                format_table(
+                    [
+                        "replica",
+                        "regime",
+                        "state",
+                        "admitted",
+                        "completed",
+                        "steps",
+                        "tokens",
+                        "busy s",
+                        "util",
+                    ],
+                    rows,
+                    title="per-replica utilization",
+                )
+            )
+    else:
+        print(
+            f"scenario `{scenario}` ({kind}): no timeline recorded — rerun "
+            "with `repro run --metrics` for per-window detail"
+        )
+    if slo:
+        _print_slo_summary(slo, alerts, detection)
     return 0
 
 
@@ -942,6 +1093,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         placement_strategy=args.strategy,
         serving=serving,
         fleet=fleet,
+        telemetry=(
+            TelemetrySpec(slo=SloSpec(p95_ms=args.slo_ms)) if args.slo else None
+        ),
     )
     report = run_scenario(scenario)
     _print_fleet_result(
@@ -953,6 +1107,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             f"{args.rate:g} req/s offered"
         ),
     )
+    if args.slo:
+        _print_slo_summary(report.slo, report.alerts, report.detection)
     return 0
 
 

@@ -1,11 +1,20 @@
 """Observation-only telemetry for the simulators.
 
-Three pieces, all optional and all zero-cost when absent:
+Six pieces, all optional and all zero-cost when absent:
 
 * :mod:`repro.obs.recorder` — the :class:`MetricsRecorder` hook protocol,
-  the no-op :class:`NullRecorder`, and :class:`TimelineRecorder`, which
-  turns the engines' event hooks into per-window metric time-series and
-  request/replica lifecycle spans.
+  the no-op :class:`NullRecorder`, :class:`TimelineRecorder`, which turns
+  the engines' event hooks into per-window metric time-series and
+  request/replica lifecycle spans, and :class:`TeeRecorder`, which fans
+  one hook stream out to several recorders.
+* :mod:`repro.obs.slo` — :class:`SloSpec` service objectives and the
+  multi-window burn-rate evaluator that folds a timeline into typed
+  :class:`AlertSpan`\\ s.
+* :mod:`repro.obs.detect` — :class:`SignalDetector`, an online
+  outage/brownout detector over the benign hook stream, scored against
+  chaos ground truth by :func:`score_against_chaos`.
+* :mod:`repro.obs.export` — OpenMetrics text exposition of a report plus
+  the strict parser CI round-trips artifacts through.
 * :mod:`repro.obs.trace` — Chrome-trace (``chrome://tracing`` /
   Perfetto) JSON export plus a structural validator used by tests & CI.
 * :mod:`repro.obs.profile` — :class:`PhaseProfiler`, wall-clock phase
@@ -19,18 +28,52 @@ the bit-identical event/tick fleet contract survives with telemetry
 attached (``tests/test_fleet_equivalence.py`` enforces this).
 """
 
+from repro.obs.detect import (
+    ObservedBrownout,
+    ObservedOutage,
+    SignalDetector,
+    score_against_chaos,
+)
+from repro.obs.export import openmetrics_text, parse_openmetrics
 from repro.obs.profile import MEASURED_PHASES, PROFILE_PHASES, PhaseProfile, PhaseProfiler
-from repro.obs.recorder import MetricsRecorder, NullRecorder, TimelineRecorder
+from repro.obs.recorder import MetricsRecorder, NullRecorder, TeeRecorder, TimelineRecorder
+from repro.obs.slo import (
+    ALERT_SEVERITIES,
+    ALERT_SIGNALS,
+    DEFAULT_BURN_WINDOWS,
+    AlertSpan,
+    BurnWindowSpec,
+    SloClassOverride,
+    SloSpec,
+    compliance_summary,
+    evaluate_burn_alerts,
+)
 from repro.obs.trace import chrome_trace, validate_chrome_trace, write_chrome_trace
 
 __all__ = [
     "MetricsRecorder",
     "NullRecorder",
+    "TeeRecorder",
     "TimelineRecorder",
     "PhaseProfiler",
     "PhaseProfile",
     "MEASURED_PHASES",
     "PROFILE_PHASES",
+    "ALERT_SEVERITIES",
+    "ALERT_SIGNALS",
+    "DEFAULT_BURN_WINDOWS",
+    "AlertSpan",
+    "BurnWindowSpec",
+    "SloClassOverride",
+    "SloSpec",
+    "compliance_summary",
+    "evaluate_burn_alerts",
+    "ObservedBrownout",
+    "ObservedOutage",
+    "SignalDetector",
+    "score_against_chaos",
+    "openmetrics_text",
+    "parse_openmetrics",
     "chrome_trace",
     "validate_chrome_trace",
     "write_chrome_trace",

@@ -1,0 +1,276 @@
+"""OpenMetrics text exposition for scenario reports, plus a validator.
+
+:func:`openmetrics_text` renders one :class:`~repro.scenarios.report.SimReport`
+document (the :meth:`to_dict` form — plain JSON types, so it also works on
+a report loaded back from disk) as an OpenMetrics text exposition: typed
+metric families with ``# TYPE``/``# HELP``/``# UNIT`` metadata, ``_total``
+counters, and a ``repro_request_latency_seconds`` histogram whose
+``_bucket`` lines are the cumulative form of the fixed-edge log-bucket
+:data:`~repro.engine.metrics.LATENCY_HIST_EDGES_S` histogram every report
+already carries — so ``le="+Inf"`` equals ``_count`` equals the completed
+request count by construction, and scrape output from different runs and
+engines is directly comparable.
+
+:func:`parse_openmetrics` is the matching strict parser: CI exports an
+artifact from a smoke scenario and round-trips it through here, which
+rejects undeclared families, malformed sample lines, non-cumulative
+buckets, and a missing ``# EOF`` terminator.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Mapping, Sequence
+
+__all__ = ["openmetrics_text", "parse_openmetrics"]
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$")
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _num(doc: Mapping[str, object], key: str) -> float:
+    v = doc.get(key, 0)
+    return float(v) if isinstance(v, (int, float)) and not isinstance(v, bool) else 0.0
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+
+    def family(self, name: str, kind: str, help_text: str, unit: str | None = None) -> None:
+        self.lines.append(f"# TYPE {name} {kind}")
+        if unit is not None:
+            self.lines.append(f"# UNIT {name} {unit}")
+        self.lines.append(f"# HELP {name} {help_text}")
+
+    def sample(self, name: str, labels: Mapping[str, str], value: float) -> None:
+        if labels:
+            inner = ",".join(f'{k}="{_escape(v)}"' for k, v in labels.items())
+            self.lines.append(f"{name}{{{inner}}} {_fmt(value)}")
+        else:
+            self.lines.append(f"{name} {_fmt(value)}")
+
+
+def openmetrics_text(report: Mapping[str, object]) -> str:
+    """Render a report dict (``SimReport.to_dict()``) as OpenMetrics text."""
+    from repro.engine.metrics import LATENCY_HIST_EDGES_S
+
+    w = _Writer()
+    scenario = report.get("scenario")
+    kind = report.get("kind")
+    w.family("repro_scenario", "gauge", "Scenario identity (always 1).")
+    w.sample(
+        "repro_scenario",
+        {
+            "scenario": scenario if isinstance(scenario, str) else "unknown",
+            "kind": kind if isinstance(kind, str) else "unknown",
+        },
+        1.0,
+    )
+
+    counters = (
+        ("repro_requests_completed", "completed", "Requests completed."),
+        ("repro_requests_shed", "shed", "Requests shed at admission."),
+        ("repro_requests_lost", "lost", "Requests terminally lost to faults."),
+        ("repro_request_retries", "retries", "Failed request attempts retried."),
+        ("repro_replica_failures", "failures", "Hard replica failures."),
+        ("repro_generated_tokens", "generated_tokens", "Tokens generated."),
+    )
+    for name, key, help_text in counters:
+        w.family(name, "counter", help_text)
+        w.sample(f"{name}_total", {}, _num(report, key))
+
+    gauges = (
+        ("repro_availability_ratio", "availability", "Served fraction of offered requests.", None),
+        ("repro_goodput_requests_per_second", "goodput_rps", "SLO-met completions per second.", None),
+        ("repro_throughput_requests_per_second", "throughput_rps", "Completions per second.", None),
+        ("repro_makespan_seconds", "makespan_s", "Simulated run duration.", "seconds"),
+        ("repro_shed_ratio", "shed_fraction", "Shed fraction of offered requests.", None),
+        ("repro_cost_usd", "cost_usd", "GPU spend for the run.", None),
+        ("repro_peak_replicas", "peak_replicas", "Peak replica count.", None),
+    )
+    for name, key, help_text, unit in gauges:
+        w.family(name, "gauge", help_text, unit)
+        w.sample(name, {}, _num(report, key))
+
+    attainment = report.get("slo_attainment")
+    if isinstance(attainment, Mapping) and attainment:
+        w.family("repro_slo_attainment_ratio", "gauge", "Per-class SLO attainment.")
+        for cls in sorted(attainment):
+            v = attainment[cls]
+            if isinstance(v, (int, float)) and not isinstance(v, bool):
+                w.sample("repro_slo_attainment_ratio", {"class": str(cls)}, float(v))
+
+    compliance = report.get("slo")
+    if isinstance(compliance, Mapping) and compliance:
+        ok = compliance.get("ok")
+        w.family("repro_slo_ok", "gauge", "1 when the run met every SLO target.")
+        w.sample("repro_slo_ok", {}, 1.0 if bool(ok) else 0.0)
+
+    alerts = report.get("alerts")
+    if isinstance(alerts, Sequence) and not isinstance(alerts, (str, bytes)):
+        counts: dict[tuple[str, str], int] = {}
+        for a in alerts:
+            if isinstance(a, Mapping):
+                sev = str(a.get("severity", "unknown"))
+                sig = str(a.get("signal", "unknown"))
+                counts[(sev, sig)] = counts.get((sev, sig), 0) + 1
+        if counts:
+            w.family("repro_alerts", "counter", "Burn-rate alert spans raised.")
+            for (sev, sig), n in sorted(counts.items()):
+                w.sample("repro_alerts_total", {"severity": sev, "signal": sig}, float(n))
+
+    hist = report.get("latency_hist")
+    if isinstance(hist, Mapping) and hist:
+        labels = [f"<{edge:g}s" for edge in LATENCY_HIST_EDGES_S] + ["+inf"]
+        bucket_counts: list[float] = []
+        for label in labels:
+            v = hist.get(label, 0)
+            bucket_counts.append(
+                float(v) if isinstance(v, (int, float)) and not isinstance(v, bool) else 0.0
+            )
+        w.family(
+            "repro_request_latency_seconds",
+            "histogram",
+            "Request latency over the fixed log-bucket edges.",
+            "seconds",
+        )
+        cumulative = 0.0
+        for edge, count in zip(LATENCY_HIST_EDGES_S, bucket_counts[:-1], strict=True):
+            cumulative += count
+            w.sample("repro_request_latency_seconds_bucket", {"le": f"{edge:g}"}, cumulative)
+        cumulative += bucket_counts[-1]
+        w.sample("repro_request_latency_seconds_bucket", {"le": "+Inf"}, cumulative)
+        w.sample("repro_request_latency_seconds_count", {}, cumulative)
+        w.sample(
+            "repro_request_latency_seconds_sum",
+            {},
+            _num(report, "latency_mean_s") * _num(report, "completed"),
+        )
+
+    w.lines.append("# EOF")
+    return "\n".join(w.lines) + "\n"
+
+
+_SUFFIXES: dict[str, tuple[str, ...]] = {
+    "counter": ("_total",),
+    "gauge": ("",),
+    "histogram": ("_bucket", "_count", "_sum"),
+}
+
+
+def parse_openmetrics(text: str) -> dict[str, dict[str, object]]:
+    """Parse + validate an OpenMetrics exposition produced by this module.
+
+    Enforces the invariants CI relies on: every sample belongs to a family
+    declared by a preceding ``# TYPE`` line with a suffix legal for its
+    type, values are finite, histogram buckets are cumulative with a
+    ``+Inf`` bucket equal to ``_count``, and the exposition ends with
+    ``# EOF``.  Returns ``{family: {"type": ..., "samples": [(name,
+    labels, value), ...]}}``.
+    """
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("exposition must end with '# EOF'")
+    families: dict[str, dict[str, object]] = {}
+    for lineno, line in enumerate(lines[:-1], start=1):
+        if not line:
+            raise ValueError(f"line {lineno}: blank lines are not allowed")
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[0] != "#" or parts[1] not in ("TYPE", "HELP", "UNIT"):
+                raise ValueError(f"line {lineno}: malformed comment {line!r}")
+            _, keyword, name = parts[0], parts[1], parts[2]
+            if not _NAME_RE.fullmatch(name):
+                raise ValueError(f"line {lineno}: bad metric name {name!r}")
+            if keyword == "TYPE":
+                if len(parts) != 4 or parts[3] not in _SUFFIXES:
+                    raise ValueError(f"line {lineno}: bad TYPE line {line!r}")
+                if name in families:
+                    raise ValueError(f"line {lineno}: duplicate TYPE for {name}")
+                families[name] = {"type": parts[3], "samples": []}
+            elif name not in families:
+                raise ValueError(f"line {lineno}: {keyword} before TYPE for {name}")
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        sample_name, label_text, value_text = m.group(1), m.group(2), m.group(3)
+        try:
+            value = float(value_text)
+        except ValueError:
+            raise ValueError(f"line {lineno}: bad value {value_text!r}") from None
+        if not math.isfinite(value):
+            raise ValueError(f"line {lineno}: non-finite value in {line!r}")
+        labels: dict[str, str] = {}
+        if label_text:
+            pos = 0
+            while pos < len(label_text):
+                lm = _LABEL_RE.match(label_text, pos)
+                if lm is None:
+                    raise ValueError(f"line {lineno}: malformed labels {label_text!r}")
+                labels[lm.group(1)] = lm.group(2)
+                pos = lm.end()
+                if pos < len(label_text):
+                    if label_text[pos] != ",":
+                        raise ValueError(f"line {lineno}: malformed labels {label_text!r}")
+                    pos += 1
+        family = None
+        for fam_name, fam in families.items():
+            fam_type = fam["type"]
+            assert isinstance(fam_type, str)
+            for suffix in _SUFFIXES[fam_type]:
+                if sample_name == fam_name + suffix:
+                    family = fam
+                    break
+            if family is not None:
+                break
+        if family is None:
+            raise ValueError(f"line {lineno}: sample {sample_name!r} has no TYPE declaration")
+        samples = family["samples"]
+        assert isinstance(samples, list)
+        samples.append((sample_name, labels, value))
+
+    for fam_name, fam in families.items():
+        if fam["type"] != "histogram":
+            continue
+        samples = fam["samples"]
+        assert isinstance(samples, list)
+        buckets = [(lbl, v) for name, lbl, v in samples if name == f"{fam_name}_bucket"]
+        counts = [v for name, _, v in samples if name == f"{fam_name}_count"]
+        sums = [v for name, _, v in samples if name == f"{fam_name}_sum"]
+        if not buckets or len(counts) != 1 or len(sums) != 1:
+            raise ValueError(f"{fam_name}: histogram needs _bucket lines, one _count, one _sum")
+        prev = 0.0
+        inf_count: float | None = None
+        for lbl, v in buckets:
+            if "le" not in lbl:
+                raise ValueError(f"{fam_name}: bucket without le label")
+            if v < prev:
+                raise ValueError(f"{fam_name}: bucket counts must be cumulative")
+            prev = v
+            if lbl["le"] == "+Inf":
+                if inf_count is not None:
+                    raise ValueError(f"{fam_name}: duplicate +Inf bucket")
+                inf_count = v
+        if inf_count is None:
+            raise ValueError(f"{fam_name}: missing +Inf bucket")
+        if inf_count != counts[0]:
+            raise ValueError(
+                f"{fam_name}: +Inf bucket {inf_count} != _count {counts[0]}"
+            )
+    return families

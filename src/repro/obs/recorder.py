@@ -34,7 +34,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Mapping, Protocol, Sequence
 
-__all__ = ["MetricsRecorder", "NullRecorder", "TimelineRecorder"]
+__all__ = ["MetricsRecorder", "NullRecorder", "TeeRecorder", "TimelineRecorder"]
 
 #: Initial auto window width (seconds).  Tiny on purpose: the recorder
 #: doubles it as the simulated horizon grows, so the final width is
@@ -246,6 +246,9 @@ class TimelineRecorder:
     ``max_span_events`` bounds total span memory — once exhausted,
     further span events are counted in ``dropped_span_events`` but not
     stored.  Scale events are always kept (there are few by construction).
+    ``slow_latency_s`` adds a per-window count of completions slower than
+    the threshold (the SLO burn evaluator's latency error signal); left
+    ``None``, the ``slow`` column is all zeros.
     """
 
     def __init__(
@@ -255,6 +258,7 @@ class TimelineRecorder:
         max_windows: int = 128,
         spans: bool = True,
         max_span_events: int = 20_000,
+        slow_latency_s: float | None = None,
     ) -> None:
         if window_s is not None and not window_s > 0.0:
             raise ValueError(f"window_s must be > 0, got {window_s}")
@@ -262,6 +266,9 @@ class TimelineRecorder:
             raise ValueError(f"max_windows must be >= 2, got {max_windows}")
         if max_span_events < 0:
             raise ValueError(f"max_span_events must be >= 0, got {max_span_events}")
+        if slow_latency_s is not None and not slow_latency_s > 0.0:
+            raise ValueError(f"slow_latency_s must be > 0, got {slow_latency_s}")
+        self._slow_latency_s = slow_latency_s
         self._explicit_window = window_s
         self._window_s = window_s if window_s is not None else _AUTO_WINDOW0_S
         self._max_windows = max_windows
@@ -291,6 +298,8 @@ class TimelineRecorder:
         self._w_admitted: list[int] = []
         self._w_completed: list[int] = []
         self._w_shed: list[int] = []
+        self._w_lost: list[int] = []
+        self._w_slow: list[int] = []
         self._w_lat_sum: list[float] = []
         self._w_lat_max: list[float] = []
 
@@ -298,6 +307,8 @@ class TimelineRecorder:
         self._win_admitted = 0
         self._win_completed = 0
         self._win_shed = 0
+        self._win_lost = 0
+        self._win_slow = 0
         self._win_lat_sum = 0.0
         self._win_lat_max = 0.0
 
@@ -308,6 +319,7 @@ class TimelineRecorder:
         self._cum_failures = 0
         self._cum_retries = 0
         self._cum_lost = 0
+        self._cum_slow = 0
 
         # span logs (consumed by repro.obs.trace)
         self._span_steps: list[tuple[int, float, float, int]] = []  # rid, start_s, dur_s, batch
@@ -349,6 +361,12 @@ class TimelineRecorder:
     def num_replicas(self) -> int:
         return len(self._reps)
 
+    @property
+    def slow_latency_s(self) -> float | None:
+        """The slow-completion threshold, or ``None`` when the ``slow``
+        column is disabled (all zeros)."""
+        return self._slow_latency_s
+
     # -- internal mechanics ------------------------------------------------
 
     def _take_span_budget(self) -> bool:
@@ -388,11 +406,15 @@ class TimelineRecorder:
         self._w_admitted.append(self._win_admitted)
         self._w_completed.append(self._win_completed)
         self._w_shed.append(self._win_shed)
+        self._w_lost.append(self._win_lost)
+        self._w_slow.append(self._win_slow)
         self._w_lat_sum.append(self._win_lat_sum)
         self._w_lat_max.append(self._win_lat_max)
         self._win_admitted = 0
         self._win_completed = 0
         self._win_shed = 0
+        self._win_lost = 0
+        self._win_slow = 0
         self._win_lat_sum = 0.0
         self._win_lat_max = 0.0
 
@@ -416,6 +438,8 @@ class TimelineRecorder:
             self._win_admitted += self._w_admitted.pop()
             self._win_completed += self._w_completed.pop()
             self._win_shed += self._w_shed.pop()
+            self._win_lost += self._w_lost.pop()
+            self._win_slow += self._w_slow.pop()
             self._win_lat_sum += self._w_lat_sum.pop()
             self._win_lat_max = max(self._win_lat_max, self._w_lat_max.pop())
         # keep every second boundary (they sit on the doubled grid) ...
@@ -439,6 +463,8 @@ class TimelineRecorder:
             a + b for a, b in zip(self._w_completed[0::2], self._w_completed[1::2], strict=True)
         ]
         self._w_shed = [a + b for a, b in zip(self._w_shed[0::2], self._w_shed[1::2], strict=True)]
+        self._w_lost = [a + b for a, b in zip(self._w_lost[0::2], self._w_lost[1::2], strict=True)]
+        self._w_slow = [a + b for a, b in zip(self._w_slow[0::2], self._w_slow[1::2], strict=True)]
         self._w_lat_sum = [
             a + b for a, b in zip(self._w_lat_sum[0::2], self._w_lat_sum[1::2], strict=True)
         ]
@@ -549,6 +575,9 @@ class TimelineRecorder:
         self._win_completed += 1
         self._win_lat_sum += latency_s
         self._win_lat_max = max(self._win_lat_max, latency_s)
+        if self._slow_latency_s is not None and latency_s > self._slow_latency_s:
+            self._cum_slow += 1
+            self._win_slow += 1
         r = self._reps[rid]
         r.active -= 1
         r.completed += 1
@@ -627,6 +656,7 @@ class TimelineRecorder:
         else:
             r.queue -= 1
         self._cum_lost += 1
+        self._win_lost += 1
         if self._spans:
             self._open_decode.pop(req_id, None)
             self._open_queue.pop(req_id, None)
@@ -705,12 +735,15 @@ class TimelineRecorder:
                 "failures": self._cum_failures,
                 "retries": self._cum_retries,
                 "lost": self._cum_lost,
+                "slow": self._cum_slow,
                 "dropped_span_events": self.dropped_span_events,
             },
             "windows": {
                 "admitted": list(self._w_admitted),
                 "completed": list(self._w_completed),
                 "shed": list(self._w_shed),
+                "lost": list(self._w_lost),
+                "slow": list(self._w_slow),
                 "latency_mean_s": lat_mean,
                 "latency_max_s": list(self._w_lat_max),
                 "queue_total": [sum(q) for q in self._b_queue],
@@ -732,13 +765,135 @@ class TimelineRecorder:
             "replicas": self.replica_rows(),
         }
 
-    def to_chrome_trace(self) -> dict[str, object]:
-        """Assemble the Chrome-trace JSON document (see repro.obs.trace)."""
+    def to_chrome_trace(
+        self,
+        *,
+        alerts: Sequence[Mapping[str, object]] | None = None,
+        detections: Mapping[str, object] | None = None,
+    ) -> dict[str, object]:
+        """Assemble the Chrome-trace JSON document (see repro.obs.trace).
+
+        ``alerts`` / ``detections`` take the matching ``SimReport`` fields
+        and add ``cat: "alert"`` spans next to the chaos ground truth.
+        """
         from repro.obs.trace import chrome_trace
 
-        return chrome_trace(self)
+        return chrome_trace(self, alerts=alerts, detections=detections)
 
-    def write_chrome_trace(self, path: str | Path) -> Path:
+    def write_chrome_trace(
+        self,
+        path: str | Path,
+        *,
+        alerts: Sequence[Mapping[str, object]] | None = None,
+        detections: Mapping[str, object] | None = None,
+    ) -> Path:
         from repro.obs.trace import write_chrome_trace
 
-        return write_chrome_trace(self.to_chrome_trace(), path)
+        return write_chrome_trace(
+            self.to_chrome_trace(alerts=alerts, detections=detections), path
+        )
+
+
+class TeeRecorder:
+    """Fans every hook out to several recorders, in order.
+
+    The engines take exactly one recorder slot; a tee is how a timeline
+    sampler and an online detector watch the same run.  Like every
+    recorder it is observation-only — it adds no hooks, reorders nothing,
+    and each child sees the identical stream the engines emitted.
+    """
+
+    __slots__ = ("recorders",)
+
+    def __init__(self, recorders: Sequence[MetricsRecorder]) -> None:
+        self.recorders = tuple(recorders)
+
+    def on_run_start(self, t_s: float, meta: Mapping[str, float]) -> None:
+        for r in self.recorders:
+            r.on_run_start(t_s, meta)
+
+    def on_replica_start(
+        self, t_s: float, rid: int, regime: int, booting: bool, ready_s: float, billed_from_s: float
+    ) -> None:
+        for r in self.recorders:
+            r.on_replica_start(t_s, rid, regime, booting, ready_s, billed_from_s)
+
+    def on_boot_ready(self, t_s: float, rid: int) -> None:
+        for r in self.recorders:
+            r.on_boot_ready(t_s, rid)
+
+    def on_drain(self, t_s: float, rid: int) -> None:
+        for r in self.recorders:
+            r.on_drain(t_s, rid)
+
+    def on_stop(self, t_s: float, rid: int) -> None:
+        for r in self.recorders:
+            r.on_stop(t_s, rid)
+
+    def on_enqueue(self, t_s: float, rid: int, req_id: int) -> None:
+        for r in self.recorders:
+            r.on_enqueue(t_s, rid, req_id)
+
+    def on_requeue(self, t_s: float, rid: int, count: int) -> None:
+        for r in self.recorders:
+            r.on_requeue(t_s, rid, count)
+
+    def on_shed(self, t_s: float, req_id: int, rid: int | None, reason: str) -> None:
+        for r in self.recorders:
+            r.on_shed(t_s, req_id, rid, reason)
+
+    def on_admit(self, t_s: float, rid: int, req_ids: Sequence[int], admission_s: float) -> None:
+        for r in self.recorders:
+            r.on_admit(t_s, rid, req_ids, admission_s)
+
+    def on_step_end(self, t_s: float, rid: int, step_s: float, batch: int) -> None:
+        for r in self.recorders:
+            r.on_step_end(t_s, rid, step_s, batch)
+
+    def on_complete(
+        self, t_s: float, rid: int, req_id: int, arrival_s: float, admitted_s: float, tokens: int
+    ) -> None:
+        for r in self.recorders:
+            r.on_complete(t_s, rid, req_id, arrival_s, admitted_s, tokens)
+
+    def on_scale(
+        self,
+        t_s: float,
+        direction: str,
+        queue_per_replica: float,
+        replicas_before: int,
+        replicas_after: int,
+        cold_start_s: float,
+    ) -> None:
+        for r in self.recorders:
+            r.on_scale(t_s, direction, queue_per_replica, replicas_before, replicas_after, cold_start_s)
+
+    def on_preempt(self, t_s: float, rid: int, grace_s: float) -> None:
+        for r in self.recorders:
+            r.on_preempt(t_s, rid, grace_s)
+
+    def on_fail(
+        self, t_s: float, rid: int, kind: str, lost_active: int, lost_queued: int
+    ) -> None:
+        for r in self.recorders:
+            r.on_fail(t_s, rid, kind, lost_active, lost_queued)
+
+    def on_retry(
+        self, t_s: float, req_id: int, rid: int, attempt: int, delay_s: float, was_active: bool
+    ) -> None:
+        for r in self.recorders:
+            r.on_retry(t_s, req_id, rid, attempt, delay_s, was_active)
+
+    def on_lost(
+        self, t_s: float, req_id: int, rid: int, attempts: int, reason: str, was_active: bool
+    ) -> None:
+        for r in self.recorders:
+            r.on_lost(t_s, req_id, rid, attempts, reason, was_active)
+
+    def on_recover(self, t_s: float, rid: int, for_rid: int, cold_start_s: float) -> None:
+        for r in self.recorders:
+            r.on_recover(t_s, rid, for_rid, cold_start_s)
+
+    def on_run_end(self, t_s: float) -> None:
+        for r in self.recorders:
+            r.on_run_end(t_s)

@@ -1,0 +1,354 @@
+"""SLO objectives and the multi-window burn-rate alert evaluator.
+
+:class:`SloSpec` declares what the fleet promises its users — a p95
+latency target, an availability target, a shed-fraction ceiling, optional
+per-priority-class overrides — as a frozen, JSON-round-trippable spec
+section attached to ``TelemetrySpec.slo``.
+
+:func:`evaluate_burn_alerts` is the monitoring side: a multi-window
+burn-rate evaluator in the SRE-workbook style.  Each
+:class:`BurnWindowSpec` pairs a long and a short trailing window (both
+expressed as *fractions of the run horizon*, so the same spec is
+meaningful on a 50 ms equivalence run and a 90 000 s diurnal day) with a
+burn-rate threshold; an alert is active at a timeline boundary when both
+windows burn error budget faster than the threshold.  Two error signals
+are evaluated independently:
+
+* ``availability`` — (shed + lost) / offered in the window, against the
+  budget ``1 - availability`` target;
+* ``latency`` — completions slower than the p95 target / completions in
+  the window, against the 5% budget a p95 objective implies.
+
+Consecutive active boundaries fold into typed :class:`AlertSpan`\\ s
+(severity, signal, open/close, burn at trigger, peak burn).  The fold is
+pure arithmetic over the :class:`~repro.obs.recorder.TimelineRecorder`
+timeline document — no clocks, no rng — so identical hook streams produce
+bit-identical alert logs, and the engine-equivalence suite holds the two
+fleet engines to that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+__all__ = [
+    "ALERT_SEVERITIES",
+    "ALERT_SIGNALS",
+    "DEFAULT_BURN_WINDOWS",
+    "AlertSpan",
+    "BurnWindowSpec",
+    "SloClassOverride",
+    "SloSpec",
+    "compliance_summary",
+    "evaluate_burn_alerts",
+]
+
+#: Alert severities, most urgent first.  ``page`` means "wake someone up";
+#: ``warn`` means "look at it tomorrow".
+ALERT_SEVERITIES: tuple[str, ...] = ("page", "warn")
+
+#: The error signals the burn evaluator scores.
+ALERT_SIGNALS: tuple[str, ...] = ("availability", "latency")
+
+#: Fraction of completions a p95 latency objective allows over target.
+P95_SLOW_BUDGET = 0.05
+
+
+@dataclass(frozen=True)
+class BurnWindowSpec:
+    """One multi-window burn-rate alert rule.
+
+    The alert is active when the trailing ``long_frac`` *and*
+    ``short_frac`` horizon fractions both burn error budget at
+    ``burn_threshold`` times the sustainable rate — the long window
+    supplies significance, the short window makes the alert reset quickly
+    once the incident ends.
+    """
+
+    severity: str = "page"
+    long_frac: float = 0.05
+    short_frac: float = 0.01
+    burn_threshold: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.severity not in ALERT_SEVERITIES:
+            raise ValueError(f"severity must be one of {ALERT_SEVERITIES}, got {self.severity!r}")
+        if not 0.0 < self.short_frac <= self.long_frac <= 1.0:
+            raise ValueError(
+                "burn windows need 0 < short_frac <= long_frac <= 1, got "
+                f"short_frac={self.short_frac}, long_frac={self.long_frac}"
+            )
+        if not self.burn_threshold >= 1.0:
+            raise ValueError(f"burn_threshold must be >= 1, got {self.burn_threshold}")
+
+
+#: The default fast/slow pair: a page on a fast, hot burn and a warn on a
+#: slow sustained one (the classic two-tier SRE policy, rescaled from
+#: wall-clock windows to horizon fractions).
+DEFAULT_BURN_WINDOWS: tuple[BurnWindowSpec, ...] = (
+    BurnWindowSpec(severity="page", long_frac=0.05, short_frac=0.01, burn_threshold=8.0),
+    BurnWindowSpec(severity="warn", long_frac=0.25, short_frac=0.05, burn_threshold=2.0),
+)
+
+
+@dataclass(frozen=True)
+class SloClassOverride:
+    """Per-priority-class targets; ``None`` fields inherit the base SLO."""
+
+    name: str
+    p95_ms: float | None = None
+    availability: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("class override name must be non-empty")
+        if self.p95_ms is not None and not self.p95_ms > 0.0:
+            raise ValueError("class override p95_ms must be > 0 when set")
+        if self.availability is not None and not 0.0 < self.availability < 1.0:
+            raise ValueError("class override availability must be in (0, 1) when set")
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """The service-level objective one fleet run is held to."""
+
+    p95_ms: float = 400.0
+    availability: float = 0.99
+    max_shed_fraction: float = 0.05
+    windows: tuple[BurnWindowSpec, ...] = DEFAULT_BURN_WINDOWS
+    class_overrides: tuple[SloClassOverride, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.p95_ms > 0.0:
+            raise ValueError(f"p95_ms must be > 0, got {self.p95_ms}")
+        if not 0.0 < self.availability < 1.0:
+            raise ValueError(f"availability must be in (0, 1), got {self.availability}")
+        if not 0.0 <= self.max_shed_fraction <= 1.0:
+            raise ValueError(f"max_shed_fraction must be in [0, 1], got {self.max_shed_fraction}")
+        # accept lists for ergonomic construction; store tuples so the
+        # spec stays hashable and value-comparable
+        for name in ("windows", "class_overrides"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+        if not self.windows:
+            raise ValueError("windows must contain at least one BurnWindowSpec")
+        seen: set[str] = set()
+        for w in self.windows:
+            if not isinstance(w, BurnWindowSpec):
+                raise TypeError("windows must contain BurnWindowSpec entries")
+            if w.severity in seen:
+                raise ValueError(
+                    f"duplicate burn window severity {w.severity!r}; one rule per severity "
+                    "keeps alert spans non-overlapping per kind"
+                )
+            seen.add(w.severity)
+        names: set[str] = set()
+        for o in self.class_overrides:
+            if not isinstance(o, SloClassOverride):
+                raise TypeError("class_overrides must contain SloClassOverride entries")
+            if o.name in names:
+                raise ValueError(f"duplicate class override {o.name!r}")
+            names.add(o.name)
+
+    @property
+    def slow_latency_s(self) -> float:
+        """The latency above which a completion burns p95 error budget."""
+        return self.p95_ms / 1e3
+
+    def override_for(self, class_name: str) -> SloClassOverride | None:
+        for o in self.class_overrides:
+            if o.name == class_name:
+                return o
+        return None
+
+
+@dataclass(frozen=True)
+class AlertSpan:
+    """One contiguous interval during which a burn-rate alert was firing.
+
+    ``open_s``/``close_s`` are absolute simulated times: the boundary at
+    which the evaluator first saw both windows over threshold, and the
+    first boundary at which the condition had cleared (run end for alerts
+    still firing).  ``windows`` counts the boundaries the alert was
+    active for; ``burn_at_open`` / ``peak_burn`` are long-window burn
+    rates.
+    """
+
+    severity: str
+    signal: str
+    open_s: float
+    close_s: float
+    burn_at_open: float
+    peak_burn: float
+    windows: int
+
+    def __post_init__(self) -> None:
+        if self.close_s < self.open_s:
+            raise ValueError(f"alert close_s {self.close_s} before open_s {self.open_s}")
+        if self.windows < 1:
+            raise ValueError("alert span must cover at least one window")
+
+    @property
+    def kind(self) -> str:
+        """``severity:signal`` — spans never overlap within one kind."""
+        return f"{self.severity}:{self.signal}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "severity": self.severity,
+            "signal": self.signal,
+            "open_s": self.open_s,
+            "close_s": self.close_s,
+            "burn_at_open": self.burn_at_open,
+            "peak_burn": self.peak_burn,
+            "windows": self.windows,
+        }
+
+
+def _count_column(windows: Mapping[str, object], key: str, n: int) -> list[float]:
+    value = windows.get(key)
+    if not isinstance(value, list):
+        return [0.0] * n
+    out: list[float] = []
+    for v in value:
+        out.append(float(v) if isinstance(v, (int, float)) else 0.0)
+    if len(out) != n:
+        raise ValueError(f"timeline window column {key!r} has {len(out)} entries, expected {n}")
+    return out
+
+
+def _prefix(values: Sequence[float]) -> list[float]:
+    total = 0.0
+    out = [0.0]
+    for v in values:
+        total += v
+        out.append(total)
+    return out
+
+
+def _trailing_burn(
+    bad_prefix: Sequence[float], total_prefix: Sequence[float], i: int, n_win: int, budget: float
+) -> float:
+    lo = max(0, i + 1 - n_win)
+    bad = bad_prefix[i + 1] - bad_prefix[lo]
+    total = total_prefix[i + 1] - total_prefix[lo]
+    if total <= 0.0:
+        return 0.0
+    return (bad / total) / budget
+
+
+def evaluate_burn_alerts(timeline: Mapping[str, object], slo: SloSpec) -> list[AlertSpan]:
+    """Fold a timeline document into the run's alert log.
+
+    Deterministic pure arithmetic over the per-window counters; the input
+    is exactly what :meth:`TimelineRecorder.timeline` returns (or its
+    JSON round-trip).  Spans are ordered by rule then open time, and are
+    non-overlapping within each ``severity:signal`` kind by construction.
+    """
+    t0 = timeline.get("t0_s", 0.0)
+    t_end = timeline.get("t_end_s", 0.0)
+    window_s = timeline.get("window_s", 0.0)
+    times = timeline.get("time_s")
+    windows = timeline.get("windows")
+    if (
+        not isinstance(t0, (int, float))
+        or not isinstance(t_end, (int, float))
+        or not isinstance(window_s, (int, float))
+        or not isinstance(times, list)
+        or not isinstance(windows, Mapping)
+    ):
+        raise ValueError("not a timeline document (need t0_s/t_end_s/window_s/time_s/windows)")
+    n = len(times)
+    if n == 0 or window_s <= 0.0:
+        return []
+    boundary_s = [float(t) + float(t0) for t in times if isinstance(t, (int, float))]
+    if len(boundary_s) != n:
+        raise ValueError("timeline time_s must be numeric")
+    horizon_s = max(float(t_end) - float(t0), float(window_s))
+
+    completed = _count_column(windows, "completed", n)
+    shed = _count_column(windows, "shed", n)
+    lost = _count_column(windows, "lost", n)
+    slow = _count_column(windows, "slow", n)
+
+    cum_completed = _prefix(completed)
+    cum_unavailable = _prefix([s + lo for s, lo in zip(shed, lost, strict=True)])
+    cum_offered = _prefix([c + s + lo for c, s, lo in zip(completed, shed, lost, strict=True)])
+    cum_slow = _prefix(slow)
+
+    signals: dict[str, tuple[list[float], list[float], float]] = {
+        "availability": (cum_unavailable, cum_offered, 1.0 - slo.availability),
+        "latency": (cum_slow, cum_completed, P95_SLOW_BUDGET),
+    }
+
+    spans: list[AlertSpan] = []
+    for rule in slo.windows:
+        n_long = min(n, max(1, math.ceil(rule.long_frac * horizon_s / float(window_s))))
+        n_short = min(n_long, max(1, math.ceil(rule.short_frac * horizon_s / float(window_s))))
+        for signal in ALERT_SIGNALS:
+            bad_prefix, total_prefix, budget = signals[signal]
+            open_i: int | None = None
+            burn_at_open = 0.0
+            peak = 0.0
+            for i in range(n + 1):
+                if i < n:
+                    burn_long = _trailing_burn(bad_prefix, total_prefix, i, n_long, budget)
+                    burn_short = _trailing_burn(bad_prefix, total_prefix, i, n_short, budget)
+                    active = burn_long >= rule.burn_threshold and burn_short >= rule.burn_threshold
+                else:
+                    burn_long = 0.0
+                    active = False
+                if active and open_i is None:
+                    open_i = i
+                    burn_at_open = burn_long
+                    peak = burn_long
+                elif active:
+                    peak = max(peak, burn_long)
+                elif open_i is not None:
+                    close_s = boundary_s[i] if i < n else float(t_end)
+                    spans.append(
+                        AlertSpan(
+                            severity=rule.severity,
+                            signal=signal,
+                            open_s=boundary_s[open_i],
+                            close_s=max(close_s, boundary_s[open_i]),
+                            burn_at_open=burn_at_open,
+                            peak_burn=peak,
+                            windows=i - open_i,
+                        )
+                    )
+                    open_i = None
+    return spans
+
+
+def compliance_summary(
+    slo: SloSpec,
+    *,
+    p95_latency_s: float,
+    availability: float,
+    shed_fraction: float,
+    alerts: Sequence[AlertSpan] = (),
+) -> dict[str, object]:
+    """Score one run's observed aggregates against its SLO (JSON-ready)."""
+    p95_ok = p95_latency_s <= slo.slow_latency_s
+    avail_ok = availability >= slo.availability
+    shed_ok = shed_fraction <= slo.max_shed_fraction
+    pages = sum(1 for a in alerts if a.severity == "page")
+    warns = sum(1 for a in alerts if a.severity == "warn")
+    return {
+        "p95_target_s": slo.slow_latency_s,
+        "p95_observed_s": p95_latency_s,
+        "p95_ok": p95_ok,
+        "availability_target": slo.availability,
+        "availability_observed": availability,
+        "availability_ok": avail_ok,
+        "max_shed_fraction": slo.max_shed_fraction,
+        "shed_fraction_observed": shed_fraction,
+        "shed_ok": shed_ok,
+        "pages": pages,
+        "warns": warns,
+        "ok": bool(p95_ok and avail_ok and shed_ok),
+    }

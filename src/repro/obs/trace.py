@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 if TYPE_CHECKING:
     from repro.obs.recorder import TimelineRecorder
@@ -43,8 +43,20 @@ def _meta(name: str, pid: int, tid: int, value: str) -> dict[str, object]:
     return {"name": name, "ph": "M", "pid": pid, "tid": tid, "ts": 0, "args": {"name": value}}
 
 
-def chrome_trace(rec: TimelineRecorder) -> dict[str, object]:
-    """Build the trace document from a (finished) :class:`TimelineRecorder`."""
+def chrome_trace(
+    rec: TimelineRecorder,
+    *,
+    alerts: Sequence[Mapping[str, object]] | None = None,
+    detections: Mapping[str, object] | None = None,
+) -> dict[str, object]:
+    """Build the trace document from a (finished) :class:`TimelineRecorder`.
+
+    ``alerts`` (``SimReport.alerts``: burn-rate :class:`AlertSpan` dicts)
+    and ``detections`` (``SimReport.detection``: the observed
+    outage/brownout record) add ``cat: "alert"`` complete-spans next to
+    the ground-truth ``cat: "chaos"`` spans, so detection latency is
+    visible as the horizontal gap between the two tracks.
+    """
     t0_s = rec.t0_s
 
     def us(t_s: float) -> float:
@@ -197,6 +209,54 @@ def chrome_trace(rec: TimelineRecorder) -> dict[str, object]:
                 },
             }
         )
+
+    for span in alerts or ():
+        evs.append(
+            {
+                "name": f"{span.get('severity', 'alert')}:{span.get('signal', '?')}",
+                "cat": "alert",
+                "ph": "X",
+                "pid": _FLEET_PID,
+                "tid": 0,
+                "ts": us(float(span.get("open_s", t0_s))),  # type: ignore[arg-type]
+                "dur": round(
+                    max(0.0, float(span.get("close_s", 0.0)) - float(span.get("open_s", 0.0)))  # type: ignore[arg-type]
+                    * 1e6,
+                    3,
+                ),
+                "args": {
+                    "burn_at_open": span.get("burn_at_open"),
+                    "peak_burn": span.get("peak_burn"),
+                    "windows": span.get("windows"),
+                },
+            }
+        )
+    if detections is not None:
+        observed = (
+            ("observed-outage", detections.get("outages")),
+            ("observed-brownout", detections.get("brownouts")),
+        )
+        for name, rows in observed:
+            if not isinstance(rows, Sequence):
+                continue
+            for row in rows:
+                if not isinstance(row, Mapping):
+                    continue
+                open_s = float(row.get("detected_s", 0.0))  # type: ignore[arg-type]
+                close_s = float(row.get("closed_s", open_s))  # type: ignore[arg-type]
+                args = {k: v for k, v in row.items() if k not in ("detected_s", "closed_s")}
+                evs.append(
+                    {
+                        "name": name,
+                        "cat": "alert",
+                        "ph": "X",
+                        "pid": _FLEET_PID,
+                        "tid": int(row.get("replica", 0)),  # type: ignore[call-overload]
+                        "ts": us(open_s),
+                        "dur": round(max(0.0, close_s - open_s) * 1e6, 3),
+                        "args": args,
+                    }
+                )
 
     timeline = rec.timeline()
     time_rel = timeline["time_s"]

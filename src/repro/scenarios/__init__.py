@@ -30,7 +30,7 @@ from repro.scenarios.registry import (
     register_scenario,
 )
 from repro.scenarios.report import SimReport
-from repro.scenarios.runner import run, run_sweep
+from repro.scenarios.runner import make_recorder, run, run_sweep
 from repro.scenarios.spec import (
     DriftSpec,
     FlashCrowdSpec,
@@ -50,6 +50,7 @@ __all__ = [
     "SCENARIO_KINDS",
     "REGIME_MIXES",
     "SimReport",
+    "make_recorder",
     "run",
     "run_sweep",
     "SCENARIOS",

@@ -27,11 +27,13 @@ from repro.config import (
     wilkes3,
 )
 from repro.core.online import ReplacementPolicy
+from repro.obs.slo import SloSpec
 from repro.scenarios.spec import (
     DriftSpec,
     FlashCrowdSpec,
     ReplacementSpec,
     Scenario,
+    TelemetrySpec,
 )
 
 __all__ = [
@@ -40,6 +42,7 @@ __all__ = [
     "list_scenarios",
     "fig10_panel",
     "fleet_bad_day",
+    "fleet_steady_day",
     "SCENARIOS",
 ]
 
@@ -496,3 +499,52 @@ def _fleet_scale_day(smoke: bool) -> Scenario:
 
 register_scenario(_fleet_scale_day(smoke=False))
 register_scenario(_fleet_scale_day(smoke=True))
+
+
+# -- chaos-free steady day (the SLO monitor's clean arm) -----------------------
+
+
+def fleet_steady_day(smoke: bool = False) -> Scenario:
+    """A quiet, adequately provisioned day: the SLO monitor's clean arm.
+
+    The same fleet shape as ``fleet-bad-day`` but with no chaos schedule
+    and an offered rate four replicas absorb without shedding.  This is
+    the run that must stay silent — zero burn-rate alerts, zero observed
+    outages or brownouts (``benchmarks/bench_detect.py`` and the
+    Hypothesis false-positive guard hold the detector to that).  Ships
+    with ``telemetry.slo`` attached so ``repro run fleet-steady-day``
+    monitors out of the box; CI also uses the smoke variant as its
+    OpenMetrics export fixture.
+    """
+    serving = ServingConfig(
+        arrival_rate_rps=15000.0 if smoke else 4000.0,
+        num_requests=800 if smoke else 1500,
+        generate_len=8 if smoke else 16,
+        max_batch_requests=4 if smoke else 8,
+        prompt_len=16 if smoke else 32,
+        seed=0,
+    )
+    fleet = FleetConfig(
+        num_replicas=4,
+        router="p2c",
+        slo_ms=15.0 if smoke else 60.0,
+        batch_slo_ms=150.0 if smoke else 600.0,
+        max_queue_per_replica=16,
+    )
+    return Scenario(
+        name="fleet-steady-day" + ("-smoke" if smoke else ""),
+        description=(
+            "chaos-free steady traffic on a 4-replica fleet, SLO-monitored"
+            + (" (CI smoke)" if smoke else "")
+        ),
+        model=_fig16_model(smoke),
+        cluster=ClusterConfig(num_nodes=2, gpus_per_node=2),
+        affinity=_FIG16_AFFINITY,
+        serving=serving,
+        fleet=fleet,
+        telemetry=TelemetrySpec(slo=SloSpec()),
+    )
+
+
+register_scenario(fleet_steady_day(smoke=False))
+register_scenario(fleet_steady_day(smoke=True))

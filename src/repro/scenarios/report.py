@@ -74,6 +74,14 @@ class SimReport:
     goodput_rps: float = 0.0
     mean_time_to_recover_s: float = 0.0
 
+    # SLO monitoring account (populated when telemetry.slo is set; empty
+    # defaults so pre-SLO reports still load).  ``slo`` is the compliance
+    # summary, ``alerts`` the burn-rate AlertSpan dicts, ``detection`` the
+    # observed outage/brownout record plus chaos ground-truth scoring.
+    slo: dict = field(default_factory=dict)
+    alerts: list = field(default_factory=list)
+    detection: dict = field(default_factory=dict)
+
     # cost account (GPU-hour pricing from ClusterConfig.gpu_hour_usd)
     gpu_hours: float = 0.0
     cost_usd: float = 0.0

@@ -19,6 +19,7 @@ import math
 import multiprocessing
 import os
 import traceback
+import warnings
 from typing import Callable, Iterable, Sequence
 
 from repro.config import ExecutionMode
@@ -29,12 +30,14 @@ from repro.engine.serving import (
 )
 from repro.fleet.requests import flash_crowd_arrivals
 from repro.fleet.simulate import _simulate_fleet_cluster_serving
+from repro.obs.detect import SignalDetector, score_against_chaos
 from repro.obs.profile import PhaseProfiler
-from repro.obs.recorder import MetricsRecorder, TimelineRecorder
+from repro.obs.recorder import MetricsRecorder, TeeRecorder, TimelineRecorder
+from repro.obs.slo import compliance_summary, evaluate_burn_alerts
 from repro.scenarios.report import SimReport
 from repro.scenarios.spec import Scenario
 
-__all__ = ["SweepError", "run", "run_sweep"]
+__all__ = ["SweepError", "make_recorder", "run", "run_sweep"]
 
 
 class SweepError(RuntimeError):
@@ -295,6 +298,86 @@ _RUNNERS = {
 }
 
 
+def make_recorder(scenario: Scenario | str) -> TimelineRecorder:
+    """The :class:`TimelineRecorder` ``run`` would auto-attach for a spec.
+
+    One builder keeps every caller (``run`` itself, the CLI's
+    ``--trace``/``--metrics`` paths) constructing identical recorders —
+    including the SLO slow-completion threshold when ``telemetry.slo``
+    is set, which the burn-rate evaluator's latency signal needs.
+    """
+    s = _resolve(scenario)
+    tele = s.telemetry
+    if tele is None:
+        raise ValueError(f"scenario {s.name!r} has no telemetry section")
+    return TimelineRecorder(
+        window_s=tele.window_s,
+        max_windows=tele.max_windows,
+        spans=tele.spans,
+        max_span_events=tele.max_span_events,
+        slow_latency_s=tele.slo.slow_latency_s if tele.slo is not None else None,
+    )
+
+
+def _flatten_recorders(recorder: MetricsRecorder | None) -> list[MetricsRecorder]:
+    """Every leaf recorder behind ``recorder``, tees unwrapped recursively."""
+    if recorder is None:
+        return []
+    if isinstance(recorder, TeeRecorder):
+        return [leaf for r in recorder.recorders for leaf in _flatten_recorders(r)]
+    return [recorder]
+
+
+def _slo_fields(
+    s: Scenario,
+    report: SimReport,
+    detector: SignalDetector,
+) -> SimReport:
+    """Fill ``report.slo`` / ``alerts`` / ``detection`` after an SLO run."""
+    slo = s.telemetry.slo if s.telemetry is not None else None
+    if slo is None:
+        return report
+    alerts = (
+        evaluate_burn_alerts(report.timeline, slo)
+        if report.timeline is not None
+        else []
+    )
+    compliance = compliance_summary(
+        slo,
+        p95_latency_s=report.latency_p95_s,
+        availability=report.availability,
+        shed_fraction=report.shed_fraction,
+        alerts=alerts,
+    )
+    if slo.class_overrides:
+        classes: dict[str, dict[str, object]] = {}
+        for o in slo.class_overrides:
+            observed = report.slo_attainment.get(o.name)
+            target = o.availability if o.availability is not None else slo.availability
+            classes[o.name] = {
+                "attainment": observed,
+                "target": target,
+                "ok": observed is None or observed >= target,
+            }
+        compliance["classes"] = classes
+    detection = detector.summary()
+    res = report.raw
+    failures = list(getattr(res, "failures", ()) or ())
+    chaos = s.chaos if s.chaos is not None else (s.fleet.chaos if s.fleet is not None else None)
+    detection["scored"] = score_against_chaos(
+        outages=detector.outages,
+        brownouts=detector.brownouts,
+        failures=failures,
+        chaos=chaos,
+    )
+    return dataclasses.replace(
+        report,
+        slo=compliance,
+        alerts=[a.to_dict() for a in alerts],
+        detection=detection,
+    )
+
+
 def run(
     scenario: Scenario | str,
     *,
@@ -318,16 +401,26 @@ def run(
     ``report.timeline``; profiler phase seconds/fractions land in
     ``report.extra`` under ``profile_*`` keys.  Recorders attach to
     serving and fleet scenarios, profilers to fleet scenarios only.
+
+    SLO monitoring: when ``telemetry.slo`` is set, a
+    :class:`~repro.obs.detect.SignalDetector` rides the same hook stream
+    (tee'd next to the timeline recorder), burn-rate alerts are evaluated
+    over the recorded timeline, and ``report.slo`` / ``report.alerts`` /
+    ``report.detection`` are filled in.  Monitoring is observation-only:
+    every shared result field is bit-identical to an unmonitored run.
+
+    Passing an explicit ``recorder`` for an SLO-monitored scenario: build
+    it with :func:`make_recorder` (possibly inside a
+    :class:`~repro.obs.recorder.TeeRecorder`) so the timeline carries the
+    spec's slow-completion threshold — a recorder without it zeroes the
+    latency burn signal, and ``run`` warns about the mismatch.  A
+    :class:`SignalDetector` already present anywhere in the supplied tee
+    is reused for detection instead of tee'ing a second one on top.
     """
     s = _resolve(scenario)
     tele = s.telemetry
     if recorder is None and tele is not None:
-        recorder = TimelineRecorder(
-            window_s=tele.window_s,
-            max_windows=tele.max_windows,
-            spans=tele.spans,
-            max_span_events=tele.max_span_events,
-        )
+        recorder = make_recorder(s)
     if profiler is None and tele is not None and tele.profile:
         profiler = PhaseProfiler()
     if recorder is not None and s.kind not in ("serving", "fleet"):
@@ -339,14 +432,44 @@ def run(
             f"profilers attach to fleet scenarios (phase timers live in the "
             f"fleet engines), not kind {s.kind!r}"
         )
+    detector: SignalDetector | None = None
+    engine_recorder: MetricsRecorder | None = recorder
+    leaves = _flatten_recorders(recorder)
+    if tele is not None and tele.slo is not None and s.kind == "fleet":
+        detector = next(
+            (r for r in leaves if isinstance(r, SignalDetector)), None
+        )
+        if detector is None:
+            detector = SignalDetector()
+            engine_recorder = (
+                TeeRecorder((recorder, detector)) if recorder is not None else detector
+            )
+        if recorder is not None:
+            want = tele.slo.slow_latency_s
+            if not any(
+                isinstance(r, TimelineRecorder) and r.slow_latency_s == want
+                for r in leaves
+            ):
+                warnings.warn(
+                    f"scenario {s.name!r} declares an SLO but the supplied recorder "
+                    f"has no TimelineRecorder with slow_latency_s={want}; the latency "
+                    "burn signal will read all-zero — build recorders for SLO "
+                    "scenarios with make_recorder()",
+                    stacklevel=2,
+                )
     if s.kind == "fleet":
-        report = _run_fleet(s, recorder=recorder, profiler=profiler)
+        report = _run_fleet(s, recorder=engine_recorder, profiler=profiler)
     elif s.kind == "serving":
         report = _run_serving(s, recorder=recorder)
     else:
         report = _RUNNERS[s.kind](s)
-    if isinstance(recorder, TimelineRecorder):
-        report = dataclasses.replace(report, timeline=recorder.timeline())
+    timeline_rec = next(
+        (r for r in leaves if isinstance(r, TimelineRecorder)), None
+    )
+    if timeline_rec is not None:
+        report = dataclasses.replace(report, timeline=timeline_rec.timeline())
+    if detector is not None:
+        report = _slo_fields(s, report, detector)
     if profiler is not None:
         prof = profiler.profile()
         extra = dict(report.extra)

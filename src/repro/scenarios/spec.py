@@ -46,6 +46,7 @@ from repro.config import (
 from repro.core.online import ReplacementPolicy
 from repro.core.placement.registry import SOLVERS
 from repro.engine.workload import DRIFT_KINDS
+from repro.obs.slo import SloSpec
 
 __all__ = [
     "DriftSpec",
@@ -101,6 +102,12 @@ class TelemetrySpec:
     attaches a :class:`repro.obs.profile.PhaseProfiler` (fleet scenarios
     only — the phase timers live in the fleet engines) and reports the
     phase breakdown in ``SimReport.extra``.
+
+    ``slo`` attaches a :class:`repro.obs.slo.SloSpec` (fleet scenarios
+    only — burn signals need the fleet's shed/availability semantics):
+    ``run`` then evaluates burn-rate alerts over the recorded timeline,
+    runs the :class:`repro.obs.detect.SignalDetector` on the hook stream,
+    and fills ``SimReport.slo`` / ``alerts`` / ``detection``.
     """
 
     window_s: float | None = None
@@ -108,6 +115,7 @@ class TelemetrySpec:
     spans: bool = True
     max_span_events: int = 20_000
     profile: bool = False
+    slo: SloSpec | None = None
 
     def __post_init__(self) -> None:
         if self.window_s is not None and not self.window_s > 0.0:
@@ -116,6 +124,8 @@ class TelemetrySpec:
             raise ValueError("telemetry max_windows must be >= 2")
         if self.max_span_events < 0:
             raise ValueError("telemetry max_span_events must be >= 0")
+        if self.slo is not None and not isinstance(self.slo, SloSpec):
+            raise TypeError("telemetry slo must be a SloSpec")
 
 
 @dataclass(frozen=True)
@@ -356,6 +366,11 @@ class Scenario:
                 raise ValueError(
                     "telemetry.profile requires a fleet section "
                     "(the phase timers live in the fleet engines)"
+                )
+            if self.telemetry.slo is not None and self.fleet is None:
+                raise ValueError(
+                    "telemetry.slo requires a fleet section (burn-rate "
+                    "signals need the fleet's shed/availability semantics)"
                 )
 
     @property

@@ -569,6 +569,74 @@ class TestChaosTelemetryEquivalence:
         assert validate_chrome_trace(loaded) == len(doc_tick["traceEvents"])
 
 
+class TestSloMonitoringEquivalence:
+    """The SLO monitor must be observation-only and engine-identical.
+
+    The whole monitored pipeline — recorder, burn-rate evaluator, blind
+    signal detector, ground-truth scorer — runs through the ``run()``
+    facade on both engines, over the bad-day smoke preset (hot enough
+    that crashes lose work, brownouts span multiple baselined steps and
+    the error budget actually burns).  The contract: bit-identical alert
+    logs, detections and compliance summaries across engines, and not a
+    single shared report field may change versus an unmonitored run.
+    """
+
+    def scenario(self, engine, monitored=True):
+        from repro.obs.slo import SloSpec
+        from repro.scenarios import TelemetrySpec, get_scenario
+
+        s = get_scenario("fleet-bad-day-smoke")
+        assert s.fleet is not None
+        return dataclasses.replace(
+            s,
+            fleet=dataclasses.replace(s.fleet, engine=engine),
+            telemetry=TelemetrySpec(slo=SloSpec()) if monitored else None,
+        )
+
+    def test_alert_logs_identical_across_engines(self):
+        from repro.scenarios import run
+
+        ev = run(self.scenario("event"))
+        tk = run(self.scenario("tick"))
+        assert ev.alerts == tk.alerts
+        assert ev.detection == tk.detection
+        assert ev.slo == tk.slo
+        # and non-trivially so: this bad day is actually visible
+        assert len(ev.alerts) >= 1
+        scored = ev.detection["scored"]
+        assert scored["outages"]["detected"] >= 1
+        assert scored["brownouts"]["detected"] >= 1
+
+    def test_alert_spans_well_formed(self):
+        from repro.obs.slo import AlertSpan
+        from repro.scenarios import run
+
+        report = run(self.scenario("event"))
+        spans = [AlertSpan(**a) for a in report.alerts]
+        by_kind: dict[str, list[AlertSpan]] = {}
+        for span in spans:
+            assert span.close_s >= span.open_s
+            by_kind.setdefault(span.kind, []).append(span)
+        for kind_spans in by_kind.values():
+            ordered = sorted(kind_spans, key=lambda s: s.open_s)
+            for prev, cur in zip(ordered, ordered[1:]):
+                assert prev.close_s <= cur.open_s, "alert spans overlap within a kind"
+
+    def test_monitoring_is_observation_only(self):
+        from repro.scenarios import run
+
+        for engine in ("event", "tick"):
+            mon = run(self.scenario(engine))
+            bare = run(self.scenario(engine, monitored=False))
+            drift = [
+                f.name
+                for f in dataclasses.fields(mon)
+                if f.name not in ("slo", "alerts", "detection", "timeline")
+                and getattr(mon, f.name) != getattr(bare, f.name)
+            ]
+            assert drift == []
+
+
 def test_tick_rejects_custom_components():
     from repro.core.placement.vanilla import vanilla_placement
     from repro.fleet.admission import AdmissionController
